@@ -1,0 +1,37 @@
+# Convenience targets for the in-database ML reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench examples experiments experiments-paper clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One representative benchmark cell per figure/table plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+examples: build
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/iris
+	$(GO) run ./examples/timeseries
+	$(GO) run ./examples/fraud
+
+# Laptop-sized regeneration of every figure and table (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/mjbench -experiment all -scale small -csv results_small.csv
+
+# The paper's exact parameter grid — hours of runtime on a small machine.
+experiments-paper:
+	$(GO) run ./cmd/mjbench -experiment all -scale paper -csv results_paper.csv
+
+clean:
+	rm -f results_*.csv forecaster.json test_output.txt bench_output.txt

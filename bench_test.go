@@ -1,0 +1,485 @@
+package indbml
+
+// Benchmarks regenerating one representative cell per figure/table of the
+// paper's evaluation, plus ablation benches for the design choices of
+// Secs. 4.4 and 5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Wall-clock budget per cell is kept small (fact tables of 10–20k rows);
+// cmd/mjbench runs the full parameter grids. GPU-variant benches execute on
+// the simulated device and additionally report the modeled device seconds
+// as the metric "sim-sec/op".
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"indbml/internal/baselines"
+	"indbml/internal/bench"
+	"indbml/internal/core/mltosql"
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/vector"
+	"indbml/internal/nn"
+	"indbml/internal/workload"
+)
+
+const (
+	benchPartitions  = 8
+	benchDenseTuples = 20_000
+	benchLSTMTuples  = 10_000
+)
+
+var (
+	setupOnce  sync.Once
+	denseTable *storage.Table
+	lstmTable  *storage.Table
+)
+
+func setupTables() {
+	setupOnce.Do(func() {
+		denseTable, _ = workload.IrisTable("iris_fact", benchDenseTuples, benchPartitions)
+		series := workload.SinusSeries(benchLSTMTuples+workload.LSTMTimeSteps-1, 0.1)
+		lstmTable, _ = workload.WindowedSeriesTable("sinus_fact", series, workload.LSTMTimeSteps, benchPartitions)
+	})
+}
+
+// newDB registers the fact table and model into a fresh database.
+func newDB(b *testing.B, fact *storage.Table, model *nn.Model, opts db.Options) *db.Database {
+	b.Helper()
+	if opts.DefaultPartitions == 0 {
+		opts.DefaultPartitions = benchPartitions
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = benchPartitions
+	}
+	d := db.Open(opts)
+	d.RegisterTable(fact)
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: benchPartitions}); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func drainQuery(b *testing.B, d *db.Database, query string, wantRows int) {
+	b.Helper()
+	op, err := d.QueryOp(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := 0
+	err = exec.Drain(op, func(batch *vector.Batch) error {
+		rows += batch.Len()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rows != wantRows {
+		b.Fatalf("query returned %d rows, want %d", rows, wantRows)
+	}
+}
+
+func modelJoinQuery(device string) string {
+	return "SELECT id, prediction FROM iris_fact MODEL JOIN bench_model PREDICT (" +
+		strings.Join(workload.IrisFeatureNames, ", ") + ") USING DEVICE '" + device + "'"
+}
+
+func reportGPU(b *testing.B, d *db.Database) {
+	st := d.GPU().Stats()
+	b.ReportMetric(st.ModeledTime.Seconds()/float64(b.N), "sim-sec/op")
+}
+
+// --- Figure 8: dense-network inference runtime ---
+
+func BenchmarkFig8DenseModelJoinCPU(b *testing.B) {
+	setupTables()
+	model := workload.DenseModel(32, 2)
+	model.Name = "bench_model"
+	d := newDB(b, denseTable, model, db.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainQuery(b, d, modelJoinQuery("cpu"), benchDenseTuples)
+	}
+}
+
+func BenchmarkFig8DenseModelJoinGPU(b *testing.B) {
+	setupTables()
+	model := workload.DenseModel(32, 2)
+	model.Name = "bench_model"
+	d := newDB(b, denseTable, model, db.Options{})
+	d.GPU().ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainQuery(b, d, modelJoinQuery("gpu"), benchDenseTuples)
+	}
+	b.StopTimer()
+	reportGPU(b, d)
+}
+
+func capiBench(b *testing.B, fact *storage.Table, model *nn.Model, gpu bool, cols []int, wantRows int) {
+	d := db.Open(db.Options{})
+	var dev = d.CPU()
+	run := func() (int, error) {
+		op, err := baselines.ParallelScan(fact, func(child exec.Operator) (exec.Operator, error) {
+			if gpu {
+				return baselines.NewCAPIOperator(child, model, d.GPU(), cols)
+			}
+			return baselines.NewCAPIOperator(child, model, dev, cols)
+		}, benchPartitions)
+		if err != nil {
+			return 0, err
+		}
+		rows := 0
+		err = exec.Drain(op, func(batch *vector.Batch) error { rows += batch.Len(); return nil })
+		return rows, err
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != wantRows {
+			b.Fatalf("rows %d, want %d", rows, wantRows)
+		}
+	}
+	if gpu {
+		b.StopTimer()
+		reportGPU(b, d)
+	}
+}
+
+func BenchmarkFig8DenseTFCAPICPU(b *testing.B) {
+	setupTables()
+	capiBench(b, denseTable, workload.DenseModel(32, 2), false, []int{1, 2, 3, 4}, benchDenseTuples)
+}
+
+func BenchmarkFig8DenseTFCAPIGPU(b *testing.B) {
+	setupTables()
+	capiBench(b, denseTable, workload.DenseModel(32, 2), true, []int{1, 2, 3, 4}, benchDenseTuples)
+}
+
+func BenchmarkFig8DenseTFPython(b *testing.B) {
+	setupTables()
+	model := workload.DenseModel(32, 2)
+	model.Name = "bench_model"
+	d := newDB(b, denseTable, model, db.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := baselines.TFPython(d, "iris_fact", "id", workload.IrisFeatureNames, model, d.CPU())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Predictions) != benchDenseTuples {
+			b.Fatalf("rows %d", len(res.Predictions))
+		}
+	}
+}
+
+func BenchmarkFig8DenseUDF(b *testing.B) {
+	setupTables()
+	model := workload.DenseModel(32, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, err := baselines.ParallelScan(denseTable, func(child exec.Operator) (exec.Operator, error) {
+			return baselines.NewUDFOperator(child, model, []int{1, 2, 3, 4}, true)
+		}, benchPartitions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := exec.Drain(op, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mlToSQLQuery(b *testing.B, d *db.Database, model string, layout relmodel.Layout, layerFilter bool, inputs []string, fact string) string {
+	b.Helper()
+	meta, err := d.ModelMeta(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := mltosql.New(meta, mltosql.Options{
+		FactTable: fact, ModelTable: model, IDColumn: "id",
+		InputColumns: inputs, LayerFilter: layerFilter, NativeFunctions: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := gen.GenerateInferenceOnly()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = layout
+	return q
+}
+
+func BenchmarkFig8DenseMLToSQL(b *testing.B) {
+	setupTables()
+	model := workload.DenseModel(32, 2)
+	model.Name = "bench_model"
+	d := newDB(b, denseTable, model, db.Options{})
+	q := mlToSQLQuery(b, d, "bench_model", relmodel.LayoutPairs, true, workload.IrisFeatureNames, "iris_fact")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainQuery(b, d, q, benchDenseTuples)
+	}
+}
+
+// Wide/deep scaling cell: the paper's largest dense model.
+func BenchmarkFig8DenseWide512x8ModelJoin(b *testing.B) {
+	setupTables()
+	model := workload.DenseModel(512, 8)
+	model.Name = "bench_model"
+	d := newDB(b, denseTable, model, db.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainQuery(b, d, modelJoinQuery("cpu"), benchDenseTuples)
+	}
+}
+
+// --- Figure 9: LSTM inference runtime ---
+
+func lstmQuery(device string) string {
+	return "SELECT id, prediction FROM sinus_fact MODEL JOIN bench_lstm PREDICT (" +
+		strings.Join(workload.WindowColumnNames(workload.LSTMTimeSteps), ", ") + ") USING DEVICE '" + device + "'"
+}
+
+func BenchmarkFig9LSTMModelJoinCPU(b *testing.B) {
+	setupTables()
+	model := workload.LSTMModel(32)
+	model.Name = "bench_lstm"
+	d := newDB(b, lstmTable, model, db.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainQuery(b, d, lstmQuery("cpu"), benchLSTMTuples)
+	}
+}
+
+func BenchmarkFig9LSTMModelJoinGPU(b *testing.B) {
+	setupTables()
+	model := workload.LSTMModel(32)
+	model.Name = "bench_lstm"
+	d := newDB(b, lstmTable, model, db.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainQuery(b, d, lstmQuery("gpu"), benchLSTMTuples)
+	}
+	b.StopTimer()
+	reportGPU(b, d)
+}
+
+func BenchmarkFig9LSTMTFCAPICPU(b *testing.B) {
+	setupTables()
+	capiBench(b, lstmTable, workload.LSTMModel(32), false, []int{1, 2, 3}, benchLSTMTuples)
+}
+
+func BenchmarkFig9LSTMTFPython(b *testing.B) {
+	setupTables()
+	model := workload.LSTMModel(32)
+	model.Name = "bench_lstm"
+	d := newDB(b, lstmTable, model, db.Options{})
+	cols := workload.WindowColumnNames(workload.LSTMTimeSteps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baselines.TFPython(d, "sinus_fact", "id", cols, model, d.CPU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9LSTMMLToSQL(b *testing.B) {
+	setupTables()
+	model := workload.LSTMModel(8) // width scaled down: ML-To-SQL LSTM is the slowest cell
+	model.Name = "bench_lstm"
+	d := newDB(b, lstmTable, model, db.Options{})
+	q := mlToSQLQuery(b, d, "bench_lstm", relmodel.LayoutPairs, true, workload.WindowColumnNames(3), "sinus_fact")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainQuery(b, d, q, benchLSTMTuples)
+	}
+}
+
+// --- Table 3: peak memory ---
+
+func BenchmarkTable3Memory(b *testing.B) {
+	for _, spec := range bench.Table3Models {
+		for _, a := range bench.Table3Approaches {
+			b.Run(fmt.Sprintf("%s/%s", spec.Label, a), func(b *testing.B) {
+				r := bench.NewRunner()
+				r.Partitions = benchPartitions
+				r.Parallelism = benchPartitions
+				r.MLToSQLCellLimit = 200_000_000
+				var peak int64
+				for i := 0; i < b.N; i++ {
+					var m bench.Measurement
+					var err error
+					if spec.Depth == 0 {
+						m, err = r.RunLSTM(a, spec.Width, benchLSTMTuples)
+					} else {
+						m, err = r.RunDense(a, spec.Width, spec.Depth, benchDenseTuples)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m.Skipped != "" {
+						b.Skip(m.Skipped)
+					}
+					if m.PeakMemBytes > peak {
+						peak = m.PeakMemBytes
+					}
+				}
+				b.ReportMetric(float64(peak)/(1<<20), "peak-MB")
+			})
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationNodeID compares the two relational layouts of Sec. 4.4's
+// first optimization.
+func BenchmarkAblationNodeID(b *testing.B) {
+	setupTables()
+	for _, layout := range []relmodel.Layout{relmodel.LayoutPairs, relmodel.LayoutNodeID} {
+		b.Run(layout.String(), func(b *testing.B) {
+			model := workload.DenseModel(32, 2)
+			model.Name = "bench_model"
+			d := db.Open(db.Options{DefaultPartitions: benchPartitions, Parallelism: benchPartitions})
+			d.RegisterTable(denseTable)
+			if _, err := d.RegisterModel(model, relmodel.ExportOptions{Layout: layout, Partitions: benchPartitions}); err != nil {
+				b.Fatal(err)
+			}
+			q := mlToSQLQuery(b, d, "bench_model", layout, true, workload.IrisFeatureNames, "iris_fact")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, d, q, benchDenseTuples)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLayerFilter toggles the layer predicates enabling
+// zone-map block pruning (Sec. 4.4).
+func BenchmarkAblationLayerFilter(b *testing.B) {
+	setupTables()
+	for _, filter := range []bool{true, false} {
+		name := "with-filter"
+		if !filter {
+			name = "without-filter"
+		}
+		b.Run(name, func(b *testing.B) {
+			model := workload.DenseModel(32, 2)
+			model.Name = "bench_model"
+			d := newDB(b, denseTable, model, db.Options{})
+			q := mlToSQLQuery(b, d, "bench_model", relmodel.LayoutPairs, filter, workload.IrisFeatureNames, "iris_fact")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, d, q, benchDenseTuples)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrderedAgg toggles the pipelined segmented aggregation
+// against generic hash aggregation (Sec. 4.4).
+func BenchmarkAblationOrderedAgg(b *testing.B) {
+	setupTables()
+	for _, disable := range []bool{false, true} {
+		name := "segmented"
+		if disable {
+			name = "hash"
+		}
+		b.Run(name, func(b *testing.B) {
+			model := workload.DenseModel(32, 2)
+			model.Name = "bench_model"
+			d := newDB(b, denseTable, model, db.Options{DisableSegmentedAgg: disable})
+			q := mlToSQLQuery(b, d, "bench_model", relmodel.LayoutPairs, true, workload.IrisFeatureNames, "iris_fact")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, d, q, benchDenseTuples)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBiasMatrix toggles the Sec. 5.4 bias-replication trick in
+// the native operator.
+func BenchmarkAblationBiasMatrix(b *testing.B) {
+	setupTables()
+	for _, noBias := range []bool{false, true} {
+		name := "bias-matrix"
+		if noBias {
+			name = "per-row-bias"
+		}
+		b.Run(name, func(b *testing.B) {
+			model := workload.DenseModel(128, 4)
+			model.Name = "bench_model"
+			opts := db.Options{}
+			opts.ModelJoinConfig.NoBiasMatrix = noBias
+			d := newDB(b, denseTable, model, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, d, modelJoinQuery("cpu"), benchDenseTuples)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUDFVectorized compares tuple-at-a-time vs vectorized UDF
+// invocation (Sec. 6.1's UDF optimization).
+func BenchmarkAblationUDFVectorized(b *testing.B) {
+	setupTables()
+	for _, vectorized := range []bool{true, false} {
+		name := "vectorized"
+		if !vectorized {
+			name = "tuple-at-a-time"
+		}
+		b.Run(name, func(b *testing.B) {
+			model := workload.DenseModel(32, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op, err := baselines.ParallelScan(denseTable, func(child exec.Operator) (exec.Operator, error) {
+					return baselines.NewUDFOperator(child, model, []int{1, 2, 3, 4}, vectorized)
+				}, benchPartitions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := exec.Drain(op, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGPUBuild compares build-on-host-then-copy against
+// fine-grained device transfers during the ModelJoin build (Sec. 5.2).
+func BenchmarkAblationGPUBuild(b *testing.B) {
+	setupTables()
+	for _, fine := range []bool{false, true} {
+		name := "build-then-copy"
+		if fine {
+			name = "fine-grained"
+		}
+		b.Run(name, func(b *testing.B) {
+			model := workload.DenseModel(128, 4)
+			model.Name = "bench_model"
+			cfg := db.Options{}
+			cfg.ModelJoinConfig.FineGrainedGPUBuild = fine
+			d := newDB(b, denseTable, model, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, d, modelJoinQuery("gpu"), benchDenseTuples)
+			}
+			b.StopTimer()
+			reportGPU(b, d)
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Command mjbench regenerates the evaluation of "Exploration of Approaches
+// for In-Database ML" (EDBT 2023): Figure 8 (dense-network inference
+// runtimes), Figure 9 (LSTM inference runtimes), Table 3 (peak memory) and
+// Table 2 (qualitative comparison).
+//
+// Usage:
+//
+//	mjbench -experiment fig8|fig9|table2|table3|all [flags]
+//
+// The default -scale small shrinks the grid so a full run finishes in
+// minutes on a laptop; -scale paper runs the paper's exact parameter grid
+// (widths {32,128,512}, depths {2,4,8}, 50k–500k fact tuples), which takes
+// much longer — mostly in the ML-To-SQL cells, just as the paper's plots
+// show.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"indbml/internal/bench"
+	"indbml/internal/workload"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "all", "fig8 | fig9 | table2 | table3 | all")
+		scale       = flag.String("scale", "small", "small | medium | paper")
+		partitions  = flag.Int("partitions", 12, "fact/model table partitions (paper: 12)")
+		parallelism = flag.Int("parallelism", 12, "concurrent partition plans (paper: 12)")
+		approaches  = flag.String("approaches", "", "comma-separated approach filter (default: all)")
+		csvPath     = flag.String("csv", "", "also write raw measurements as CSV to this file")
+		limit       = flag.Int64("mltosql-limit", 0, "skip ML-To-SQL cells above tuples×Σwidth (0 = auto per scale)")
+	)
+	flag.Parse()
+
+	r := bench.NewRunner()
+	r.Partitions = *partitions
+	r.Parallelism = *parallelism
+
+	var sizes, widths, depths, lstmWidths []int
+	var table3Tuples, table2Small, table2Large int
+	switch *scale {
+	case "paper":
+		sizes, widths, depths, lstmWidths = workload.FactSizes, workload.DenseWidths, workload.DenseDepths, workload.LSTMWidths
+		table3Tuples, table2Small, table2Large = 100_000, 50_000, 500_000
+		r.MLToSQLCellLimit = 2_000_000_000
+	case "medium":
+		sizes = []int{50_000, 100_000, 200_000}
+		widths, depths = []int{32, 128, 512}, []int{2, 4}
+		lstmWidths = []int{32, 128}
+		table3Tuples, table2Small, table2Large = 100_000, 50_000, 200_000
+		r.MLToSQLCellLimit = 800_000_000
+	case "small":
+		sizes = []int{10_000, 20_000, 50_000}
+		widths, depths = []int{32, 128}, []int{2, 4}
+		lstmWidths = []int{32, 128}
+		table3Tuples, table2Small, table2Large = 20_000, 10_000, 50_000
+		r.MLToSQLCellLimit = 300_000_000
+	default:
+		fatalf("unknown -scale %q", *scale)
+	}
+	if *limit > 0 {
+		r.MLToSQLCellLimit = *limit
+	}
+
+	var filter []bench.Approach
+	if *approaches != "" {
+		for _, name := range strings.Split(*approaches, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range bench.AllApproaches {
+				if strings.EqualFold(string(a), name) {
+					filter = append(filter, a)
+					found = true
+				}
+			}
+			if !found {
+				fatalf("unknown approach %q (want one of %v)", name, bench.AllApproaches)
+			}
+		}
+	}
+
+	var all []bench.Measurement
+	out := os.Stdout
+	run := func(name string, fn func() ([]bench.Measurement, error)) {
+		ms, err := fn()
+		all = append(all, ms...)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+	}
+
+	fmt.Fprintf(out, "mjbench: scale=%s partitions=%d parallelism=%d\n", *scale, *partitions, *parallelism)
+	fmt.Fprintln(out, "GPU series are computed on the simulated device and marked [sim]; see DESIGN.md.")
+
+	if *experiment == "fig8" || *experiment == "all" {
+		run("fig8", func() ([]bench.Measurement, error) {
+			return r.Figure8(bench.Figure8Config{Widths: widths, Depths: depths, Sizes: sizes, Approaches: filter}, out)
+		})
+	}
+	if *experiment == "fig9" || *experiment == "all" {
+		run("fig9", func() ([]bench.Measurement, error) {
+			return r.Figure9(bench.Figure9Config{Widths: lstmWidths, Sizes: sizes, Approaches: filter}, out)
+		})
+	}
+	if *experiment == "table3" || *experiment == "all" {
+		run("table3", func() ([]bench.Measurement, error) { return r.Table3(table3Tuples, out) })
+	}
+	if *experiment == "table2" || *experiment == "all" {
+		run("table2", func() ([]bench.Measurement, error) { return nil, r.Table2(out, table2Small, table2Large) })
+	}
+	if !strings.Contains("fig8 fig9 table2 table3 all", *experiment) {
+		fatalf("unknown -experiment %q", *experiment)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("creating %s: %v", *csvPath, err)
+		}
+		bench.CSV(f, all)
+		if err := f.Close(); err != nil {
+			fatalf("writing %s: %v", *csvPath, err)
+		}
+		fmt.Fprintf(out, "\nwrote %s measurements to %s\n", strconv.Itoa(len(all)), *csvPath)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mjbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command ml2sql is the CLI face of the ML-To-SQL framework (Sec. 4): given
+// a trained model in the Keras-like JSON format of package nn, it emits
+//
+//   - the CREATE TABLE + INSERT statements that load the model into its
+//     relational representation (Sec. 4.1), and
+//   - the nested SQL query performing the full ModelJoin inference
+//     (Listings 1–4), ready to run on any SQL-compliant engine.
+//
+// Usage:
+//
+//	ml2sql -model model.json -fact my_table -inputs c1,c2,c3,c4 [flags]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indbml/internal/core/mltosql"
+	"indbml/internal/core/relmodel"
+	"indbml/internal/nn"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to the model JSON (required)")
+		factTable = flag.String("fact", "", "fact table name (required)")
+		inputs    = flag.String("inputs", "", "comma-separated input column names (required)")
+		idCol     = flag.String("id", "id", "unique row identifier column")
+		tableName = flag.String("table", "", "model table name (default: model name)")
+		layout    = flag.String("layout", "pairs", "relational layout: pairs | node-id (Sec. 4.4)")
+		native    = flag.Bool("native-functions", false, "emit TANH/SIGMOID/RELU builtins instead of portable EXP/CASE")
+		noFilter  = flag.Bool("no-layer-filter", false, "omit the per-join layer predicates of Sec. 4.4")
+		pretty    = flag.Bool("pretty", true, "indent the generated query")
+		loadOnly  = flag.Bool("load-only", false, "emit only the model-table DDL/DML")
+		queryOnly = flag.Bool("query-only", false, "emit only the inference query")
+	)
+	flag.Parse()
+
+	if *modelPath == "" || (*factTable == "" && !*loadOnly) || (*inputs == "" && !*loadOnly) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	model, err := nn.LoadFile(*modelPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	lay := relmodel.LayoutPairs
+	switch *layout {
+	case "pairs":
+	case "node-id", "nodeid":
+		lay = relmodel.LayoutNodeID
+	default:
+		fatalf("unknown -layout %q", *layout)
+	}
+	name := *tableName
+	if name == "" {
+		name = model.Name
+	}
+	tbl, meta, err := relmodel.Export(model, relmodel.ExportOptions{Layout: lay, TableName: name})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if !*queryOnly {
+		fmt.Fprintf(out, "-- relational model representation of %q (%s layout, %d edges)\n",
+			model.Name, lay, tbl.RowCount())
+		if err := relmodel.WriteLoadSQL(out, tbl, meta); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *loadOnly {
+		return
+	}
+
+	gen, err := mltosql.New(meta, mltosql.Options{
+		FactTable:       *factTable,
+		ModelTable:      name,
+		IDColumn:        *idCol,
+		InputColumns:    strings.Split(*inputs, ","),
+		NativeFunctions: *native,
+		LayerFilter:     !*noFilter,
+		Pretty:          *pretty,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	query, err := gen.Generate()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(out, "\n-- ModelJoin inference query (Listing 1 nesting)\n%s;\n", query)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ml2sql: "+format+"\n", args...)
+	os.Exit(1)
+}

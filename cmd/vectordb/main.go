@@ -1,0 +1,246 @@
+// Command vectordb is an interactive SQL shell over the engine — handy for
+// exploring the relational model representation and the MODEL JOIN syntax.
+//
+// Besides SQL (CREATE TABLE / INSERT / SELECT / EXPLAIN / DROP), it offers
+// meta commands:
+//
+//	\load-model <path.json> [partitions]   register a model from JSON
+//	\tables                                list tables and models
+//	\demo                                  load a small iris demo setup
+//	\q                                     quit
+//
+// Example session:
+//
+//	> \demo
+//	> SELECT class, COUNT(*) AS n, AVG(prediction) AS score
+//	  FROM iris MODEL JOIN iris_model PREDICT (sepal_length, sepal_width, petal_length, petal_width)
+//	  GROUP BY class ORDER BY class;
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/engine/vector"
+	"indbml/internal/nn"
+	"indbml/internal/workload"
+)
+
+func main() {
+	d := db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4})
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("vectordb — in-database ML playground (\\q quits, \\demo loads sample data)")
+
+	var stmt strings.Builder
+	prompt := "> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		if stmt.Len() == 0 && strings.HasPrefix(line, "\\") {
+			if !meta(d, line) {
+				return
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		stmt.WriteString(line)
+		stmt.WriteByte(' ')
+		if !strings.HasSuffix(line, ";") {
+			prompt = "… "
+			continue
+		}
+		prompt = "> "
+		text := strings.TrimSuffix(strings.TrimSpace(stmt.String()), ";")
+		stmt.Reset()
+		runSQL(d, text)
+	}
+}
+
+func runSQL(d *db.Database, text string) {
+	upper := strings.ToUpper(strings.TrimSpace(text))
+	switch {
+	case strings.HasPrefix(upper, "EXPLAIN"):
+		plan, err := d.Explain(strings.TrimSpace(text[len("EXPLAIN"):]))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(plan)
+	case strings.HasPrefix(upper, "SELECT"):
+		res, err := d.Query(text)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printResult(res)
+	default:
+		if err := d.Exec(text); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("ok")
+	}
+}
+
+func printResult(b *vector.Batch) {
+	const maxRows = 50
+	widths := make([]int, b.Schema.Len())
+	for i := range widths {
+		widths[i] = len(b.Schema.Col(i).Name)
+	}
+	rows := b.Len()
+	shown := rows
+	if shown > maxRows {
+		shown = maxRows
+	}
+	cells := make([][]string, shown)
+	for r := 0; r < shown; r++ {
+		cells[r] = make([]string, b.Schema.Len())
+		for c := range cells[r] {
+			cells[r][c] = b.Vecs[c].Datum(r).String()
+			if len(cells[r][c]) > widths[c] {
+				widths[c] = len(cells[r][c])
+			}
+		}
+	}
+	for i := 0; i < b.Schema.Len(); i++ {
+		fmt.Printf("%-*s  ", widths[i], b.Schema.Col(i).Name)
+	}
+	fmt.Println()
+	for r := 0; r < shown; r++ {
+		for c := range cells[r] {
+			fmt.Printf("%-*s  ", widths[c], cells[r][c])
+		}
+		fmt.Println()
+	}
+	if rows > shown {
+		fmt.Printf("… (%d more rows)\n", rows-shown)
+	}
+	fmt.Printf("(%d rows)\n", rows)
+}
+
+// meta handles backslash commands; it returns false to quit.
+func meta(d *db.Database, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\tables":
+		fmt.Println(catalogSummary(d))
+	case "\\costs":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\costs <model> <tuples>")
+			return true
+		}
+		tuples, err := strconv.Atoi(fields[2])
+		if err != nil || tuples <= 0 {
+			fmt.Println("usage: \\costs <model> <tuples>")
+			return true
+		}
+		adv := d.NewAdvisor()
+		txt, err := adv.ExplainCosts(fields[1], tuples, true)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(txt)
+		dev, _ := adv.AdviseDevice(fields[1], tuples)
+		fmt.Printf("advised MODEL JOIN device: %s\n", dev)
+	case "\\demo":
+		loadDemo(d)
+	case "\\load-model":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\load-model <path.json> [partitions]")
+			return true
+		}
+		parts := 4
+		if len(fields) >= 3 {
+			if n, err := strconv.Atoi(fields[2]); err == nil {
+				parts = n
+			}
+		}
+		m, err := nn.LoadFile(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if _, err := d.RegisterModel(m, relmodel.ExportOptions{Partitions: parts}); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("registered model %q (%d parameters)\n", m.Name, m.ParamCount())
+	default:
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs")
+	}
+	return true
+}
+
+func catalogSummary(d *db.Database) string {
+	// The facade intentionally has no catalog-iteration API for queries;
+	// the shell keeps its own notes via \demo and \load-model. Listing what
+	// standard workloads create is good enough for a playground.
+	var sb strings.Builder
+	for _, name := range []string{"iris", "iris_model", "sinus", "sinus_windowed"} {
+		if t, err := d.Table(name); err == nil {
+			fmt.Fprintf(&sb, "%-16s %8d rows  %s\n", t.Name, t.RowCount(), t.Schema)
+		}
+	}
+	if sb.Len() == 0 {
+		return "(no demo tables loaded; try \\demo)"
+	}
+	return sb.String()
+}
+
+func loadDemo(d *db.Database) {
+	tbl, _ := workload.IrisTable("iris", 150, 4)
+	d.RegisterTable(tbl)
+	// Train on the raw (unscaled) features so predictions over the stored
+	// table columns are directly meaningful.
+	var x, y [][]float32
+	for _, r := range workload.Iris() {
+		x = append(x, []float32{r.SepalLength, r.SepalWidth, r.PetalLength, r.PetalWidth})
+		target := make([]float32, 3)
+		target[r.Class] = 1
+		y = append(y, target)
+	}
+	model := &nn.Model{Name: "iris_model", Layers: []nn.Layer{
+		nn.NewDense(4, 16, nn.Tanh), nn.NewDense(16, 3, nn.Sigmoid),
+	}}
+	seedDense(model)
+	if _, err := nn.Train(model, x, y, nn.TrainConfig{Epochs: 400, LearningRate: 0.05, Seed: 7}); err != nil {
+		fmt.Println("error training demo model:", err)
+		return
+	}
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 4}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	series := workload.SinusSeries(1000, 0.1)
+	d.RegisterTable(workload.SeriesTable("sinus", series, 4))
+	win, _ := workload.WindowedSeriesTable("sinus_windowed", series, 3, 4)
+	d.RegisterTable(win)
+	fmt.Println("demo loaded: tables iris, sinus, sinus_windowed; model iris_model (3 outputs)")
+	fmt.Println(`try: SELECT * FROM iris MODEL JOIN iris_model PREDICT (sepal_length, sepal_width, petal_length, petal_width) LIMIT 5;`)
+}
+
+func seedDense(m *nn.Model) {
+	seed := int64(42)
+	for _, l := range m.Layers {
+		d := l.(*nn.Dense)
+		for i := range d.W.Data {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			d.W.Data[i] = float32(int32(seed>>33)) / float32(1<<31) * 0.5
+		}
+	}
+}

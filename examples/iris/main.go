@@ -1,0 +1,220 @@
+// Iris classification end to end — the paper's dense workload as an
+// application. A classifier is trained on Fisher's Iris data, and the same
+// inference then runs through every approach the paper compares:
+//
+//   - the reference forward pass (ground truth),
+//   - ML-To-SQL generated queries (portable SQL, Sec. 4),
+//   - the native ModelJoin operator, CPU and simulated GPU (Sec. 5),
+//   - the TF(C-API)-style runtime integration,
+//   - the Python UDF, and
+//   - the full TF(Python) export path over simulated ODBC.
+//
+// The program verifies all approaches agree and reports accuracy + runtime.
+//
+// Run with: go run ./examples/iris
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"indbml/internal/baselines"
+	"indbml/internal/core/mltosql"
+	"indbml/internal/core/relmodel"
+	"indbml/internal/device"
+	"indbml/internal/engine/db"
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/vector"
+	"indbml/internal/nn"
+	"indbml/internal/workload"
+)
+
+const replicas = 20_000 // fact rows (iris replicated, as in the paper)
+
+func main() {
+	// --- Train a classifier on the raw features. ---
+	var x, y [][]float32
+	for _, r := range workload.Iris() {
+		x = append(x, []float32{r.SepalLength, r.SepalWidth, r.PetalLength, r.PetalWidth})
+		t := make([]float32, 3)
+		t[r.Class] = 1
+		y = append(y, t)
+	}
+	model := &nn.Model{Name: "iris_clf", Layers: []nn.Layer{
+		nn.NewDense(4, 16, nn.Tanh),
+		nn.NewDense(16, 3, nn.Sigmoid),
+	}}
+	rng := rand.New(rand.NewSource(3))
+	for _, l := range model.Layers {
+		d := l.(*nn.Dense)
+		for i := range d.W.Data {
+			d.W.Data[i] = rng.Float32() - 0.5
+		}
+	}
+	loss, err := nn.Train(model, x, y, nn.TrainConfig{Epochs: 600, LearningRate: 0.05, BatchSize: 16, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Training-set accuracy via the reference forward pass.
+	correct := 0
+	for i, feats := range x {
+		out := model.Predict(append([]float32(nil), feats...))
+		if argmax(out) == argmax(y[i]) {
+			correct++
+		}
+	}
+	fmt.Printf("trained iris_clf: loss %.4f, accuracy %d/150\n", loss, correct)
+
+	// --- Load the replicated fact table and register the model. ---
+	d := db.Open(db.Options{DefaultPartitions: 12, Parallelism: 12})
+	fact, feats := workload.IrisTable("iris", replicas, 12)
+	d.RegisterTable(fact)
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 12}); err != nil {
+		log.Fatal(err)
+	}
+	ref := model.PredictBatch(feats)
+
+	inputs := workload.IrisFeatureNames
+	inputOrdinals := []int{1, 2, 3, 4}
+
+	fmt.Printf("\n%-22s %12s %10s\n", "approach", "runtime", "agreement")
+
+	// 1. Native ModelJoin via the MODEL JOIN SQL extension (CPU and GPU).
+	for _, dev := range []string{"cpu", "gpu"} {
+		q := fmt.Sprintf(
+			"SELECT id, prediction_0, prediction_1, prediction_2 FROM iris MODEL JOIN iris_clf PREDICT (%s, %s, %s, %s) USING DEVICE '%s'",
+			inputs[0], inputs[1], inputs[2], inputs[3], dev)
+		start := time.Now()
+		res, err := d.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("ModelJoin ("+dev+")", time.Since(start), agreement(res, ref, 1))
+	}
+
+	// 2. ML-To-SQL: portable generated SQL.
+	meta, _ := d.ModelMeta("iris_clf")
+	gen, err := mltosql.New(meta, mltosql.Options{
+		FactTable: "iris", ModelTable: "iris_clf", IDColumn: "id",
+		InputColumns: inputs, LayerFilter: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := gen.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := d.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Generated query returns data.* followed by prediction_0..2.
+	report("ML-To-SQL", time.Since(start), agreement(res, ref, res.Schema.Len()-3-5))
+
+	// 3. TF(C-API)-style runtime operator.
+	start = time.Now()
+	op, err := baselines.ParallelScan(fact, func(child exec.Operator) (exec.Operator, error) {
+		return baselines.NewCAPIOperator(child, model, device.NewCPU(), inputOrdinals)
+	}, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = exec.Collect(op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("TF(C-API)", time.Since(start), agreement(res, ref, 1))
+
+	// 4. Vectorized Python UDF.
+	start = time.Now()
+	op, err = baselines.ParallelScan(fact, func(child exec.Operator) (exec.Operator, error) {
+		return baselines.NewUDFOperator(child, model, inputOrdinals, true)
+	}, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = exec.Collect(op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("UDF (vectorized)", time.Since(start), agreement(res, ref, 1))
+
+	// 5. TF(Python): export over ODBC, classify outside.
+	start = time.Now()
+	pyRes, err := baselines.TFPython(d, "iris", "id", inputs, model, device.NewCPU())
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	for i, id := range pyRes.IDs {
+		if argmax(pyRes.Predictions[i]) == argmax(ref[id]) {
+			agree++
+		}
+	}
+	report("TF(Python)", time.Since(start), float64(agree)/float64(len(pyRes.IDs)))
+
+	// Finally: inference nested in analytics — predicted class distribution,
+	// entirely in SQL.
+	res, err = d.Query(`
+		SELECT class, COUNT(*) AS n
+		FROM (SELECT class,
+		             CASE WHEN prediction_0 >= prediction_1 AND prediction_0 >= prediction_2 THEN 0
+		                  WHEN prediction_1 >= prediction_2 THEN 1
+		                  ELSE 2 END AS predicted
+		      FROM iris MODEL JOIN iris_clf PREDICT (sepal_length, sepal_width, petal_length, petal_width)) AS p
+		WHERE class = predicted
+		GROUP BY class ORDER BY class`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncorrectly classified rows per class (pure SQL):")
+	for r := 0; r < res.Len(); r++ {
+		fmt.Printf("  class %s: %s\n", res.Vecs[0].Datum(r), res.Vecs[1].Datum(r))
+	}
+}
+
+// agreement compares the result's last three columns (predictions) against
+// the reference argmax per id; predBase counts columns before prediction_0
+// minus the id-lookup logic below.
+func agreement(res *vector.Batch, ref [][]float32, _ int) float64 {
+	idIdx, ok := res.Schema.Lookup("id")
+	if !ok {
+		log.Fatal("result lacks id column")
+	}
+	p0, ok := res.Schema.Lookup("prediction_0")
+	if !ok {
+		log.Fatal("result lacks prediction_0 column")
+	}
+	agree := 0
+	for r := 0; r < res.Len(); r++ {
+		id := res.Vecs[idIdx].Int64s()[r]
+		preds := []float32{
+			res.Vecs[p0].Float32s()[r],
+			res.Vecs[p0+1].Float32s()[r],
+			res.Vecs[p0+2].Float32s()[r],
+		}
+		if argmax(preds) == argmax(ref[id]) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(res.Len())
+}
+
+func report(name string, dur time.Duration, agreement float64) {
+	fmt.Printf("%-22s %12s %9.1f%%\n", name, dur.Round(time.Millisecond), agreement*100)
+}
+
+func argmax(v []float32) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}

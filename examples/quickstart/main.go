@@ -1,0 +1,107 @@
+// Quickstart: the headline workflow of the paper in ~60 lines.
+//
+//  1. create a fact table and load rows,
+//  2. train a small neural network (outside the database, as usual),
+//  3. register it — the model becomes a relational table (Sec. 4.1),
+//  4. run inference with plain SQL:  SELECT ... FROM t MODEL JOIN m.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/nn"
+)
+
+func main() {
+	d := db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4})
+
+	// 1. A fact table: sensor readings with two features.
+	if err := d.Exec("CREATE TABLE readings (id BIGINT, temp REAL, vib REAL) PARTITIONS 4 SORTED BY id"); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i += 4 {
+		stmt := "INSERT INTO readings VALUES "
+		for j := 0; j < 4; j++ {
+			if j > 0 {
+				stmt += ", "
+			}
+			temp := rng.Float32()*40 + 20
+			vib := rng.Float32()
+			stmt += fmt.Sprintf("(%d, %.3f, %.3f)", i+j, temp, vib)
+		}
+		if err := d.Exec(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Train a tiny failure-risk model on normalized features: risk is
+	// high when the machine is hot AND vibrating.
+	var x, y [][]float32
+	for i := 0; i < 2000; i++ {
+		temp := rng.Float32()*40 + 20
+		vib := rng.Float32()
+		risk := float32(0)
+		if temp > 45 && vib > 0.6 {
+			risk = 1
+		}
+		x = append(x, []float32{(temp - 20) / 40, vib})
+		y = append(y, []float32{risk})
+	}
+	model := &nn.Model{Name: "risk_model", Layers: []nn.Layer{
+		nn.NewDense(2, 8, nn.Tanh),
+		nn.NewDense(8, 1, nn.Sigmoid),
+	}}
+	glorotInit(model, 7)
+	loss, err := nn.Train(model, x, y, nn.TrainConfig{Epochs: 400, LearningRate: 0.5, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained risk_model, final loss %.4f\n", loss)
+
+	// 3. Register: the model is now a table of edges plus catalog metadata.
+	meta, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mt, _ := d.Table("risk_model")
+	fmt.Printf("model table %q: %d edge rows, layout %s\n", meta.Name, mt.RowCount(), meta.Layout)
+
+	// 4. Inference is just SQL — the normalization happens in the query and
+	// the result composes with ordinary operators.
+	res, err := d.Query(`
+		SELECT COUNT(*) AS at_risk, AVG(prediction) AS avg_risk
+		FROM (SELECT id, (temp - 20) / 40 AS f_temp, vib AS f_vib FROM readings) AS norm
+		     MODEL JOIN risk_model PREDICT (f_temp, f_vib)
+		WHERE prediction > 0.5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("high-risk readings: %s avg risk: %s\n",
+		res.Vecs[0].Datum(0), res.Vecs[1].Datum(0))
+
+	// Bonus: see how the engine plans it.
+	plan, err := d.Explain("SELECT id, prediction FROM (SELECT id, (temp - 20) / 40 AS f_temp, vib AS f_vib FROM readings) AS norm MODEL JOIN risk_model PREDICT (f_temp, f_vib) USING DEVICE 'gpu'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan for the GPU variant:")
+	fmt.Print(plan)
+}
+
+func glorotInit(m *nn.Model, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, l := range m.Layers {
+		if d, ok := l.(*nn.Dense); ok {
+			for i := range d.W.Data {
+				d.W.Data[i] = rng.Float32() - 0.5
+			}
+		}
+	}
+}

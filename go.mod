@@ -1,0 +1,3 @@
+module indbml
+
+go 1.22

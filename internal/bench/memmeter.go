@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// MemMeter samples the process heap during a measurement and reports the
+// peak allocation above the starting baseline. It is the Table-3 proxy for
+// the paper's "peak memory of the database engine" / "peak memory of the
+// Python process": in this reproduction both run inside one Go process, so
+// the sampled delta attributes memory to whatever the measured approach
+// allocates (hash-aggregate state for ML-To-SQL, boxed rows for the Python
+// path, near nothing for the native operator).
+type MemMeter struct {
+	stop     chan struct{}
+	done     chan struct{}
+	baseline uint64
+	peak     uint64
+}
+
+// StartMemMeter garbage-collects to a clean baseline and begins sampling
+// HeapAlloc at the given interval.
+func StartMemMeter(interval time.Duration) *MemMeter {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m := &MemMeter{
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		baseline: ms.HeapAlloc,
+		peak:     ms.HeapAlloc,
+	}
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > m.peak {
+					m.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return m
+}
+
+// Stop ends sampling and returns the peak heap growth in bytes.
+func (m *MemMeter) Stop() int64 {
+	close(m.stop)
+	<-m.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > m.peak {
+		m.peak = ms.HeapAlloc
+	}
+	if m.peak < m.baseline {
+		return 0
+	}
+	return int64(m.peak - m.baseline)
+}

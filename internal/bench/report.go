@@ -1,0 +1,325 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"indbml/internal/workload"
+)
+
+// Figure8Config scopes the dense experiment; zero values take the paper's
+// full grid.
+type Figure8Config struct {
+	Widths, Depths, Sizes []int
+	Approaches            []Approach
+}
+
+func (c *Figure8Config) defaults() {
+	if len(c.Widths) == 0 {
+		c.Widths = workload.DenseWidths
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = workload.DenseDepths
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = workload.FactSizes
+	}
+	if len(c.Approaches) == 0 {
+		c.Approaches = AllApproaches
+	}
+}
+
+// Figure9Config scopes the LSTM experiment.
+type Figure9Config struct {
+	Widths, Sizes []int
+	Approaches    []Approach
+}
+
+func (c *Figure9Config) defaults() {
+	if len(c.Widths) == 0 {
+		c.Widths = workload.LSTMWidths
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = workload.FactSizes
+	}
+	if len(c.Approaches) == 0 {
+		c.Approaches = AllApproaches
+	}
+}
+
+// Figure8 regenerates the dense-network runtime grid (one sub-plot per
+// width × depth combination, execution time vs. fact tuples per approach)
+// and returns all measurements.
+func (r *Runner) Figure8(cfg Figure8Config, w io.Writer) ([]Measurement, error) {
+	cfg.defaults()
+	var all []Measurement
+	for _, width := range cfg.Widths {
+		for _, depth := range cfg.Depths {
+			fmt.Fprintf(w, "\n== Figure 8: dense model width=%d depth=%d (runtime in seconds vs. fact tuples) ==\n", width, depth)
+			series := map[Approach][]Measurement{}
+			for _, size := range cfg.Sizes {
+				for _, a := range cfg.Approaches {
+					m, err := r.RunDense(a, width, depth, size)
+					if err != nil {
+						return all, fmt.Errorf("fig8 %s w%d d%d n%d: %w", a, width, depth, size, err)
+					}
+					series[a] = append(series[a], m)
+					all = append(all, m)
+				}
+			}
+			printSeries(w, cfg.Sizes, cfg.Approaches, series)
+		}
+	}
+	return all, nil
+}
+
+// Figure9 regenerates the LSTM runtime plots.
+func (r *Runner) Figure9(cfg Figure9Config, w io.Writer) ([]Measurement, error) {
+	cfg.defaults()
+	var all []Measurement
+	for _, width := range cfg.Widths {
+		fmt.Fprintf(w, "\n== Figure 9: LSTM model width=%d (runtime in seconds vs. fact tuples) ==\n", width)
+		series := map[Approach][]Measurement{}
+		for _, size := range cfg.Sizes {
+			for _, a := range cfg.Approaches {
+				m, err := r.RunLSTM(a, width, size)
+				if err != nil {
+					return all, fmt.Errorf("fig9 %s w%d n%d: %w", a, width, size, err)
+				}
+				series[a] = append(series[a], m)
+				all = append(all, m)
+			}
+		}
+		printSeries(w, cfg.Sizes, cfg.Approaches, series)
+	}
+	return all, nil
+}
+
+// printSeries renders one sub-plot as an aligned table: rows = fact sizes,
+// columns = approaches.
+func printSeries(w io.Writer, sizes []int, approaches []Approach, series map[Approach][]Measurement) {
+	fmt.Fprintf(w, "%12s", "tuples")
+	for _, a := range approaches {
+		name := string(a)
+		if a == ModelJoinGPU || a == TFCAPIGPU || a == TFPythonGPU {
+			name += "[sim]"
+		}
+		fmt.Fprintf(w, " %18s", name)
+	}
+	fmt.Fprintln(w)
+	for i, size := range sizes {
+		fmt.Fprintf(w, "%12d", size)
+		for _, a := range approaches {
+			ms := series[a]
+			if i >= len(ms) {
+				fmt.Fprintf(w, " %18s", "-")
+				continue
+			}
+			m := ms[i]
+			if m.Skipped != "" {
+				fmt.Fprintf(w, " %18s", "skip")
+				continue
+			}
+			fmt.Fprintf(w, " %18.3f", m.Reported.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table3Models are the representative subset the paper reports peak memory
+// for (100K tuples).
+var Table3Models = []struct {
+	Label        string
+	Width, Depth int // Depth == 0 means LSTM
+}{
+	{"Dense(32,4)", 32, 4},
+	{"Dense(128,4)", 128, 4},
+	{"Dense(512,4)", 512, 4},
+	{"LSTM(128)", 128, 0},
+}
+
+// Table3Approaches are the columns of Table 3.
+var Table3Approaches = []Approach{ModelJoinCPU, TFCAPICPU, TFPythonCPU, MLToSQL}
+
+// Table3 regenerates the peak-memory comparison for model inference of
+// `tuples` rows (the paper uses 100K).
+func (r *Runner) Table3(tuples int, w io.Writer) ([]Measurement, error) {
+	fmt.Fprintf(w, "\n== Table 3: peak memory for model inference of %d tuples ==\n", tuples)
+	fmt.Fprintf(w, "%-14s", "Model")
+	headers := map[Approach]string{
+		ModelJoinCPU: "ModelJoin", TFCAPICPU: "TF(C-API)", TFPythonCPU: "TF(Python)", MLToSQL: "ML-To-SQL",
+	}
+	for _, a := range Table3Approaches {
+		fmt.Fprintf(w, " %14s", headers[a])
+	}
+	fmt.Fprintln(w)
+
+	wasMetering := r.MeterMemory
+	r.MeterMemory = true
+	defer func() { r.MeterMemory = wasMetering }()
+
+	var all []Measurement
+	for _, spec := range Table3Models {
+		fmt.Fprintf(w, "%-14s", spec.Label)
+		for _, a := range Table3Approaches {
+			var m Measurement
+			var err error
+			if spec.Depth == 0 {
+				m, err = r.RunLSTM(a, spec.Width, tuples)
+			} else {
+				m, err = r.RunDense(a, spec.Width, spec.Depth, tuples)
+			}
+			if err != nil {
+				return all, fmt.Errorf("table3 %s %s: %w", spec.Label, a, err)
+			}
+			all = append(all, m)
+			if m.Skipped != "" {
+				fmt.Fprintf(w, " %14s", "skip")
+				continue
+			}
+			fmt.Fprintf(w, " %14s", FormatBytes(m.PeakMemBytes))
+		}
+		fmt.Fprintln(w)
+	}
+	return all, nil
+}
+
+// FormatBytes renders a byte count like the paper's table (MB / GB).
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 10<<30:
+		return fmt.Sprintf("%.1f GB", float64(b)/float64(1<<30))
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// Table2 derives the paper's qualitative comparison (Table 2) from actual
+// measurements: performance grades come from measured runtimes on a small
+// and a large configuration, memory grades from the Table-3 style metering;
+// portability and generalizability are inherent properties of the
+// approaches and are stated as the paper states them.
+func (r *Runner) Table2(w io.Writer, smallTuples, largeTuples int) error {
+	type grades struct{ perfSmall, perfLarge, memory time.Duration }
+	approaches := []Approach{MLToSQL, ModelJoinCPU, TFPythonCPU, TFCAPICPU, UDF}
+	labels := map[Approach]string{
+		MLToSQL: "ML-To-SQL", ModelJoinCPU: "Native ModelJoin",
+		TFPythonCPU: "TF(Python)", TFCAPICPU: "TF(C-API)", UDF: "UDF",
+	}
+
+	small := map[Approach]Measurement{}
+	large := map[Approach]Measurement{}
+	for _, a := range approaches {
+		ms, err := r.RunDense(a, 32, 2, smallTuples)
+		if err != nil {
+			return err
+		}
+		small[a] = ms
+		ml, err := r.RunDense(a, 512, 4, largeTuples)
+		if err != nil {
+			return err
+		}
+		large[a] = ml
+	}
+
+	grade := func(ms map[Approach]Measurement, a Approach) string {
+		if ms[a].Skipped != "" {
+			return "Bad"
+		}
+		var times []time.Duration
+		for _, b := range approaches {
+			if ms[b].Skipped == "" {
+				times = append(times, ms[b].Reported)
+			}
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		best := times[0]
+		switch t := ms[a].Reported; {
+		case t <= best*2:
+			return "Good"
+		case t <= best*8:
+			return "Medium"
+		default:
+			return "Bad"
+		}
+	}
+	memGrade := func(a Approach) string {
+		var mems []int64
+		for _, b := range approaches {
+			if large[b].Skipped == "" {
+				mems = append(mems, large[b].PeakMemBytes)
+			}
+		}
+		sort.Slice(mems, func(i, j int) bool { return mems[i] < mems[j] })
+		best := mems[0]
+		if best < 1<<20 {
+			best = 1 << 20
+		}
+		if large[a].Skipped != "" {
+			return "Medium"
+		}
+		switch m := large[a].PeakMemBytes; {
+		case m <= best*4:
+			return "Good"
+		case m <= best*32:
+			return "Medium"
+		default:
+			return "Bad"
+		}
+	}
+	// Inherent properties (Sec. 6.3): SQL generation is fully portable; the
+	// native operator and C-API integrations require engine changes; UDFs
+	// need UDF support; runtimes generalize to arbitrary model types while
+	// the relational representation covers the implemented layer kinds.
+	portability := map[Approach]string{
+		MLToSQL: "Good", ModelJoinCPU: "Bad", TFPythonCPU: "Good", TFCAPICPU: "Bad", UDF: "Medium",
+	}
+	generalizability := map[Approach]string{
+		MLToSQL: "Bad", ModelJoinCPU: "Bad", TFPythonCPU: "Good", TFCAPICPU: "Good", UDF: "Good",
+	}
+
+	fmt.Fprintf(w, "\n== Table 2: qualitative comparison (perf grades measured at %d / %d tuples) ==\n", smallTuples, largeTuples)
+	fmt.Fprintf(w, "%-28s", "")
+	for _, a := range approaches {
+		fmt.Fprintf(w, " %-17s", labels[a])
+	}
+	fmt.Fprintln(w)
+	rows := []struct {
+		name string
+		get  func(Approach) string
+	}{
+		{"Performance (Small Models)", func(a Approach) string { return grade(small, a) }},
+		{"Performance (Large Models)", func(a Approach) string { return grade(large, a) }},
+		{"Memory Consumption", memGrade},
+		{"Portability", func(a Approach) string { return portability[a] }},
+		{"Generalizability", func(a Approach) string { return generalizability[a] }},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-28s", row.name)
+		for _, a := range approaches {
+			fmt.Fprintf(w, " %-17s", row.get(a))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// CSV writes measurements as comma-separated values for downstream
+// plotting.
+func CSV(w io.Writer, ms []Measurement) {
+	fmt.Fprintln(w, "approach,model,tuples,seconds,wall_seconds,simulated,peak_mem_bytes,device_peak_bytes,rows,skipped")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%s,%s,%d,%.6f,%.6f,%v,%d,%d,%d,%s\n",
+			m.Approach, m.Model, m.FactTuples, m.Reported.Seconds(), m.Wall.Seconds(),
+			m.Simulated, m.PeakMemBytes, m.DevicePeakBytes, m.Rows, strings.ReplaceAll(m.Skipped, ",", ";"))
+	}
+}

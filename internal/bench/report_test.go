@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTripFields(t *testing.T) {
+	ms := []Measurement{
+		{Approach: ModelJoinCPU, Model: "dense_w32_d2", FactTuples: 1000,
+			Wall: 120 * time.Millisecond, Reported: 100 * time.Millisecond,
+			PeakMemBytes: 1 << 20, Rows: 1000},
+		{Approach: MLToSQL, Model: "dense_w512_d8", FactTuples: 500000,
+			Skipped: "volume, above limit"},
+	}
+	var buf bytes.Buffer
+	CSV(&buf, ms)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "approach,model,tuples") {
+		t.Errorf("header wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "ModelJoin_CPU,dense_w32_d2,1000,0.100000,0.120000") {
+		t.Errorf("row wrong: %s", lines[1])
+	}
+	// Commas inside the skip reason must not break the CSV column count.
+	if got := strings.Count(lines[2], ","); got != strings.Count(lines[0], ",") {
+		t.Errorf("skip row has %d commas, header %d: %s", got, strings.Count(lines[0], ","), lines[2])
+	}
+}
+
+func TestPrintSeriesMarksSimAndSkip(t *testing.T) {
+	var buf bytes.Buffer
+	series := map[Approach][]Measurement{
+		ModelJoinGPU: {{Approach: ModelJoinGPU, Reported: time.Second, Simulated: true}},
+		MLToSQL:      {{Approach: MLToSQL, Skipped: "too big"}},
+	}
+	printSeries(&buf, []int{1000}, []Approach{ModelJoinGPU, MLToSQL}, series)
+	out := buf.String()
+	if !strings.Contains(out, "[sim]") {
+		t.Errorf("GPU column not marked simulated:\n%s", out)
+	}
+	if !strings.Contains(out, "skip") {
+		t.Errorf("skipped cell not rendered:\n%s", out)
+	}
+}
+
+func TestModelCellsEstimate(t *testing.T) {
+	r := testRunner()
+	// A skipped ML-To-SQL cell keeps the measurement well-formed.
+	r.MLToSQLCellLimit = 1
+	m, err := r.RunDense(MLToSQL, 8, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Skipped == "" || m.Reported != 0 || m.Rows != 0 {
+		t.Errorf("skipped measurement malformed: %+v", m)
+	}
+}
+
+func TestMemMeterSeesAllocations(t *testing.T) {
+	meter := StartMemMeter(100 * time.Microsecond)
+	hog := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		hog = append(hog, make([]byte, 1<<20))
+		hog[i][0] = 1
+	}
+	peak := meter.Stop()
+	if peak < 32<<20 {
+		t.Errorf("meter saw only %d bytes of a 64 MB allocation", peak)
+	}
+	_ = hog
+}

@@ -1,0 +1,298 @@
+// Package blas provides the float32 linear-algebra kernels the native
+// ModelJoin operator and the embedded ML runtime are built on. It plays the
+// role the paper assigns to the BLAS interface realized by Intel MKL (CPU)
+// and cuBLAS (GPU): general matrix multiply, rank-1 update, elementwise
+// vector ops and the activation functions of Listing 5.
+//
+// Matrices are dense row-major float32 slices; Mat couples the slice with
+// its dimensions. Large operations are parallelized across goroutines, like
+// MKL parallelizes across cores.
+package blas
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Mat is a dense row-major matrix: element (i, j) lives at Data[i*Cols+j].
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat allocates a zeroed Rows×Cols matrix.
+func NewMat(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set stores element (i, j).
+func (m Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m Mat) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m Mat) Clone() Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports approximate elementwise equality within eps.
+func (m Mat) Equal(o Mat, eps float32) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < -eps || d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging.
+func (m Mat) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		s += fmt.Sprintf("%v\n", m.Row(i))
+	}
+	return s
+}
+
+// parallelThreshold is the amount of scalar work below which kernels stay
+// single-threaded; goroutine fan-out only pays off for larger inputs.
+const parallelThreshold = 1 << 22
+
+// parallelRows splits rows [0, n) across workers and waits for completion.
+// The worker count scales with the amount of work so small kernels (which
+// are common when the engine already runs partition-parallel plans around
+// the BLAS calls) stay single-threaded instead of oversubscribing cores.
+func parallelRows(n int, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if byWork := work / parallelThreshold; byWork < workers {
+		workers = byWork
+	}
+	if workers > n {
+		workers = n
+	}
+	if n < 2 || workers < 2 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Sgemm computes C = A·B + C for row-major matrices, the BLAS operation the
+// paper's layer-forward functions are built on (the "+ C" term carries the
+// pre-copied bias matrix, Sec. 5.4). Dimensions: A is m×k, B is k×n, C is
+// m×n. It panics on dimension mismatch — shapes are established once in the
+// ModelJoin build phase, so a mismatch is a programming error.
+func Sgemm(a, b, c Mat) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("blas: sgemm dimension mismatch: (%dx%d)·(%dx%d) -> (%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := b.Cols
+	parallelRows(a.Rows, a.Rows*a.Cols*n, func(lo, hi int) {
+		// 4-row micro-kernel: each streamed B row feeds four accumulator
+		// rows, quartering B traffic — the matrices in inference gemms are
+		// larger than L1 and this loop is memory bound.
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			c0 := c.Data[(i+0)*n : (i+1)*n]
+			c1 := c.Data[(i+1)*n : (i+2)*n]
+			c2 := c.Data[(i+2)*n : (i+3)*n]
+			c3 := c.Data[(i+3)*n : (i+4)*n]
+			a0 := a.Data[(i+0)*a.Cols : (i+1)*a.Cols]
+			a1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
+			a2 := a.Data[(i+2)*a.Cols : (i+3)*a.Cols]
+			a3 := a.Data[(i+3)*a.Cols : (i+4)*a.Cols]
+			for k := 0; k < a.Cols; k++ {
+				v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				bk := b.Data[k*n : (k+1)*n]
+				for j, bkj := range bk {
+					c0[j] += v0 * bkj
+					c1[j] += v1 * bkj
+					c2[j] += v2 * bkj
+					c3[j] += v3 * bkj
+				}
+			}
+		}
+		for ; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for k, aik := range ai {
+				if aik == 0 {
+					continue
+				}
+				bk := b.Data[k*n : (k+1)*n]
+				for j, bkj := range bk {
+					ci[j] += aik * bkj
+				}
+			}
+		}
+	})
+}
+
+// Sgemv computes y = A·x + y for an m×n matrix A and vectors x (n) and y (m).
+func Sgemv(a Mat, x, y []float32) {
+	if a.Cols != len(x) || a.Rows != len(y) {
+		panic(fmt.Sprintf("blas: sgemv dimension mismatch: (%dx%d)·(%d) -> (%d)", a.Rows, a.Cols, len(x), len(y)))
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			var sum float32
+			for j, v := range row {
+				sum += v * x[j]
+			}
+			y[i] += sum
+		}
+	})
+}
+
+// Sger performs the rank-1 update A = A + alpha·x·yᵀ for an m×n matrix A.
+func Sger(alpha float32, x, y []float32, a Mat) {
+	if a.Rows != len(x) || a.Cols != len(y) {
+		panic(fmt.Sprintf("blas: sger dimension mismatch: (%d)·(%d)ᵀ -> (%dx%d)", len(x), len(y), a.Rows, a.Cols))
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ax := alpha * x[i]
+			row := a.Row(i)
+			for j, yj := range y {
+				row[j] += ax * yj
+			}
+		}
+	})
+}
+
+// Saxpy computes y = alpha·x + y.
+func Saxpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("blas: saxpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Sdot returns the dot product of x and y.
+func Sdot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("blas: sdot length mismatch")
+	}
+	var sum float32
+	for i, v := range x {
+		sum += v * y[i]
+	}
+	return sum
+}
+
+// Scopy copies src into dst (the COPY of Listing 5).
+func Scopy(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("blas: scopy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// VsMul computes z[i] = x[i] * y[i] (MKL's vsMul, used by the LSTM gates).
+func VsMul(x, y, z []float32) {
+	if len(x) != len(y) || len(x) != len(z) {
+		panic("blas: vsMul length mismatch")
+	}
+	for i, v := range x {
+		z[i] = v * y[i]
+	}
+}
+
+// VsAdd computes z[i] = x[i] + y[i] (MKL's vsAdd).
+func VsAdd(x, y, z []float32) {
+	if len(x) != len(y) || len(x) != len(z) {
+		panic("blas: vsAdd length mismatch")
+	}
+	for i, v := range x {
+		z[i] = v + y[i]
+	}
+}
+
+// Transpose writes aᵀ into dst (dst must be a.Cols×a.Rows). The ModelJoin
+// operator transposes the gathered input matrix once per batch before the
+// first layer-forward (Sec. 5.4).
+func Transpose(a, dst Mat) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic("blas: transpose dimension mismatch")
+	}
+	// Blocked transpose for cache friendliness on large matrices.
+	const bs = 32
+	for ii := 0; ii < a.Rows; ii += bs {
+		for jj := 0; jj < a.Cols; jj += bs {
+			iMax := min(ii+bs, a.Rows)
+			jMax := min(jj+bs, a.Cols)
+			for i := ii; i < iMax; i++ {
+				row := a.Row(i)
+				for j := jj; j < jMax; j++ {
+					dst.Data[j*dst.Cols+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// Sigmoid applies the logistic function elementwise in place.
+func Sigmoid(x []float32) {
+	for i, v := range x {
+		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// Tanh applies the hyperbolic tangent elementwise in place.
+func Tanh(x []float32) {
+	for i, v := range x {
+		x[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// ReLU applies max(0, x) elementwise in place.
+func ReLU(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// FlopsGemm returns the floating point operation count of an m×k by k×n
+// matrix multiply; the simulated GPU device charges time proportional to it.
+func FlopsGemm(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

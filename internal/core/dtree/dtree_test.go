@@ -1,0 +1,165 @@
+package dtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"indbml/internal/engine/db"
+	"indbml/internal/workload"
+)
+
+func TestTrainLearnsThreshold(t *testing.T) {
+	// y = 1 iff x0 > 0.5: a single split should nail it.
+	var x [][]float32
+	var y []float32
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := rng.Float32()
+		x = append(x, []float32{v, rng.Float32()})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tree, err := Train(x, y, TrainConfig{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, xi := range x {
+		pred := tree.Predict(xi)
+		if (pred > 0.5) != (y[i] > 0.5) {
+			t.Fatalf("sample %d misclassified: x=%v pred=%v want=%v", i, xi, pred, y[i])
+		}
+	}
+	if tree.Depth() > 3 {
+		t.Errorf("depth %d exceeds limit", tree.Depth())
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, TrainConfig{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Train([][]float32{{1}}, []float32{1, 2}, TrainConfig{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestIrisClassifier(t *testing.T) {
+	var x [][]float32
+	var labels []int
+	for _, r := range workload.Iris() {
+		x = append(x, []float32{r.SepalLength, r.SepalWidth, r.PetalLength, r.PetalWidth})
+		labels = append(labels, r.Class)
+	}
+	f, err := TrainClassifier(x, labels, 3, TrainConfig{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, xi := range x {
+		if f.Classify(xi) == labels[i] {
+			correct++
+		}
+	}
+	if correct < 140 {
+		t.Errorf("iris training accuracy %d/150, want >= 140", correct)
+	}
+}
+
+// TestSQLInferenceEqualsGo: the generated CASE expression must compute
+// exactly the tree's prediction, end to end through the engine.
+func TestSQLInferenceEqualsGo(t *testing.T) {
+	d := db.Open(db.Options{DefaultPartitions: 2})
+	tbl, feats := workload.IrisTable("iris", 300, 2)
+	d.RegisterTable(tbl)
+
+	var x [][]float32
+	var labels []int
+	for _, r := range workload.Iris() {
+		x = append(x, []float32{r.SepalLength, r.SepalWidth, r.PetalLength, r.PetalWidth})
+		labels = append(labels, r.Class)
+	}
+	f, err := TrainClassifier(x, labels, 3, TrainConfig{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := f.InferenceSQL("iris", "id", workload.IrisFeatureNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query(q + " ORDER BY id")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, q)
+	}
+	if res.Len() != 300 {
+		t.Fatalf("scored %d rows", res.Len())
+	}
+	for r := 0; r < res.Len(); r++ {
+		id := res.Vecs[0].Int64s()[r]
+		for c := 0; c < 3; c++ {
+			got := res.Vecs[1+c].Float32s()[r]
+			want := f.Trees[c].Predict(feats[id])
+			if got != want {
+				t.Fatalf("id %d class %d: SQL %v, Go %v", id, c, got, want)
+			}
+		}
+	}
+}
+
+func TestSingleTreeSQLParses(t *testing.T) {
+	x := [][]float32{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	y := []float32{0, 1, 0, 1}
+	tree, err := Train(x, y, TrainConfig{MaxDepth: 2, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tree.InferenceSQL("t", "id", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q, "CASE WHEN") || !strings.Contains(q, "AS prediction") {
+		t.Errorf("sql malformed: %s", q)
+	}
+	if _, err := tree.ToSQLExpr([]string{"a"}); err == nil {
+		t.Error("too few columns should fail")
+	}
+}
+
+// TestPredictDeterministicProperty: tree prediction is a function.
+func TestPredictDeterministicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float32
+	var y []float32
+	for i := 0; i < 300; i++ {
+		x = append(x, []float32{rng.Float32(), rng.Float32(), rng.Float32()})
+		y = append(y, x[i][0]*2-x[i][2])
+	}
+	tree, err := Train(x, y, TrainConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(a, b, c float32) bool {
+		in := []float32{clamp01(a), clamp01(b), clamp01(c)}
+		return tree.Predict(in) == tree.Predict(in)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+	if tree.Leaves() < 2 {
+		t.Error("regression tree degenerate")
+	}
+}
+
+func clamp01(v float32) float32 {
+	if v != v || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

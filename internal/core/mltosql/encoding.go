@@ -1,0 +1,102 @@
+package mltosql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Data encoding helpers. The paper waives encoding because "basic approaches
+// like Min-Max-Encoding or One-Hot-Encoding can be implemented in SQL in a
+// straight-forward way" (Sec. 4) — these generators make that concrete: they
+// emit subqueries that normalize or one-hot-expand fact columns in place, so
+// the encoded relation can feed any of the inference approaches.
+
+// MinMaxSpec scales one column to [0, 1]: (col − Min) / (Max − Min).
+type MinMaxSpec struct {
+	Column   string
+	Min, Max float64
+	// Alias names the encoded output column (default: the input name).
+	Alias string
+}
+
+// OneHotSpec expands a categorical column into one indicator column per
+// listed value, named <alias-or-column>_<i>.
+type OneHotSpec struct {
+	Column string
+	// Values are the category literals, rendered as integers.
+	Values []int
+	Alias  string
+}
+
+// EncodingOptions describe an encoding subquery over a fact table.
+type EncodingOptions struct {
+	FactTable string
+	// Passthrough columns are projected unchanged (the ID column and any
+	// payload the downstream query needs).
+	Passthrough []string
+	MinMax      []MinMaxSpec
+	OneHot      []OneHotSpec
+}
+
+// EncodedColumns returns the output column names the encoding produces, in
+// order — the input-column list a Generator over the encoded relation
+// should use (passthrough columns excluded).
+func (o EncodingOptions) EncodedColumns() []string {
+	var cols []string
+	for _, s := range o.MinMax {
+		cols = append(cols, s.name())
+	}
+	for _, s := range o.OneHot {
+		for i := range s.Values {
+			cols = append(cols, fmt.Sprintf("%s_%d", s.name(), i))
+		}
+	}
+	return cols
+}
+
+func (s MinMaxSpec) name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return s.Column
+}
+
+func (s OneHotSpec) name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return s.Column
+}
+
+// EncodingSQL renders the encoding as a plain SELECT, suitable as a nested
+// FROM subquery in front of any inference approach.
+func EncodingSQL(o EncodingOptions) (string, error) {
+	if o.FactTable == "" {
+		return "", fmt.Errorf("mltosql: encoding requires a fact table")
+	}
+	if len(o.MinMax) == 0 && len(o.OneHot) == 0 {
+		return "", fmt.Errorf("mltosql: encoding has no columns")
+	}
+	var sel []string
+	for _, c := range o.Passthrough {
+		sel = append(sel, c)
+	}
+	for _, s := range o.MinMax {
+		if s.Max == s.Min {
+			return "", fmt.Errorf("mltosql: min-max encoding of %q has an empty range", s.Column)
+		}
+		sel = append(sel, fmt.Sprintf("(%s - CAST(%v AS REAL)) / CAST(%v AS REAL) AS %s",
+			s.Column, s.Min, s.Max-s.Min, s.name()))
+	}
+	for _, s := range o.OneHot {
+		if len(s.Values) == 0 {
+			return "", fmt.Errorf("mltosql: one-hot encoding of %q has no values", s.Column)
+		}
+		for i, v := range s.Values {
+			sel = append(sel, fmt.Sprintf(
+				"CASE WHEN %s = %d THEN CAST(1 AS REAL) ELSE CAST(0 AS REAL) END AS %s_%d",
+				s.Column, v, s.name(), i))
+		}
+	}
+	return fmt.Sprintf("SELECT %s FROM %s", strings.Join(sel, ", "), o.FactTable), nil
+}

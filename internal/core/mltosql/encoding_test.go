@@ -1,0 +1,101 @@
+package mltosql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"indbml/internal/engine/db"
+)
+
+func TestEncodingSQLEndToEnd(t *testing.T) {
+	d := db.Open(db.Options{})
+	if err := d.Exec("CREATE TABLE raw (id BIGINT, temp REAL, cat INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Exec("INSERT INTO raw VALUES (0, 20.0, 1), (1, 60.0, 2), (2, 40.0, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := EncodingSQL(EncodingOptions{
+		FactTable:   "raw",
+		Passthrough: []string{"id"},
+		MinMax:      []MinMaxSpec{{Column: "temp", Min: 20, Max: 60, Alias: "f_temp"}},
+		OneHot:      []OneHotSpec{{Column: "cat", Values: []int{0, 1, 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query("SELECT * FROM (" + q + ") AS e ORDER BY id")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, q)
+	}
+	if res.Schema.Len() != 5 { // id, f_temp, cat_0..2
+		t.Fatalf("encoded schema: %s", res.Schema)
+	}
+	wantTemp := []float64{0, 1, 0.5}
+	wantHot := [][]float32{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}
+	for r := 0; r < 3; r++ {
+		if got := float64(res.Vecs[1].Float32s()[r]); math.Abs(got-wantTemp[r]) > 1e-6 {
+			t.Errorf("row %d f_temp = %v, want %v", r, got, wantTemp[r])
+		}
+		for c := 0; c < 3; c++ {
+			if res.Vecs[2+c].Float32s()[r] != wantHot[r][c] {
+				t.Errorf("row %d cat_%d = %v, want %v", r, c, res.Vecs[2+c].Float32s()[r], wantHot[r][c])
+			}
+		}
+	}
+}
+
+func TestEncodedColumns(t *testing.T) {
+	o := EncodingOptions{
+		MinMax: []MinMaxSpec{{Column: "a"}, {Column: "b", Alias: "bb"}},
+		OneHot: []OneHotSpec{{Column: "c", Values: []int{7, 9}}},
+	}
+	got := o.EncodedColumns()
+	want := []string{"a", "bb", "c_0", "c_1"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("EncodedColumns = %v, want %v", got, want)
+	}
+}
+
+func TestEncodingSQLValidation(t *testing.T) {
+	if _, err := EncodingSQL(EncodingOptions{FactTable: "t"}); err == nil {
+		t.Error("empty encoding should fail")
+	}
+	if _, err := EncodingSQL(EncodingOptions{FactTable: "t", MinMax: []MinMaxSpec{{Column: "x", Min: 1, Max: 1}}}); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := EncodingSQL(EncodingOptions{FactTable: "t", OneHot: []OneHotSpec{{Column: "x"}}}); err == nil {
+		t.Error("one-hot without values should fail")
+	}
+	if _, err := EncodingSQL(EncodingOptions{MinMax: []MinMaxSpec{{Column: "x", Max: 1}}}); err == nil {
+		t.Error("missing fact table should fail")
+	}
+}
+
+// TestEncodingFeedsInference chains EncodingSQL into a generated ModelJoin
+// query — encode and infer in one statement, as Sec. 4 envisions.
+func TestEncodingFeedsInference(t *testing.T) {
+	d := db.Open(db.Options{})
+	if err := d.Exec("CREATE TABLE raw (id BIGINT, a REAL, b REAL)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Exec("INSERT INTO raw VALUES (0, 10.0, 0.5), (1, 30.0, 0.1)"); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodingSQL(EncodingOptions{
+		FactTable:   "raw",
+		Passthrough: []string{"id"},
+		MinMax:      []MinMaxSpec{{Column: "a", Min: 10, Max: 30, Alias: "fa"}, {Column: "b", Min: 0, Max: 1, Alias: "fb"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query("SELECT id, fa + fb AS s FROM (" + enc + ") AS e ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Vecs[1].Float32s()[0])-0.5) > 1e-6 {
+		t.Errorf("encoded sum = %v", res.Vecs[1].Float32s()[0])
+	}
+}

@@ -1,0 +1,196 @@
+package mltosql
+
+import (
+	"strings"
+	"testing"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/sql"
+	"indbml/internal/nn"
+)
+
+func denseMeta(t *testing.T, layout relmodel.Layout, width, depth, outputs int) *relmodel.Meta {
+	t.Helper()
+	m := nn.NewDenseModel("m", 4, width, depth, outputs, 1)
+	_, meta, err := relmodel.Export(m, relmodel.ExportOptions{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func lstmMeta(t *testing.T, layout relmodel.Layout, width int) *relmodel.Meta {
+	t.Helper()
+	m := nn.NewLSTMModel("lm", 3, width, 1)
+	_, meta, err := relmodel.Export(m, relmodel.ExportOptions{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func gen(t *testing.T, meta *relmodel.Meta, opts Options) string {
+	t.Helper()
+	opts.FactTable = "fact"
+	opts.ModelTable = "m"
+	if opts.InputColumns == nil {
+		n := meta.InputDim()
+		if ts := meta.TimeSteps(); ts > 0 {
+			n = ts
+		}
+		cols := make([]string, n)
+		for i := range cols {
+			cols[i] = "c" + string(rune('0'+i))
+		}
+		opts.InputColumns = cols
+	}
+	g, err := New(meta, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestGeneratedSQLParses: every generated variant must be valid SQL.
+func TestGeneratedSQLParses(t *testing.T) {
+	for _, layout := range []relmodel.Layout{relmodel.LayoutPairs, relmodel.LayoutNodeID} {
+		for _, native := range []bool{false, true} {
+			for _, filter := range []bool{false, true} {
+				q := gen(t, denseMeta(t, layout, 8, 2, 3), Options{NativeFunctions: native, LayerFilter: filter})
+				if _, err := sql.ParseSelect(q); err != nil {
+					t.Errorf("layout=%v native=%v filter=%v: generated SQL does not parse: %v", layout, native, filter, err)
+				}
+				q = gen(t, lstmMeta(t, layout, 4), Options{NativeFunctions: native, LayerFilter: filter})
+				if _, err := sql.ParseSelect(q); err != nil {
+					t.Errorf("lstm layout=%v native=%v filter=%v: generated SQL does not parse: %v", layout, native, filter, err)
+				}
+			}
+		}
+	}
+}
+
+func TestNestingDepthMatchesListing1(t *testing.T) {
+	// Listing 1: Input, then per dense layer a Layer_forward + Activate,
+	// then Output. Each layer contributes one GROUP BY (the aggregation in
+	// the layer forward function).
+	q := gen(t, denseMeta(t, relmodel.LayoutPairs, 8, 3, 1), Options{})
+	if got := strings.Count(q, "GROUP BY"); got != 4 { // 3 hidden + 1 output layer
+		t.Errorf("generated %d GROUP BY clauses, want 4\n%s", got, q)
+	}
+	if !strings.Contains(q, "SUM(input.output_activated * model.w_i)") {
+		t.Error("layer forward template of Listing 4 missing")
+	}
+	if !strings.Contains(q, "WHERE data.id = r.id") {
+		t.Error("output function (late projection join) missing")
+	}
+}
+
+func TestLayerFilterEmission(t *testing.T) {
+	withF := gen(t, denseMeta(t, relmodel.LayoutPairs, 8, 2, 1), Options{LayerFilter: true})
+	withoutF := gen(t, denseMeta(t, relmodel.LayoutPairs, 8, 2, 1), Options{LayerFilter: false})
+	if !strings.Contains(withF, "AND model.layer = 1") {
+		t.Error("layer filter missing when enabled")
+	}
+	if strings.Contains(withoutF, "AND model.layer = 1") {
+		t.Error("layer filter present when disabled")
+	}
+	// Node-id layout replaces the layer filter with a range predicate.
+	rangeQ := gen(t, denseMeta(t, relmodel.LayoutNodeID, 8, 2, 1), Options{LayerFilter: true})
+	if !strings.Contains(rangeQ, "BETWEEN") {
+		t.Error("node-id layout should emit range predicates")
+	}
+	if strings.Contains(rangeQ, "model.layer") {
+		t.Error("node-id layout must not reference a layer column")
+	}
+}
+
+func TestActivationEmissionModes(t *testing.T) {
+	native := gen(t, denseMeta(t, relmodel.LayoutPairs, 8, 2, 1), Options{NativeFunctions: true})
+	if !strings.Contains(native, "RELU(") {
+		t.Error("native mode should call RELU")
+	}
+	portable := gen(t, denseMeta(t, relmodel.LayoutPairs, 8, 2, 1), Options{NativeFunctions: false})
+	if strings.Contains(portable, "RELU(") {
+		t.Error("portable mode must not call RELU")
+	}
+	if !strings.Contains(portable, "CASE WHEN output > CAST(0 AS REAL)") {
+		t.Error("portable ReLU expansion missing")
+	}
+}
+
+func TestMultiOutputJoins(t *testing.T) {
+	q := gen(t, denseMeta(t, relmodel.LayoutPairs, 8, 1, 3), Options{})
+	for _, want := range []string{"prediction_0", "prediction_1", "prediction_2", "WHERE node = 2"} {
+		if !strings.Contains(q, want) {
+			t.Errorf("multi-output query lacks %q", want)
+		}
+	}
+}
+
+func TestLSTMStepsUnrolled(t *testing.T) {
+	q := gen(t, lstmMeta(t, relmodel.LayoutPairs, 4), Options{NativeFunctions: true})
+	// 3 time steps: three recurrent-block joins against the model table.
+	if got := strings.Count(q, "model.u_i"); got != 3 {
+		t.Errorf("found %d recurrent joins, want 3 (one per time step)", got)
+	}
+	// The recurrence consumes one series column per step.
+	for _, want := range []string{"AS x", "AS r1", "AS r2"} {
+		if !strings.Contains(q, want) {
+			t.Errorf("series carrying lacks %q", want)
+		}
+	}
+	// The diagonal-edge trick for the previous cell state.
+	if !strings.Contains(q, "CASE WHEN model.node_in = model.node THEN s.c") {
+		t.Error("cell-state diagonal pick missing")
+	}
+}
+
+func TestInputColumnArityChecked(t *testing.T) {
+	meta := denseMeta(t, relmodel.LayoutPairs, 8, 2, 1)
+	_, err := New(meta, Options{FactTable: "f", ModelTable: "m", InputColumns: []string{"a", "b"}})
+	if err == nil {
+		t.Error("wrong input arity should be rejected")
+	}
+	_, err = New(meta, Options{ModelTable: "m", InputColumns: []string{"a", "b", "c", "d"}})
+	if err == nil {
+		t.Error("missing fact table should be rejected")
+	}
+}
+
+func TestPrettyOutputStillParses(t *testing.T) {
+	meta := denseMeta(t, relmodel.LayoutPairs, 4, 2, 1)
+	g, err := New(meta, Options{FactTable: "fact", ModelTable: "m",
+		InputColumns: []string{"a", "b", "c", "d"}, Pretty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q, "\n") {
+		t.Error("pretty output should be multi-line")
+	}
+	if _, err := sql.ParseSelect(q); err != nil {
+		t.Errorf("pretty output does not parse: %v", err)
+	}
+}
+
+func TestGenerateInferenceOnlyOmitsOutputJoin(t *testing.T) {
+	meta := denseMeta(t, relmodel.LayoutPairs, 4, 2, 1)
+	g, _ := New(meta, Options{FactTable: "fact", ModelTable: "m", InputColumns: []string{"a", "b", "c", "d"}})
+	q, err := g.GenerateInferenceOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(q, "data.*") {
+		t.Error("inference-only query should omit the late-projection join")
+	}
+	if _, err := sql.ParseSelect(q); err != nil {
+		t.Errorf("inference-only SQL does not parse: %v", err)
+	}
+}

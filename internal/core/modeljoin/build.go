@@ -1,0 +1,302 @@
+// Package modeljoin implements the paper's native ModelJoin database
+// operator (Sec. 5): a two-phase join between an input flow and a model
+// table. The build phase parses the relational model representation into
+// weight matrices — in parallel over the model table's partitions, into
+// shared memory, with a single barrier (Sec. 5.2, Fig. 6) — and the
+// inference phase performs vectorized batch inference with BLAS kernels on
+// a compute device (CPU, or the simulated GPU; Sec. 5.4, Fig. 7, Listing 5).
+//
+// The operator plugs into the engine's Volcano interface, is pipelined (not
+// a pipeline breaker) and order-preserving, so inference results can feed
+// arbitrary downstream operators (Sec. 5.1).
+package modeljoin
+
+import (
+	"fmt"
+	"sync"
+
+	"indbml/internal/blas"
+	"indbml/internal/core/relmodel"
+	"indbml/internal/device"
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/vector"
+	"indbml/internal/nn"
+)
+
+// Config tunes the build and inference phases; the zero value matches the
+// paper's design.
+type Config struct {
+	// NoBiasMatrix disables the bias-replication optimization of Sec. 5.4:
+	// instead of copying a pre-replicated vectorsize×m bias matrix into the
+	// result before the matrix multiply, the bias vector is added row by
+	// row afterwards (the fine-grained variant the paper avoids).
+	NoBiasMatrix bool
+	// FineGrainedGPUBuild disables the Sec. 5.2 optimization of building on
+	// host memory and copying the finished model once: every matrix write
+	// becomes an individual device transfer.
+	FineGrainedGPUBuild bool
+	// SerialBuild disables the parallel build phase (one thread parses all
+	// model partitions), for the build-phase ablation.
+	SerialBuild bool
+}
+
+// deviceLayer is one model layer materialized on the compute device.
+type deviceLayer struct {
+	kind  nn.LayerKind
+	inDim int // previous layer width (features for LSTM)
+	units int
+	act   nn.Activation
+
+	// Dense: W is inDim×units; bias the raw vector; biasMat the replicated
+	// vector.Size×units matrix of Sec. 5.4.
+	w       blas.Mat
+	bias    []float32
+	biasMat blas.Mat
+
+	// LSTM (gate order i, f, c, o).
+	timeSteps int
+	features  int
+	wg, ug    [4]blas.Mat
+	gBias     [4][]float32
+	gBiasMat  [4]blas.Mat
+}
+
+// builtModel is the shared, device-resident model all partition operator
+// instances read during inference.
+type builtModel struct {
+	dev    device.Device
+	meta   *relmodel.Meta
+	layers []deviceLayer
+}
+
+// SharedModel coordinates the one-time cooperative build per query: many
+// partitioned ModelJoin instances reference the same SharedModel, and the
+// first Open triggers the parallel build (goroutine-per-model-partition
+// with a closing barrier).
+type SharedModel struct {
+	Table *storage.Table
+	Meta  *relmodel.Meta
+	Dev   device.Device
+	Cfg   Config
+
+	once  sync.Once
+	built *builtModel
+	err   error
+}
+
+// Build returns the built model, constructing it on first use.
+func (s *SharedModel) Build() (*builtModel, error) {
+	s.once.Do(func() { s.built, s.err = buildModel(s.Table, s.Meta, s.Dev, s.Cfg) })
+	return s.built, s.err
+}
+
+// hostLayer is the staging area weights are parsed into before the single
+// device upload.
+type hostLayer struct {
+	kind      nn.LayerKind
+	inDim     int
+	units     int
+	act       nn.Activation
+	timeSteps int
+	features  int
+	w         blas.Mat
+	bias      []float32
+	wg, ug    [4]blas.Mat
+	gBias     [4][]float32
+}
+
+// buildModel runs the two-step build: (1) parallel parse of the model table
+// partitions into shared host matrices — writes are disjoint because
+// partitions are disjoint, so no synchronization beyond the final barrier is
+// needed (Sec. 5.2) — and (2) a single transfer of the finished matrices to
+// the device, followed by the bias replication of Sec. 5.4.
+func buildModel(tbl *storage.Table, meta *relmodel.Meta, dev device.Device, cfg Config) (*builtModel, error) {
+	// Single-threaded allocation of the shared staging matrices.
+	host := make([]hostLayer, 0, len(meta.Layers)-1)
+	for li := 1; li < len(meta.Layers); li++ {
+		lm := meta.Layers[li]
+		prev := meta.Layers[li-1]
+		hl := hostLayer{units: lm.Units}
+		switch lm.Kind {
+		case "dense":
+			act, err := nn.ParseActivation(lm.Activation)
+			if err != nil {
+				return nil, fmt.Errorf("modeljoin: model %s: %w", meta.Name, err)
+			}
+			hl.kind, hl.inDim, hl.act = nn.KindDense, prev.Units, act
+			hl.w = blas.NewMat(prev.Units, lm.Units)
+			hl.bias = make([]float32, lm.Units)
+		case "lstm":
+			hl.kind = nn.KindLSTM
+			hl.timeSteps, hl.features = lm.TimeSteps, lm.Features
+			hl.inDim = lm.Features
+			for g := 0; g < 4; g++ {
+				hl.wg[g] = blas.NewMat(lm.Features, lm.Units)
+				hl.ug[g] = blas.NewMat(lm.Units, lm.Units)
+				hl.gBias[g] = make([]float32, lm.Units)
+			}
+		default:
+			return nil, fmt.Errorf("modeljoin: model %s has unsupported layer kind %q", meta.Name, lm.Kind)
+		}
+		host = append(host, hl)
+	}
+
+	// Parallel parse: one worker per model-table partition, then a barrier
+	// (the WaitGroup) before the device upload.
+	var wg sync.WaitGroup
+	errs := make([]error, tbl.Partitions())
+	parse := func(p int) error {
+		sc, err := tbl.NewScanner(p, nil, nil)
+		if err != nil {
+			return err
+		}
+		buf := vector.NewBatch(sc.Schema(), vector.Size)
+		for sc.Next(buf) {
+			for r := 0; r < buf.Len(); r++ {
+				if err := fillWeight(host, meta, buf, r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if cfg.SerialBuild {
+		for p := 0; p < tbl.Partitions(); p++ {
+			if err := parse(p); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for p := 0; p < tbl.Partitions(); p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				errs[p] = parse(p)
+			}(p)
+		}
+		wg.Wait() // barrier: the whole model table must be consumed
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Upload to the device and replicate biases.
+	bm := &builtModel{dev: dev, meta: meta}
+	for _, hl := range host {
+		dl := deviceLayer{
+			kind: hl.kind, inDim: hl.inDim, units: hl.units, act: hl.act,
+			timeSteps: hl.timeSteps, features: hl.features,
+		}
+		switch hl.kind {
+		case nn.KindDense:
+			dl.w = uploadMat(dev, hl.w, cfg)
+			dl.bias = hl.bias
+			if !cfg.NoBiasMatrix {
+				dl.biasMat = uploadMat(dev, replicate(hl.bias, vector.Size), cfg)
+			}
+		case nn.KindLSTM:
+			for g := 0; g < 4; g++ {
+				dl.wg[g] = uploadMat(dev, hl.wg[g], cfg)
+				dl.ug[g] = uploadMat(dev, hl.ug[g], cfg)
+				dl.gBias[g] = hl.gBias[g]
+				if !cfg.NoBiasMatrix {
+					dl.gBiasMat[g] = uploadMat(dev, replicate(hl.gBias[g], vector.Size), cfg)
+				}
+			}
+		}
+		bm.layers = append(bm.layers, dl)
+	}
+	return bm, nil
+}
+
+// fillWeight places one model-table row into the staging matrices at the
+// position indicated by the Layer column and the (Node_in, Node) pair
+// (Fig. 6).
+func fillWeight(host []hostLayer, meta *relmodel.Meta, b *vector.Batch, r int) error {
+	var layerIn, nodeIn, layer, node int
+	var base int
+	if meta.Layout == relmodel.LayoutPairs {
+		layerIn = int(b.Vecs[0].Int32s()[r])
+		nodeIn = int(b.Vecs[1].Int32s()[r])
+		layer = int(b.Vecs[2].Int32s()[r])
+		node = int(b.Vecs[3].Int32s()[r])
+		base = 4
+	} else {
+		var err error
+		if layerIn, nodeIn, err = splitID(meta, int(b.Vecs[0].Int32s()[r])); err != nil {
+			return err
+		}
+		if layer, node, err = splitID(meta, int(b.Vecs[1].Int32s()[r])); err != nil {
+			return err
+		}
+		base = 2
+	}
+	if layer == 0 {
+		return nil // artificial-input edges carry no weights to build
+	}
+	if layer < 1 || layer >= len(meta.Layers) {
+		return fmt.Errorf("modeljoin: model %s row references layer %d", meta.Name, layer)
+	}
+	_ = layerIn
+	hl := &host[layer-1]
+	w := func(i int) float32 { return b.Vecs[base+i].Float32s()[r] }
+	switch hl.kind {
+	case nn.KindDense:
+		if nodeIn >= hl.w.Rows || node >= hl.units {
+			return fmt.Errorf("modeljoin: model %s dense edge (%d→%d) out of range", meta.Name, nodeIn, node)
+		}
+		hl.w.Set(nodeIn, node, w(0))
+		hl.bias[node] = w(8)
+	case nn.KindLSTM:
+		if nodeIn >= hl.units || node >= hl.units {
+			return fmt.Errorf("modeljoin: model %s lstm edge (%d→%d) out of range", meta.Name, nodeIn, node)
+		}
+		for g := 0; g < 4; g++ {
+			hl.ug[g].Set(nodeIn, node, w(4+g))
+			hl.wg[g].Set(0, node, w(g))
+			hl.gBias[g][node] = w(8 + g)
+		}
+	}
+	return nil
+}
+
+func splitID(meta *relmodel.Meta, id int) (layer, node int, err error) {
+	if id < 0 {
+		return -1, 0, nil
+	}
+	off := 0
+	for li, lm := range meta.Layers {
+		if id < off+lm.Units {
+			return li, id - off, nil
+		}
+		off += lm.Units
+	}
+	return 0, 0, fmt.Errorf("modeljoin: node id %d out of range", id)
+}
+
+// uploadMat moves a finished host matrix to the device. With
+// FineGrainedGPUBuild each element is transferred individually, modeling
+// the naive build the paper measured to be slow (Sec. 5.2).
+func uploadMat(dev device.Device, m blas.Mat, cfg Config) blas.Mat {
+	d := dev.NewMat(m.Rows, m.Cols)
+	if cfg.FineGrainedGPUBuild && dev.IsGPU() {
+		for i := 0; i < len(m.Data); i++ {
+			sub := blas.Mat{Rows: 1, Cols: 1, Data: d.Data[i : i+1]}
+			dev.Upload(sub, m.Data[i:i+1])
+		}
+		return d
+	}
+	dev.Upload(d, m.Data)
+	return d
+}
+
+// replicate tiles a bias vector into a rows×len(bias) matrix (Sec. 5.4).
+func replicate(bias []float32, rows int) blas.Mat {
+	m := blas.NewMat(rows, len(bias))
+	for r := 0; r < rows; r++ {
+		copy(m.Row(r), bias)
+	}
+	return m
+}

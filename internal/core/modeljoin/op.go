@@ -1,0 +1,358 @@
+package modeljoin
+
+import (
+	"fmt"
+
+	"indbml/internal/blas"
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+	"indbml/internal/nn"
+)
+
+// Operator is the native ModelJoin query operator (Fig. 5). It follows the
+// Volcano open/next/close protocol: the first Next triggers the (shared)
+// build phase; every subsequent Next converts one input batch into the
+// model's input layout (Sec. 5.3), runs the vectorized inference (Sec. 5.4)
+// and returns the batch extended with prediction columns. All non-input
+// child columns pass through untouched — the native operator needs no late
+// projection (Sec. 5.3).
+type Operator struct {
+	Child  exec.Operator
+	Shared *SharedModel
+	// InputCols are child column ordinals fed to the model, in input order.
+	InputCols []int
+
+	schema *types.Schema
+	model  *builtModel
+
+	// Inference scratch, allocated at Open for the engine's vector size.
+	staging []float32  // host gather buffer
+	bufs    []blas.Mat // device activations per layer boundary
+	lstm    *lstmScratch
+}
+
+// lstmScratch holds the per-operator LSTM working set of Listing 5.
+type lstmScratch struct {
+	x    blas.Mat // T×batch series, device (rows are time steps)
+	h, c blas.Mat
+	z    [4]blas.Mat
+	tmp  blas.Mat
+}
+
+// New constructs a ModelJoin over child. The operator's schema is the
+// child's columns followed by the prediction columns.
+func New(child exec.Operator, shared *SharedModel, inputCols []int) (*Operator, error) {
+	meta := shared.Meta
+	want := meta.InputDim()
+	if ts := meta.TimeSteps(); ts > 0 {
+		want = ts
+	}
+	if len(inputCols) != want {
+		return nil, fmt.Errorf("modeljoin: model %s expects %d input columns, got %d", meta.Name, want, len(inputCols))
+	}
+	childSchema := child.Schema()
+	for _, c := range inputCols {
+		if c < 0 || c >= childSchema.Len() {
+			return nil, fmt.Errorf("modeljoin: input column %d out of range", c)
+		}
+		if !childSchema.Col(c).Type.IsNumeric() {
+			return nil, fmt.Errorf("modeljoin: input column %q is not numeric", childSchema.Col(c).Name)
+		}
+	}
+	cols := childSchema.Columns()
+	if meta.OutputDim() == 1 {
+		cols = append(cols, types.Column{Name: "prediction", Type: types.Float32})
+	} else {
+		for i := 0; i < meta.OutputDim(); i++ {
+			cols = append(cols, types.Column{Name: fmt.Sprintf("prediction_%d", i), Type: types.Float32})
+		}
+	}
+	return &Operator{
+		Child:  child,
+		Shared: shared, InputCols: inputCols,
+		schema: types.NewSchema(cols...),
+	}, nil
+}
+
+// Schema implements exec.Operator.
+func (o *Operator) Schema() *types.Schema { return o.schema }
+
+// Open implements exec.Operator: it runs (or joins) the build phase and
+// allocates the inference scratch memory (Sec. 5.1: open() allocates weight
+// and working memory).
+func (o *Operator) Open() error {
+	if err := o.Child.Open(); err != nil {
+		return err
+	}
+	m, err := o.Shared.Build()
+	if err != nil {
+		return err
+	}
+	o.model = m
+	dev := m.dev
+
+	first := m.layers[0]
+	if first.kind == nn.KindLSTM {
+		o.lstm = &lstmScratch{
+			x:   dev.NewMat(first.timeSteps, vector.Size),
+			h:   dev.NewMat(vector.Size, first.units),
+			c:   dev.NewMat(vector.Size, first.units),
+			tmp: dev.NewMat(vector.Size, first.units),
+		}
+		for g := 0; g < 4; g++ {
+			o.lstm.z[g] = dev.NewMat(vector.Size, first.units)
+		}
+		o.staging = make([]float32, first.timeSteps*vector.Size)
+		o.bufs = append(o.bufs, blas.Mat{}) // layer 0 output is the LSTM h state
+	} else {
+		o.staging = make([]float32, first.inDim*vector.Size)
+		o.bufs = append(o.bufs, dev.NewMat(vector.Size, first.inDim))
+	}
+	for _, l := range m.layers {
+		o.bufs = append(o.bufs, dev.NewMat(vector.Size, l.units))
+	}
+	return nil
+}
+
+// Next implements exec.Operator.
+func (o *Operator) Next() (*vector.Batch, error) {
+	in, err := o.Child.Next()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	n := in.Len()
+	preds, err := o.infer(in, n)
+	if err != nil {
+		return nil, err
+	}
+
+	out := vector.NewBatch(o.schema, n)
+	for c := 0; c < in.Schema.Len(); c++ {
+		out.Vecs[c].CopyFrom(in.Vecs[c], nil)
+	}
+	// Scatter the prediction matrix back into column vectors (the second
+	// conversion of Sec. 5.3).
+	p := o.model.meta.OutputDim()
+	for j := 0; j < p; j++ {
+		v := out.Vecs[in.Schema.Len()+j]
+		v.SetLen(n)
+		dst := v.Float32s()
+		for r := 0; r < n; r++ {
+			dst[r] = preds.At(r, j)
+		}
+	}
+	out.SetLen(n)
+	return out, nil
+}
+
+// infer runs the vectorized forward pass for one batch and returns a host
+// matrix of predictions (n×outputDim).
+func (o *Operator) infer(in *vector.Batch, n int) (blas.Mat, error) {
+	m := o.model
+	dev := m.dev
+
+	var act blas.Mat // current device activation (n×width view)
+	layerStart := 0
+	if m.layers[0].kind == nn.KindLSTM {
+		h, err := o.lstmForward(in, n)
+		if err != nil {
+			return blas.Mat{}, err
+		}
+		act = h
+		layerStart = 1
+	} else {
+		// Gather the input columns into a row-major n×inDim staging matrix
+		// (Fig. 7, step 1), touching each column vector once.
+		inDim := m.layers[0].inDim
+		staging := o.staging[:n*inDim]
+		for j, c := range o.InputCols {
+			gatherColumn(in.Vecs[c], staging, j, inDim, n)
+		}
+		view := blas.Mat{Rows: n, Cols: inDim, Data: o.bufs[0].Data[:n*inDim]}
+		dev.Upload(view, staging)
+		act = view
+	}
+
+	for li := layerStart; li < len(m.layers); li++ {
+		l := m.layers[li]
+		out := blas.Mat{Rows: n, Cols: l.units, Data: o.bufs[li+1].Data[:n*l.units]}
+		o.denseForward(&l, act, out)
+		applyActivation(dev, l.act, out.Data)
+		act = out
+	}
+
+	preds := blas.NewMat(n, m.meta.OutputDim())
+	dev.Download(preds.Data, act)
+	return preds, nil
+}
+
+// denseForward computes out = act(in·W + bias) on the device: bias matrix
+// copy (or the fine-grained fallback), then a single sgemm (Sec. 5.4).
+func (o *Operator) denseForward(l *deviceLayer, in, out blas.Mat) {
+	dev := o.model.dev
+	if !o.Shared.Cfg.NoBiasMatrix {
+		dev.Copy(out.Data, l.biasMat.Data[:len(out.Data)])
+		dev.Gemm(in, l.w, out)
+		return
+	}
+	// Ablation: zero the output, multiply, then add the bias row by row.
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	dev.Gemm(in, l.w, out)
+	for r := 0; r < out.Rows; r++ {
+		dev.VsAdd(out.Row(r), l.bias, out.Row(r))
+	}
+}
+
+// lstmForward implements Listing 5 on the device: per time step, each gate's
+// z = bias (copied) + x_t·W_g + h·U_g, gate activations, cell update and
+// hidden state. The series is uploaded once as a T×batch matrix so each
+// x_t is a contiguous device row.
+func (o *Operator) lstmForward(in *vector.Batch, n int) (blas.Mat, error) {
+	m := o.model
+	dev := m.dev
+	l := m.layers[0]
+	s := o.lstm
+
+	// Upload the series transposed: row t holds x_t for all batch rows.
+	staging := o.staging[:l.timeSteps*n]
+	for t, c := range o.InputCols {
+		gatherRow(in.Vecs[c], staging[t*n:(t+1)*n], n)
+	}
+	xView := blas.Mat{Rows: l.timeSteps, Cols: n, Data: s.x.Data[:l.timeSteps*n]}
+	dev.Upload(xView, staging)
+
+	h := blas.Mat{Rows: n, Cols: l.units, Data: s.h.Data[:n*l.units]}
+	c := blas.Mat{Rows: n, Cols: l.units, Data: s.c.Data[:n*l.units]}
+	tmp := blas.Mat{Rows: n, Cols: l.units, Data: s.tmp.Data[:n*l.units]}
+	var z [4]blas.Mat
+	for g := 0; g < 4; g++ {
+		z[g] = blas.Mat{Rows: n, Cols: l.units, Data: s.z[g].Data[:n*l.units]}
+	}
+
+	for round := 0; round < l.timeSteps; round++ {
+		xt := blas.Mat{Rows: n, Cols: 1, Data: xView.Row(round)}
+		for g := 0; g < 4; g++ {
+			if o.Shared.Cfg.NoBiasMatrix {
+				for r := 0; r < n; r++ {
+					dev.Copy(z[g].Row(r), l.gBias[g])
+				}
+			} else {
+				dev.Copy(z[g].Data, l.gBiasMat[g].Data[:n*l.units])
+			}
+			dev.Gemm(xt, l.wg[g], z[g]) // kernel contribution + z
+			if round > 0 {
+				dev.Gemm(h, l.ug[g], z[g]) // recurrent contribution + z
+			}
+		}
+		dev.Sigmoid(z[0].Data) // i
+		dev.Sigmoid(z[1].Data) // f
+		dev.Tanh(z[2].Data)    // c̃
+		dev.Sigmoid(z[3].Data) // o
+
+		dev.VsMul(z[0].Data, z[2].Data, z[2].Data) // i ⊙ c̃
+		if round > 0 {
+			dev.VsMul(z[1].Data, c.Data, c.Data) // f ⊙ c
+			dev.VsAdd(z[2].Data, c.Data, c.Data)
+		} else {
+			dev.Copy(c.Data, z[2].Data)
+		}
+		dev.Copy(tmp.Data, c.Data)
+		dev.Tanh(tmp.Data)
+		dev.VsMul(z[3].Data, tmp.Data, h.Data) // h = o ⊙ tanh(c)
+	}
+	return h, nil
+}
+
+// applyActivation dispatches a layer activation to the device's kernels
+// ("handcrafted CUDA kernel implementations for different types of
+// activation functions", Sec. 5.4).
+func applyActivation(dev interface {
+	Sigmoid([]float32)
+	Tanh([]float32)
+	ReLU([]float32)
+}, act nn.Activation, x []float32) {
+	switch act {
+	case nn.Sigmoid:
+		dev.Sigmoid(x)
+	case nn.Tanh:
+		dev.Tanh(x)
+	case nn.ReLU:
+		dev.ReLU(x)
+	}
+}
+
+// gatherColumn writes column vector values into staging at stride, i.e.
+// staging[r*stride+j] = vec[r], converting to float32.
+func gatherColumn(v *vector.Vector, staging []float32, j, stride, n int) {
+	switch v.Type() {
+	case types.Float32:
+		src := v.Float32s()
+		for r := 0; r < n; r++ {
+			staging[r*stride+j] = src[r]
+		}
+	case types.Float64:
+		src := v.Float64s()
+		for r := 0; r < n; r++ {
+			staging[r*stride+j] = float32(src[r])
+		}
+	case types.Int32:
+		src := v.Int32s()
+		for r := 0; r < n; r++ {
+			staging[r*stride+j] = float32(src[r])
+		}
+	case types.Int64:
+		src := v.Int64s()
+		for r := 0; r < n; r++ {
+			staging[r*stride+j] = float32(src[r])
+		}
+	}
+}
+
+// gatherRow writes a column vector contiguously into dst.
+func gatherRow(v *vector.Vector, dst []float32, n int) {
+	switch v.Type() {
+	case types.Float32:
+		copy(dst, v.Float32s()[:n])
+	case types.Float64:
+		src := v.Float64s()
+		for r := 0; r < n; r++ {
+			dst[r] = float32(src[r])
+		}
+	case types.Int32:
+		src := v.Int32s()
+		for r := 0; r < n; r++ {
+			dst[r] = float32(src[r])
+		}
+	case types.Int64:
+		src := v.Int64s()
+		for r := 0; r < n; r++ {
+			dst[r] = float32(src[r])
+		}
+	}
+}
+
+// Close implements exec.Operator, releasing device scratch memory.
+func (o *Operator) Close() error {
+	if o.model != nil {
+		dev := o.model.dev
+		for _, b := range o.bufs {
+			if b.Data != nil {
+				dev.Free(b)
+			}
+		}
+		if o.lstm != nil {
+			dev.Free(o.lstm.x)
+			dev.Free(o.lstm.h)
+			dev.Free(o.lstm.c)
+			dev.Free(o.lstm.tmp)
+			for g := 0; g < 4; g++ {
+				dev.Free(o.lstm.z[g])
+			}
+		}
+		o.bufs, o.lstm, o.model = nil, nil, nil
+	}
+	return o.Child.Close()
+}

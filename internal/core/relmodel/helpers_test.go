@@ -1,0 +1,15 @@
+package relmodel
+
+import "strings"
+
+// stringsBuilder aliases strings.Builder for test brevity.
+type stringsBuilder = strings.Builder
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

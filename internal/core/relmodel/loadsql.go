@@ -1,0 +1,97 @@
+package relmodel
+
+import (
+	"fmt"
+	"io"
+
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// WriteLoadSQL emits portable SQL that recreates the model table on any
+// engine: a CREATE TABLE with the fixed relational model schema followed by
+// batched INSERT statements — the "layer type specific insert statements"
+// ML-To-SQL generates when loading a model object (Sec. 4.1).
+func WriteLoadSQL(w io.Writer, tbl *storage.Table, meta *Meta) error {
+	schema := tbl.Schema
+	if _, err := fmt.Fprintf(w, "CREATE TABLE %s (", tbl.Name); err != nil {
+		return err
+	}
+	for i := 0; i < schema.Len(); i++ {
+		c := schema.Col(i)
+		sep := ", "
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s", sep, c.Name, c.Type); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, ");"); err != nil {
+		return err
+	}
+
+	const rowsPerInsert = 256
+	pending := 0
+	for p := 0; p < tbl.Partitions(); p++ {
+		sc, err := tbl.NewScanner(p, nil, nil)
+		if err != nil {
+			return err
+		}
+		buf := vector.NewBatch(sc.Schema(), vector.Size)
+		for sc.Next(buf) {
+			for r := 0; r < buf.Len(); r++ {
+				if pending == 0 {
+					if _, err := fmt.Fprintf(w, "INSERT INTO %s VALUES\n", tbl.Name); err != nil {
+						return err
+					}
+				} else {
+					if _, err := fmt.Fprintln(w, ","); err != nil {
+						return err
+					}
+				}
+				if _, err := io.WriteString(w, "  ("); err != nil {
+					return err
+				}
+				for c := 0; c < schema.Len(); c++ {
+					if c > 0 {
+						if _, err := io.WriteString(w, ", "); err != nil {
+							return err
+						}
+					}
+					if _, err := io.WriteString(w, sqlLiteral(buf.Vecs[c].Datum(r))); err != nil {
+						return err
+					}
+				}
+				if _, err := io.WriteString(w, ")"); err != nil {
+					return err
+				}
+				pending++
+				if pending >= rowsPerInsert {
+					if _, err := fmt.Fprintln(w, ";"); err != nil {
+						return err
+					}
+					pending = 0
+				}
+			}
+		}
+	}
+	if pending > 0 {
+		if _, err := fmt.Fprintln(w, ";"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "-- model meta: %s\n", meta)
+	return err
+}
+
+func sqlLiteral(d types.Datum) string {
+	if d.Null {
+		return "NULL"
+	}
+	if d.Type == types.String {
+		return "'" + d.S + "'"
+	}
+	return d.String()
+}

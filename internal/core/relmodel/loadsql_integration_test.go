@@ -1,0 +1,58 @@
+package relmodel_test
+
+import (
+	"strings"
+	"testing"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/nn"
+)
+
+// TestLoadSQLExecutableRoundTrip executes the generated portable load SQL
+// against the engine and re-imports the model: the full ML-To-SQL loading
+// path of Sec. 4.1, end to end.
+func TestLoadSQLExecutableRoundTrip(t *testing.T) {
+	m := nn.NewDenseModel("roundtrip_model", 3, 4, 1, 2, 77)
+	tbl, meta, err := relmodel.Export(m, relmodel.ExportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := relmodel.WriteLoadSQL(&sb, tbl, meta); err != nil {
+		t.Fatal(err)
+	}
+	d := db.Open(db.Options{})
+	for _, stmt := range strings.Split(sb.String(), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" || strings.HasPrefix(stmt, "--") {
+			continue
+		}
+		// Strip trailing comment lines inside a statement chunk.
+		if idx := strings.Index(stmt, "\n--"); idx >= 0 {
+			stmt = stmt[:idx]
+		}
+		if err := d.Exec(stmt); err != nil {
+			t.Fatalf("executing generated SQL: %v\n%s", err, stmt)
+		}
+	}
+	loaded, err := d.Table("roundtrip_model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.RowCount() != tbl.RowCount() {
+		t.Fatalf("loaded %d rows, want %d", loaded.RowCount(), tbl.RowCount())
+	}
+	back, err := relmodel.Import(loaded, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float32{0.2, -0.7, 1.1}
+	want := m.Predict(append([]float32(nil), in...))
+	got := back.Predict(append([]float32(nil), in...))
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("output %d changed through the SQL load path: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

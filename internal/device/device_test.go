@@ -1,0 +1,178 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"indbml/internal/blas"
+)
+
+func TestCPUPassthrough(t *testing.T) {
+	cpu := NewCPU()
+	a := cpu.NewMat(2, 2)
+	cpu.Upload(a, []float32{1, 2, 3, 4})
+	b := cpu.NewMat(2, 2)
+	cpu.Upload(b, []float32{1, 0, 0, 1})
+	c := cpu.NewMat(2, 2)
+	cpu.Gemm(a, b, c)
+	out := make([]float32, 4)
+	cpu.Download(out, c)
+	if out[0] != 1 || out[3] != 4 {
+		t.Errorf("gemm result %v", out)
+	}
+	st := cpu.Stats()
+	if st.BytesAllocated != 3*4*4 {
+		t.Errorf("allocation accounting: %+v", st)
+	}
+	cpu.Free(a)
+	if cpu.Stats().BytesAllocated != 2*4*4 {
+		t.Errorf("free accounting: %+v", cpu.Stats())
+	}
+	if cpu.Stats().PeakBytesAllocated != 3*4*4 {
+		t.Errorf("peak accounting: %+v", cpu.Stats())
+	}
+}
+
+func TestGPUExactResults(t *testing.T) {
+	gpu := NewGPU(DefaultGPUConfig())
+	cpu := NewCPU()
+	mk := func(dev Device) []float32 {
+		a := dev.NewMat(3, 4)
+		dev.Upload(a, []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+		b := dev.NewMat(4, 2)
+		dev.Upload(b, []float32{1, 0, 0, 1, 1, 0, 0, 1})
+		c := dev.NewMat(3, 2)
+		dev.Gemm(a, b, c)
+		dev.Sigmoid(c.Data)
+		out := make([]float32, 6)
+		dev.Download(out, c)
+		return out
+	}
+	g, c := mk(gpu), mk(cpu)
+	for i := range g {
+		if g[i] != c[i] {
+			t.Fatalf("GPU result diverges at %d: %v vs %v", i, g[i], c[i])
+		}
+	}
+}
+
+func TestGPUTimeModelScalesWithWork(t *testing.T) {
+	cfg := DefaultGPUConfig()
+	gpu := NewGPU(cfg)
+	small := gpu.NewMat(8, 8)
+	gpu.Gemm(small, small, gpu.NewMat(8, 8))
+	smallTime := gpu.Stats().ModeledTime
+
+	gpu2 := NewGPU(cfg)
+	big := gpu2.NewMat(256, 256)
+	gpu2.Gemm(big, big, gpu2.NewMat(256, 256))
+	bigTime := gpu2.Stats().ModeledTime
+
+	if bigTime <= smallTime {
+		t.Errorf("modeled time does not scale: small %v big %v", smallTime, bigTime)
+	}
+	// Launch latency dominates tiny kernels: the small gemm should cost at
+	// least the configured launch overhead.
+	if smallTime < cfg.KernelLaunch {
+		t.Errorf("small kernel %v below launch latency %v", smallTime, cfg.KernelLaunch)
+	}
+}
+
+func TestGPUTransferAccounting(t *testing.T) {
+	cfg := DefaultGPUConfig()
+	gpu := NewGPU(cfg)
+	m := gpu.NewMat(1000, 1000)
+	data := make([]float32, 1000*1000)
+	gpu.Upload(m, data)
+	st := gpu.Stats()
+	if st.BytesH2D != 4_000_000 {
+		t.Errorf("H2D bytes = %d", st.BytesH2D)
+	}
+	wantMin := time.Duration(float64(4_000_000) / cfg.PCIeBandwidth * float64(time.Second))
+	if st.ModeledTime < wantMin {
+		t.Errorf("transfer time %v below bandwidth model %v", st.ModeledTime, wantMin)
+	}
+	gpu.Download(data, m)
+	if gpu.Stats().BytesD2H != 4_000_000 {
+		t.Errorf("D2H bytes = %d", gpu.Stats().BytesD2H)
+	}
+}
+
+func TestGPUMemoryAccountingAndOOM(t *testing.T) {
+	cfg := DefaultGPUConfig()
+	cfg.MemoryBytes = 1 << 20 // 1 MB device
+	gpu := NewGPU(cfg)
+	m := gpu.NewMat(256, 256) // 256 KB
+	if gpu.Stats().BytesAllocated != 256*256*4 {
+		t.Errorf("device memory accounting: %+v", gpu.Stats())
+	}
+	gpu.Free(m)
+	if gpu.Stats().BytesAllocated != 0 {
+		t.Errorf("free accounting: %+v", gpu.Stats())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected simulated OOM panic")
+		}
+	}()
+	gpu.NewMat(1024, 1024) // 4 MB > 1 MB
+}
+
+func TestGPUElementwiseKernels(t *testing.T) {
+	gpu := NewGPU(DefaultGPUConfig())
+	x := []float32{1, 2}
+	y := []float32{3, 4}
+	z := make([]float32, 2)
+	gpu.VsMul(x, y, z)
+	if z[0] != 3 || z[1] != 8 {
+		t.Errorf("VsMul = %v", z)
+	}
+	gpu.VsAdd(x, y, z)
+	if z[0] != 4 || z[1] != 6 {
+		t.Errorf("VsAdd = %v", z)
+	}
+	gpu.Copy(z, x)
+	if z[0] != 1 {
+		t.Errorf("Copy = %v", z)
+	}
+	r := []float32{-1, 1}
+	gpu.ReLU(r)
+	if r[0] != 0 || r[1] != 1 {
+		t.Errorf("ReLU = %v", r)
+	}
+	th := []float32{0}
+	gpu.Tanh(th)
+	if th[0] != 0 {
+		t.Errorf("Tanh = %v", th)
+	}
+	if gpu.Stats().KernelLaunches != 5 {
+		t.Errorf("kernel launches = %d, want 5", gpu.Stats().KernelLaunches)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	gpu := NewGPU(DefaultGPUConfig())
+	gpu.Sigmoid(make([]float32, 100))
+	gpu.ResetStats()
+	if st := gpu.Stats(); st.ModeledTime != 0 || st.KernelLaunches != 0 {
+		t.Errorf("reset failed: %+v", st)
+	}
+	cpu := NewCPU()
+	cpu.NewMat(4, 4)
+	cpu.ResetStats()
+	if cpu.Stats().BytesAllocated != 0 {
+		t.Error("cpu reset failed")
+	}
+}
+
+func TestDeviceInterfaceCompliance(t *testing.T) {
+	var _ Device = NewCPU()
+	var _ Device = NewGPU(DefaultGPUConfig())
+	if NewCPU().IsGPU() || NewCPU().Name() != "cpu" {
+		t.Error("cpu identity wrong")
+	}
+	if !NewGPU(DefaultGPUConfig()).IsGPU() {
+		t.Error("gpu identity wrong")
+	}
+	_ = blas.Mat{}
+}

@@ -1,0 +1,70 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+
+	"indbml/internal/core/costmodel"
+)
+
+// Advisor exposes the inference cost model (the future work of the paper's
+// conclusion) at the database level: given a registered model and an
+// expected input cardinality, it predicts per-approach costs from the
+// catalog metadata alone and recommends an execution device for the
+// MODEL JOIN.
+type Advisor struct {
+	db     *Database
+	params costmodel.Params
+}
+
+// NewAdvisor calibrates the cost model on this host (a few tens of
+// milliseconds of micro-probing) and returns an advisor bound to the
+// database's catalog.
+func (d *Database) NewAdvisor() *Advisor {
+	return &Advisor{db: d, params: costmodel.Calibrate()}
+}
+
+// NewAdvisorWithParams skips calibration and uses explicit constants.
+func (d *Database) NewAdvisorWithParams(p costmodel.Params) *Advisor {
+	return &Advisor{db: d, params: p}
+}
+
+// Params returns the advisor's calibrated constants.
+func (a *Advisor) Params() costmodel.Params { return a.params }
+
+// Rank predicts and orders all integration approaches for running the named
+// model over `tuples` input rows.
+func (a *Advisor) Rank(model string, tuples int, gpuAvailable bool) ([]costmodel.Choice, error) {
+	meta, err := a.db.ModelMeta(model)
+	if err != nil {
+		return nil, err
+	}
+	return a.params.Rank(costmodel.ShapeOf(meta), tuples, gpuAvailable), nil
+}
+
+// AdviseDevice returns "cpu" or "gpu" for a MODEL JOIN of the named model
+// over `tuples` rows — the Sec. 6.3 decision rule, made mechanical.
+func (a *Advisor) AdviseDevice(model string, tuples int) (string, error) {
+	meta, err := a.db.ModelMeta(model)
+	if err != nil {
+		return "", err
+	}
+	return a.params.Device(costmodel.ShapeOf(meta), tuples), nil
+}
+
+// ExplainCosts renders the ranking as a table, for the REPL and tooling.
+func (a *Advisor) ExplainCosts(model string, tuples int, gpuAvailable bool) (string, error) {
+	choices, err := a.Rank(model, tuples, gpuAvailable)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "predicted inference cost for model %q over %d tuples:\n", model, tuples)
+	fmt.Fprintf(&sb, "%-16s %12s %12s %12s %12s %12s\n", "approach", "total", "build", "compute", "transfer", "engine")
+	for _, c := range choices {
+		fmt.Fprintf(&sb, "%-16s %12s %12s %12s %12s %12s\n",
+			c.Approach, c.Cost.Total().Round(10e3), c.Cost.Build.Round(10e3),
+			c.Cost.Compute.Round(10e3), c.Cost.Transfer.Round(10e3), c.Cost.Engine.Round(10e3))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,133 @@
+package db_test
+
+import (
+	"strings"
+	"testing"
+
+	"indbml/internal/core/costmodel"
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/nn"
+)
+
+func TestAdvisorRankAndDevice(t *testing.T) {
+	d := db.Open(db.Options{})
+	small := nn.NewDenseModel("small_model", 4, 8, 1, 1, 1)
+	big := nn.NewDenseModel("big_model", 4, 512, 8, 1, 2)
+	if _, err := d.RegisterModel(small, relmodel.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RegisterModel(big, relmodel.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	a := d.NewAdvisorWithParams(costmodel.DefaultParams())
+
+	dev, err := a.AdviseDevice("small_model", 1000)
+	if err != nil || dev != "cpu" {
+		t.Errorf("small model device = %q, %v", dev, err)
+	}
+	dev, err = a.AdviseDevice("big_model", 500_000)
+	if err != nil || dev != "gpu" {
+		t.Errorf("big model device = %q, %v", dev, err)
+	}
+
+	choices, err := a.Rank("big_model", 500_000, true)
+	if err != nil || len(choices) == 0 {
+		t.Fatalf("rank: %v", err)
+	}
+	if choices[len(choices)-1].Approach != costmodel.ApproachMLToSQL {
+		t.Errorf("ML-To-SQL should rank last for the largest model, got %v", choices[len(choices)-1].Approach)
+	}
+
+	txt, err := a.ExplainCosts("big_model", 500_000, true)
+	if err != nil || !strings.Contains(txt, "ModelJoin_GPU") {
+		t.Errorf("explain costs: %v\n%s", err, txt)
+	}
+
+	if _, err := a.Rank("nope", 10, false); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestModelJoinErrors(t *testing.T) {
+	d := db.Open(db.Options{})
+	makeFactTable(t, d, "fact", 50, 4, 1, 1)
+	model := nn.NewDenseModel("m", 4, 8, 1, 1, 3)
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"SELECT * FROM fact MODEL JOIN missing",
+		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1)",                          // wrong arity
+		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1, cf2, payload)",            // non-numeric
+		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1, cf2, df3) USING DEVICE 'tpu'", // unknown device
+		"SELECT * FROM fact MODEL JOIN fact",                                          // not a model
+	} {
+		if _, err := d.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestCreateModelTableSchema(t *testing.T) {
+	d := db.Open(db.Options{})
+	if err := d.Exec("CREATE MODEL TABLE weights"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table("weights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema.Len() != 16 {
+		t.Errorf("model table has %d columns, want the fixed 16 of Sec. 4.1", tbl.Schema.Len())
+	}
+	if _, ok := tbl.Schema.Lookup("w_i"); !ok {
+		t.Error("model table lacks weight columns")
+	}
+	// The empty table is not a registered model (no metadata): MODEL JOIN
+	// must be rejected until a model is registered under that name.
+	if err := d.Exec("CREATE TABLE f (id BIGINT, x REAL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Query("SELECT * FROM f MODEL JOIN weights"); err == nil {
+		t.Error("MODEL JOIN against an unregistered model table should fail")
+	}
+}
+
+func TestRegisteredModelQueryableAsTable(t *testing.T) {
+	// Sec. 4.1: the model *is* a table; plain SQL can inspect it.
+	d := db.Open(db.Options{})
+	model := nn.NewDenseModel("m", 4, 8, 1, 1, 5)
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query("SELECT COUNT(*) AS edges, MAX(layer) AS last FROM m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := int64(4 + 4*8 + 8)
+	if res.Vecs[0].Int64s()[0] != wantEdges {
+		t.Errorf("edges = %d, want %d", res.Vecs[0].Int64s()[0], wantEdges)
+	}
+	if res.Vecs[1].Int32s()[0] != 2 {
+		t.Errorf("last layer = %d, want 2", res.Vecs[1].Int32s()[0])
+	}
+}
+
+func TestExplainTopNFusion(t *testing.T) {
+	d := db.Open(db.Options{DefaultPartitions: 2})
+	makeFactTable(t, d, "fact", 100, 2, 2, 9)
+	op, err := d.QueryOp("SELECT id FROM fact ORDER BY af0 DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fused plan must produce exactly the sort+limit result.
+	res, err := d.Query("SELECT id FROM fact ORDER BY af0 DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("got %d rows", res.Len())
+	}
+	_ = op
+}

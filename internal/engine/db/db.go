@@ -1,0 +1,393 @@
+// Package db is the engine facade: a catalog of tables and registered
+// models, SQL execution (DDL, DML, queries) and the wiring that lowers the
+// MODEL JOIN syntax onto the native ModelJoin operator with the right
+// compute device. It corresponds to the "Actian Vector with our integrated
+// operators" system of the paper's evaluation, in library form.
+package db
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"indbml/internal/core/modeljoin"
+	"indbml/internal/core/relmodel"
+	"indbml/internal/device"
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/plan"
+	"indbml/internal/engine/sql"
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+	"indbml/internal/nn"
+)
+
+// Options configure a Database.
+type Options struct {
+	// DefaultPartitions applies to tables created without a PARTITIONS
+	// clause. The paper's experiments use 12.
+	DefaultPartitions int
+	// Parallelism caps concurrent partition plans (0 = one per partition).
+	Parallelism int
+	// GPU overrides the simulated GPU configuration.
+	GPU device.GPUConfig
+	// ModelJoinConfig tunes the native operator (ablations).
+	ModelJoinConfig modeljoin.Config
+	// Planner ablation flags; see plan.Planner.
+	DisableSegmentedAgg bool
+	DisableZoneMaps     bool
+	DisableParallel     bool
+}
+
+// Database is an in-process analytical database instance.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
+	models map[string]*relmodel.Meta
+
+	opts Options
+	cpu  *device.CPU
+	gpu  *device.GPU
+}
+
+// Open creates an empty database.
+func Open(opts Options) *Database {
+	if opts.DefaultPartitions <= 0 {
+		opts.DefaultPartitions = 1
+	}
+	gpuCfg := opts.GPU
+	if gpuCfg.PCIeBandwidth == 0 {
+		gpuCfg = device.DefaultGPUConfig()
+	}
+	return &Database{
+		tables: make(map[string]*storage.Table),
+		models: make(map[string]*relmodel.Meta),
+		opts:   opts,
+		cpu:    device.NewCPU(),
+		gpu:    device.NewGPU(gpuCfg),
+	}
+}
+
+// CPU returns the host compute device.
+func (d *Database) CPU() *device.CPU { return d.cpu }
+
+// GPU returns the simulated GPU device (for experiment accounting).
+func (d *Database) GPU() *device.GPU { return d.gpu }
+
+// RegisterTable adds a pre-built table to the catalog, replacing any
+// existing table of the same name.
+func (d *Database) RegisterTable(t *storage.Table) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tables[strings.ToLower(t.Name)] = t
+}
+
+// Table resolves a table by name.
+func (d *Database) Table(name string) (*storage.Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// RegisterModel exports a trained model into a model table and records its
+// metadata in the catalog (Sec. 5.5: the DBMS knows the table is a model).
+func (d *Database) RegisterModel(m *nn.Model, opts relmodel.ExportOptions) (*relmodel.Meta, error) {
+	tbl, meta, err := relmodel.Export(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(tbl.Name)
+	d.tables[key] = tbl
+	d.models[key] = meta
+	return meta, nil
+}
+
+// ModelMeta resolves a registered model's metadata.
+func (d *Database) ModelMeta(name string) (*relmodel.Meta, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	meta, ok := d.models[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: %q is not a registered model", name)
+	}
+	return meta, nil
+}
+
+// DropTable removes a table (and its model registration if any).
+func (d *Database) DropTable(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := d.tables[key]; !ok {
+		return fmt.Errorf("db: table %q does not exist", name)
+	}
+	delete(d.tables, key)
+	delete(d.models, key)
+	return nil
+}
+
+// queryCatalog adapts the database to plan.Catalog for one query execution;
+// it shares one built model per (model, device) among all partition plan
+// instances (Sec. 5.2's shared model build).
+type queryCatalog struct {
+	db     *Database
+	mu     sync.Mutex
+	shared map[string]*modeljoin.SharedModel
+}
+
+func (d *Database) newQueryCatalog() *queryCatalog {
+	return &queryCatalog{db: d, shared: make(map[string]*modeljoin.SharedModel)}
+}
+
+// Table implements plan.Catalog.
+func (c *queryCatalog) Table(name string) (*storage.Table, error) { return c.db.Table(name) }
+
+// Model implements plan.Catalog.
+func (c *queryCatalog) Model(name string) (*plan.ModelMeta, error) {
+	meta, err := c.db.ModelMeta(name)
+	if err != nil {
+		return nil, err
+	}
+	inputDim := meta.InputDim()
+	if ts := meta.TimeSteps(); ts > 0 {
+		inputDim = ts
+	}
+	return &plan.ModelMeta{
+		Name:      meta.Name,
+		InputDim:  inputDim,
+		OutputDim: meta.OutputDim(),
+		TimeSteps: meta.TimeSteps(),
+	}, nil
+}
+
+// NewModelJoin implements plan.Catalog.
+func (c *queryCatalog) NewModelJoin(model string, child exec.Operator, inputCols []int, dev string) (exec.Operator, error) {
+	meta, err := c.db.ModelMeta(model)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := c.db.Table(model)
+	if err != nil {
+		return nil, err
+	}
+	var device device.Device
+	switch dev {
+	case "", "cpu":
+		device = c.db.cpu
+		dev = "cpu"
+	case "gpu":
+		device = c.db.gpu
+	default:
+		return nil, fmt.Errorf("db: unknown MODEL JOIN device %q (want 'cpu' or 'gpu')", dev)
+	}
+	key := strings.ToLower(model) + "|" + dev
+	c.mu.Lock()
+	sm, ok := c.shared[key]
+	if !ok {
+		sm = &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: c.db.opts.ModelJoinConfig}
+		c.shared[key] = sm
+	}
+	c.mu.Unlock()
+	return modeljoin.New(child, sm, inputCols)
+}
+
+func (d *Database) planner() *plan.Planner {
+	return &plan.Planner{
+		Cat:                 d.newQueryCatalog(),
+		Parallelism:         d.opts.Parallelism,
+		DisableSegmentedAgg: d.opts.DisableSegmentedAgg,
+		DisableZoneMaps:     d.opts.DisableZoneMaps,
+		DisableParallel:     d.opts.DisableParallel,
+	}
+}
+
+// Query parses, plans and executes a SELECT, materializing the result.
+func (d *Database) Query(text string) (*vector.Batch, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := d.planner().PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(op)
+}
+
+// QueryOp plans a SELECT and returns the physical operator tree without
+// executing it — used by the benchmark harness to separate planning from
+// execution and to stream results without materialization.
+func (d *Database) QueryOp(text string) (exec.Operator, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := d.planner().PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build()
+}
+
+// Explain returns the query plan rendering for a SELECT.
+func (d *Database) Explain(text string) (string, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return "", err
+	}
+	p, err := d.planner().PlanSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Exec runs a DDL/DML statement (CREATE TABLE, CREATE MODEL TABLE, INSERT,
+// DROP TABLE). EXPLAIN and SELECT are rejected — use Query/Explain.
+func (d *Database) Exec(text string) error {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		return d.execCreate(s)
+	case *sql.InsertStmt:
+		return d.execInsert(s)
+	case *sql.DropTableStmt:
+		return d.DropTable(s.Name)
+	default:
+		return fmt.Errorf("db: Exec does not handle %T; use Query for SELECT", stmt)
+	}
+}
+
+func (d *Database) execCreate(s *sql.CreateTableStmt) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, exists := d.tables[key]; exists {
+		return fmt.Errorf("db: table %q already exists", s.Name)
+	}
+	parts := s.Partitions
+	if parts == 0 {
+		parts = d.opts.DefaultPartitions
+	}
+	var schema *types.Schema
+	if s.Model {
+		// Sec. 5.5: a model table has the fixed relational model schema.
+		schema = relmodel.Schema(relmodel.LayoutPairs)
+	} else {
+		cols := make([]types.Column, len(s.Cols))
+		for i, c := range s.Cols {
+			t, err := types.ParseType(c.Type)
+			if err != nil {
+				return err
+			}
+			cols[i] = types.Column{Name: c.Name, Type: t}
+		}
+		schema = types.NewSchema(cols...)
+	}
+	opts := storage.Options{Partitions: parts}
+	tbl := storage.NewTable(s.Name, schema, opts)
+	if s.SortedBy != "" {
+		idx, ok := schema.Lookup(s.SortedBy)
+		if !ok {
+			return fmt.Errorf("db: SORTED BY column %q does not exist", s.SortedBy)
+		}
+		tbl.SetSortedBy(idx)
+	}
+	d.tables[key] = tbl
+	return nil
+}
+
+func (d *Database) execInsert(s *sql.InsertStmt) error {
+	tbl, err := d.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	colIdx := make([]int, 0, tbl.Schema.Len())
+	if len(s.Cols) > 0 {
+		for _, name := range s.Cols {
+			idx, ok := tbl.Schema.Lookup(name)
+			if !ok {
+				return fmt.Errorf("db: column %q does not exist in %s", name, s.Table)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	} else {
+		for i := 0; i < tbl.Schema.Len(); i++ {
+			colIdx = append(colIdx, i)
+		}
+	}
+	app := tbl.NewAppender()
+	oneRow := vector.NewBatch(types.NewSchema(), 1)
+	oneRow.SetLen(1)
+	for ri, row := range s.Rows {
+		if len(row) != len(colIdx) {
+			return fmt.Errorf("db: INSERT row %d has %d values, want %d", ri, len(row), len(colIdx))
+		}
+		datums := make([]types.Datum, tbl.Schema.Len())
+		for i := range datums {
+			datums[i] = types.NullDatum(tbl.Schema.Col(i).Type)
+		}
+		for vi, e := range row {
+			bound, err := bindLiteral(e)
+			if err != nil {
+				return fmt.Errorf("db: INSERT row %d: %w", ri, err)
+			}
+			v, err := bound.Eval(oneRow)
+			if err != nil {
+				return fmt.Errorf("db: INSERT row %d: %w", ri, err)
+			}
+			datums[colIdx[vi]] = coerce(v.Datum(0), tbl.Schema.Col(colIdx[vi]).Type)
+		}
+		if err := app.AppendRow(datums...); err != nil {
+			return err
+		}
+	}
+	app.Close()
+	return nil
+}
+
+// bindLiteral binds a constant expression (no column references).
+func bindLiteral(e sql.Expr) (boundExpr, error) {
+	pl := &plan.Planner{}
+	return pl.BindConstExpr(e)
+}
+
+// boundExpr is the minimal evaluable surface db needs from plan.
+type boundExpr interface {
+	Eval(*vector.Batch) (*vector.Vector, error)
+}
+
+func coerce(d types.Datum, to types.T) types.Datum {
+	if d.Null || d.Type == to {
+		d.Type = to
+		return d
+	}
+	switch to {
+	case types.Bool:
+		return types.BoolDatum(d.Type == types.Bool && d.B)
+	case types.Int32:
+		return types.Int32Datum(int32(d.Int()))
+	case types.Int64:
+		return types.Int64Datum(d.Int())
+	case types.Float32:
+		return types.Float32Datum(float32(d.Float()))
+	case types.Float64:
+		return types.Float64Datum(d.Float())
+	case types.String:
+		return types.StringDatum(d.String())
+	}
+	return d
+}

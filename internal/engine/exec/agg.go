@@ -1,0 +1,435 @@
+package exec
+
+import (
+	"fmt"
+
+	"indbml/internal/engine/expr"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc uint8
+
+// Supported aggregate functions.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggCountStar
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// ParseAggFunc resolves an aggregate function name.
+func ParseAggFunc(name string) (AggFunc, bool) {
+	switch name {
+	case "SUM", "sum":
+		return AggSum, true
+	case "COUNT", "count":
+		return AggCount, true
+	case "AVG", "avg":
+		return AggAvg, true
+	case "MIN", "min":
+		return AggMin, true
+	case "MAX", "max":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// AggSpec is one aggregate column: Func applied to Arg (nil for COUNT(*)).
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+	Name string
+}
+
+// resultType returns the output type of the aggregate.
+func (a AggSpec) resultType() types.T {
+	switch a.Func {
+	case AggCount, AggCountStar:
+		return types.Int64
+	case AggAvg:
+		return types.Float64
+	default:
+		return a.Arg.Type()
+	}
+}
+
+// aggState accumulates one aggregate for one group. Sums accumulate in
+// float64 for numeric stability (as analytical engines widen accumulators)
+// and are narrowed to the output type on emit.
+type aggState struct {
+	sum    float64
+	isum   int64
+	count  int64
+	minmax types.Datum
+}
+
+func (s *aggState) update(spec AggSpec, v *vector.Vector, r int) {
+	switch spec.Func {
+	case AggCountStar:
+		s.count++
+	case AggCount:
+		if !v.NullAt(r) {
+			s.count++
+		}
+	case AggSum, AggAvg:
+		if v.NullAt(r) {
+			return
+		}
+		s.count++
+		if v.Type().IsInteger() {
+			s.isum += v.AsInt64(r)
+		} else {
+			s.sum += v.AsFloat64(r)
+		}
+	case AggMin:
+		if v.NullAt(r) {
+			return
+		}
+		d := v.Datum(r)
+		if s.count == 0 || d.Compare(s.minmax) < 0 {
+			s.minmax = d
+		}
+		s.count++
+	case AggMax:
+		if v.NullAt(r) {
+			return
+		}
+		d := v.Datum(r)
+		if s.count == 0 || d.Compare(s.minmax) > 0 {
+			s.minmax = d
+		}
+		s.count++
+	}
+}
+
+func (s *aggState) result(spec AggSpec) types.Datum {
+	t := spec.resultType()
+	switch spec.Func {
+	case AggCount, AggCountStar:
+		return types.Int64Datum(s.count)
+	case AggSum:
+		if s.count == 0 {
+			return types.NullDatum(t)
+		}
+		switch t {
+		case types.Int32:
+			return types.Int32Datum(int32(s.isum))
+		case types.Int64:
+			return types.Int64Datum(s.isum)
+		case types.Float32:
+			return types.Float32Datum(float32(s.sum))
+		default:
+			return types.Float64Datum(s.sum)
+		}
+	case AggAvg:
+		if s.count == 0 {
+			return types.NullDatum(t)
+		}
+		total := s.sum
+		if spec.Arg.Type().IsInteger() {
+			total = float64(s.isum)
+		}
+		return types.Float64Datum(total / float64(s.count))
+	default:
+		if s.count == 0 {
+			return types.NullDatum(t)
+		}
+		return s.minmax
+	}
+}
+
+// aggSchema builds the output schema: group columns then aggregate columns.
+func aggSchema(groupBy []expr.Expr, groupNames []string, aggs []AggSpec) (*types.Schema, error) {
+	if len(groupBy) != len(groupNames) {
+		return nil, fmt.Errorf("exec: %d group expressions but %d names", len(groupBy), len(groupNames))
+	}
+	cols := make([]types.Column, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		cols = append(cols, types.Column{Name: groupNames[i], Type: g.Type()})
+	}
+	for _, a := range aggs {
+		if a.Func != AggCountStar && a.Arg == nil {
+			return nil, fmt.Errorf("exec: aggregate %s requires an argument", a.Name)
+		}
+		if (a.Func == AggSum || a.Func == AggAvg) && !a.Arg.Type().IsNumeric() {
+			return nil, fmt.Errorf("exec: aggregate %s requires a numeric argument, got %s", a.Name, a.Arg.Type())
+		}
+		cols = append(cols, types.Column{Name: a.Name, Type: a.resultType()})
+	}
+	return types.NewSchema(cols...), nil
+}
+
+// HashAggregate is the generic grouping operator: it materializes a hash
+// table over the full input — a pipeline breaker, which is exactly the
+// memory-footprint cost of ML-To-SQL the paper discusses (Sec. 4.4), and
+// what the ordered variant below removes.
+type HashAggregate struct {
+	Child      Operator
+	GroupBy    []expr.Expr
+	GroupNames []string
+	Aggs       []AggSpec
+
+	schema *types.Schema
+	keyer  *keyer
+
+	groupRows *vector.Batch // first-seen group key values
+	states    [][]aggState  // per group, per agg
+	intIdx    map[intKey]int
+	byteIdx   map[string]int
+	keyBuf    []byte
+	emitPos   int
+	// PeakGroups is exposed for the memory experiments: the number of
+	// simultaneously held groups.
+	PeakGroups int
+}
+
+// NewHashAggregate constructs a hash aggregation.
+func NewHashAggregate(child Operator, groupBy []expr.Expr, groupNames []string, aggs []AggSpec) (*HashAggregate, error) {
+	schema, err := aggSchema(groupBy, groupNames, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &HashAggregate{Child: child, GroupBy: groupBy, GroupNames: groupNames, Aggs: aggs, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() *types.Schema { return h.schema }
+
+// Open implements Operator: it consumes the entire child input.
+func (h *HashAggregate) Open() error {
+	if err := h.Child.Open(); err != nil {
+		return err
+	}
+	h.keyer = newKeyer(h.GroupBy)
+	groupSchema := make([]types.Column, len(h.GroupBy))
+	for i, g := range h.GroupBy {
+		groupSchema[i] = types.Column{Name: h.GroupNames[i], Type: g.Type()}
+	}
+	h.groupRows = vector.NewBatch(types.NewSchema(groupSchema...), vector.Size)
+	h.states = nil
+	h.emitPos = 0
+	if h.keyer.intFast {
+		h.intIdx = make(map[intKey]int)
+	} else {
+		h.byteIdx = make(map[string]int)
+	}
+
+	for {
+		b, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		keys, err := h.keyer.evalKeys(b)
+		if err != nil {
+			return err
+		}
+		args := make([]*vector.Vector, len(h.Aggs))
+		for i, a := range h.Aggs {
+			if a.Arg != nil {
+				if args[i], err = a.Arg.Eval(b); err != nil {
+					return err
+				}
+			}
+		}
+		for r := 0; r < b.Len(); r++ {
+			var gi int
+			var ok bool
+			if h.keyer.intFast {
+				k := intKeyAt(keys, r)
+				gi, ok = h.intIdx[k]
+				if !ok {
+					gi = len(h.states)
+					h.intIdx[k] = gi
+				}
+			} else {
+				h.keyBuf = byteKeyAt(keys, r, h.keyBuf[:0])
+				gi, ok = h.byteIdx[string(h.keyBuf)]
+				if !ok {
+					gi = len(h.states)
+					h.byteIdx[string(h.keyBuf)] = gi
+				}
+			}
+			if !ok {
+				h.states = append(h.states, make([]aggState, len(h.Aggs)))
+				for c, kv := range keys {
+					h.groupRows.Vecs[c].AppendDatum(kv.Datum(r))
+				}
+			}
+			st := h.states[gi]
+			for i := range h.Aggs {
+				st[i].update(h.Aggs[i], args[i], r)
+			}
+		}
+	}
+	if len(h.GroupBy) == 0 && len(h.states) == 0 {
+		// A scalar aggregate over an empty input still yields one row
+		// (COUNT = 0, SUM = NULL), per SQL.
+		h.states = append(h.states, make([]aggState, len(h.Aggs)))
+	}
+	h.groupRows.SetLen(len(h.states))
+	h.PeakGroups = len(h.states)
+	return nil
+}
+
+// Next implements Operator, emitting materialized groups in batches.
+func (h *HashAggregate) Next() (*vector.Batch, error) {
+	if h.emitPos >= len(h.states) {
+		return nil, nil
+	}
+	n := len(h.states) - h.emitPos
+	if n > vector.Size {
+		n = vector.Size
+	}
+	out := vector.NewBatch(h.schema, n)
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = h.emitPos + i
+	}
+	for c := range h.GroupBy {
+		out.Vecs[c].CopyFrom(h.groupRows.Vecs[c], sel)
+	}
+	base := len(h.GroupBy)
+	for i := range h.Aggs {
+		for r := 0; r < n; r++ {
+			out.Vecs[base+i].AppendDatum(h.states[h.emitPos+r][i].result(h.Aggs[i]))
+		}
+	}
+	out.SetLen(n)
+	h.emitPos += n
+	return out, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.states, h.intIdx, h.byteIdx, h.groupRows = nil, nil, nil, nil
+	return h.Child.Close()
+}
+
+// OrderedAggregate is the streaming grouping operator of Sec. 4.4: assuming
+// the input arrives sorted on the grouping key, a group is complete the
+// moment the key changes, so only one group's state is held at a time and
+// the operator pipelines with constant memory. ML-To-SQL's optimizer plants
+// it when the sort-order analysis proves the aggregation input is clustered
+// on the grouping keys.
+type OrderedAggregate struct {
+	Child      Operator
+	GroupBy    []expr.Expr
+	GroupNames []string
+	Aggs       []AggSpec
+
+	schema  *types.Schema
+	cur     []types.Datum
+	curSet  bool
+	states  []aggState
+	out     *vector.Batch
+	done    bool
+	pending *vector.Batch
+}
+
+// NewOrderedAggregate constructs an order-based aggregation. Correct results
+// require the child to emit rows clustered by the grouping expressions.
+func NewOrderedAggregate(child Operator, groupBy []expr.Expr, groupNames []string, aggs []AggSpec) (*OrderedAggregate, error) {
+	schema, err := aggSchema(groupBy, groupNames, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderedAggregate{Child: child, GroupBy: groupBy, GroupNames: groupNames, Aggs: aggs, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (o *OrderedAggregate) Schema() *types.Schema { return o.schema }
+
+// Open implements Operator.
+func (o *OrderedAggregate) Open() error {
+	o.cur = make([]types.Datum, len(o.GroupBy))
+	o.curSet, o.done = false, false
+	o.states = make([]aggState, len(o.Aggs))
+	o.pending = vector.NewBatch(o.schema, vector.Size)
+	return o.Child.Open()
+}
+
+func (o *OrderedAggregate) flushGroup() {
+	row := make([]types.Datum, 0, o.schema.Len())
+	row = append(row, o.cur...)
+	for i := range o.Aggs {
+		row = append(row, o.states[i].result(o.Aggs[i]))
+	}
+	_ = o.pending.AppendRow(row...)
+	o.states = make([]aggState, len(o.Aggs))
+}
+
+// Next implements Operator.
+func (o *OrderedAggregate) Next() (*vector.Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	for {
+		b, err := o.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			if o.curSet {
+				o.flushGroup()
+				o.curSet = false
+			}
+			o.done = true
+			if o.pending.Len() > 0 {
+				out := o.pending
+				o.pending = vector.NewBatch(o.schema, vector.Size)
+				return out, nil
+			}
+			return nil, nil
+		}
+		keys := make([]*vector.Vector, len(o.GroupBy))
+		for i, g := range o.GroupBy {
+			if keys[i], err = g.Eval(b); err != nil {
+				return nil, err
+			}
+		}
+		args := make([]*vector.Vector, len(o.Aggs))
+		for i, a := range o.Aggs {
+			if a.Arg != nil {
+				if args[i], err = a.Arg.Eval(b); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for r := 0; r < b.Len(); r++ {
+			changed := !o.curSet
+			for c := range keys {
+				if o.curSet && keys[c].Datum(r).Compare(o.cur[c]) != 0 {
+					changed = true
+					break
+				}
+			}
+			if changed {
+				if o.curSet {
+					o.flushGroup()
+				}
+				for c := range keys {
+					o.cur[c] = keys[c].Datum(r)
+				}
+				o.curSet = true
+			}
+			for i := range o.Aggs {
+				o.states[i].update(o.Aggs[i], args[i], r)
+			}
+		}
+		if o.pending.Len() >= vector.Size {
+			out := o.pending
+			o.pending = vector.NewBatch(o.schema, vector.Size)
+			return out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *OrderedAggregate) Close() error { return o.Child.Close() }

@@ -1,0 +1,270 @@
+package exec
+
+import (
+	"fmt"
+
+	"indbml/internal/engine/expr"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// HashJoin is an inner equi-join following the classic two-phase build/probe
+// pattern the paper models the ModelJoin on (Fig. 5). The build side is
+// materialized into a hash table; the probe side streams. With zero key
+// pairs it degenerates to a cross join (the input function of ML-To-SQL
+// cross-joins the fact table with the model's input layer, Listing 2/3).
+//
+// Output columns are always Left's followed by Right's. When BuildRight is
+// set (the default chosen by the planner when the right side is small — the
+// model side), the left input streams, so the join preserves the left
+// input's row order; this is what makes the pipelined, order-based
+// aggregation of Sec. 4.4 possible downstream.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []expr.Expr
+	// BuildRight selects which side is materialized: true builds the hash
+	// table from Right and probes with Left.
+	BuildRight bool
+
+	schema *types.Schema
+	keyer  *keyer
+
+	// build state
+	buildData *vector.Batch
+	intTable  map[intKey][]int32
+	byteTable map[string][]int32
+
+	// probe state
+	probeBatch *vector.Batch
+	probeKeys  []*vector.Vector
+	probeRow   int
+	matchPos   int
+	keyBuf     []byte
+}
+
+// NewHashJoin constructs an inner hash join.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []expr.Expr, buildRight bool) (*HashJoin, error) {
+	if len(leftKeys) != len(rightKeys) {
+		return nil, fmt.Errorf("exec: join has %d left keys but %d right keys", len(leftKeys), len(rightKeys))
+	}
+	for i := range leftKeys {
+		lt, rt := leftKeys[i].Type(), rightKeys[i].Type()
+		if lt != rt {
+			common, err := types.Promote(lt, rt)
+			if err != nil {
+				return nil, fmt.Errorf("exec: join key %d: %w", i, err)
+			}
+			leftKeys[i] = expr.NewCast(leftKeys[i], common)
+			rightKeys[i] = expr.NewCast(rightKeys[i], common)
+		}
+	}
+	return &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: leftKeys, RightKeys: rightKeys,
+		BuildRight: buildRight,
+		schema:     left.Schema().Concat(right.Schema()),
+	}, nil
+}
+
+// NewCrossJoin constructs a cross join (a key-less hash join) that
+// materializes the right side.
+func NewCrossJoin(left, right Operator) (*HashJoin, error) {
+	return NewHashJoin(left, right, nil, nil, true)
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *types.Schema { return j.schema }
+
+func (j *HashJoin) buildSide() (Operator, []expr.Expr) {
+	if j.BuildRight {
+		return j.Right, j.RightKeys
+	}
+	return j.Left, j.LeftKeys
+}
+
+func (j *HashJoin) probeSide() (Operator, []expr.Expr) {
+	if j.BuildRight {
+		return j.Left, j.LeftKeys
+	}
+	return j.Right, j.RightKeys
+}
+
+// Open implements Operator: it drains the build side into the hash table.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	build, buildKeys := j.buildSide()
+	j.keyer = newKeyer(buildKeys)
+	j.buildData = vector.NewBatch(build.Schema(), vector.Size)
+	if j.keyer.intFast {
+		j.intTable = make(map[intKey][]int32)
+	} else {
+		j.byteTable = make(map[string][]int32)
+	}
+	for {
+		b, err := build.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		base := int32(j.buildData.Len())
+		if len(buildKeys) > 0 {
+			keys, err := j.keyer.evalKeys(b)
+			if err != nil {
+				return err
+			}
+			if j.keyer.intFast {
+				for r := 0; r < b.Len(); r++ {
+					k := intKeyAt(keys, r)
+					j.intTable[k] = append(j.intTable[k], base+int32(r))
+				}
+			} else {
+				for r := 0; r < b.Len(); r++ {
+					j.keyBuf = byteKeyAt(keys, r, j.keyBuf[:0])
+					j.byteTable[string(j.keyBuf)] = append(j.byteTable[string(j.keyBuf)], base+int32(r))
+				}
+			}
+		}
+		j.buildData.AppendBatch(b)
+	}
+	if len(buildKeys) == 0 {
+		// Cross join: every build row matches every probe row.
+		all := make([]int32, j.buildData.Len())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		j.intTable[intKey{}] = all
+	}
+	j.probeBatch = nil
+	j.probeRow, j.matchPos = 0, 0
+	return nil
+}
+
+// matchesFor returns the build-row list matching probe row r.
+func (j *HashJoin) matchesFor(r int) []int32 {
+	if len(j.LeftKeys) == 0 {
+		return j.intTable[intKey{}]
+	}
+	if j.keyer.intFast {
+		return j.intTable[intKeyAt(j.probeKeys, r)]
+	}
+	j.keyBuf = byteKeyAt(j.probeKeys, r, j.keyBuf[:0])
+	return j.byteTable[string(j.keyBuf)]
+}
+
+// Next implements Operator: it emits combined rows in probe order, resuming
+// mid-row across calls when a probe row matches more build rows than fit in
+// one output batch. Selections never span probe batches, because probe
+// children are free to reuse their output buffers between Next calls.
+func (j *HashJoin) Next() (*vector.Batch, error) {
+	probe, probeKeys := j.probeSide()
+	out := vector.NewBatch(j.schema, vector.Size)
+	probeSel := make([]int, 0, vector.Size)
+	buildSel := make([]int, 0, vector.Size)
+
+	for {
+		if j.probeBatch == nil {
+			b, err := probe.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				return nil, nil
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			j.probeBatch = b
+			if len(probeKeys) > 0 {
+				j.probeKeys, err = j.keyer.evalKeysProbe(probeKeys, b)
+				if err != nil {
+					return nil, err
+				}
+			}
+			j.probeRow, j.matchPos = 0, 0
+		}
+		for j.probeRow < j.probeBatch.Len() {
+			matches := j.matchesFor(j.probeRow)
+			for j.matchPos < len(matches) && len(probeSel) < vector.Size {
+				probeSel = append(probeSel, j.probeRow)
+				buildSel = append(buildSel, int(matches[j.matchPos]))
+				j.matchPos++
+			}
+			if j.matchPos < len(matches) {
+				// Output batch full mid-row; emit and resume here.
+				j.emit(out, j.probeBatch, probeSel, buildSel)
+				return out, nil
+			}
+			j.probeRow++
+			j.matchPos = 0
+			if len(probeSel) >= vector.Size {
+				break
+			}
+		}
+		if j.probeRow >= j.probeBatch.Len() {
+			// Probe batch exhausted: emit whatever matched before letting
+			// the child recycle its buffer.
+			finished := j.probeBatch
+			j.probeBatch = nil
+			if len(probeSel) > 0 {
+				j.emit(out, finished, probeSel, buildSel)
+				return out, nil
+			}
+			continue
+		}
+		// Output full at a row boundary within the current probe batch.
+		j.emit(out, j.probeBatch, probeSel, buildSel)
+		return out, nil
+	}
+}
+
+// emit gathers the selected probe/build rows into the output batch in
+// Left-columns-then-Right-columns order.
+func (j *HashJoin) emit(out *vector.Batch, probeBatch *vector.Batch, probeSel, buildSel []int) {
+	nLeft := j.Left.Schema().Len()
+	leftBatch, leftSel := probeBatch, probeSel
+	rightBatch, rightSel := j.buildData, buildSel
+	if !j.BuildRight {
+		leftBatch, leftSel = j.buildData, buildSel
+		rightBatch, rightSel = probeBatch, probeSel
+	}
+	for c := 0; c < nLeft; c++ {
+		out.Vecs[c].CopyFrom(leftBatch.Vecs[c], leftSel)
+	}
+	for c := 0; c < rightBatch.Schema.Len(); c++ {
+		out.Vecs[nLeft+c].CopyFrom(rightBatch.Vecs[c], rightSel)
+	}
+	out.SetLen(len(probeSel))
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	j.buildData, j.intTable, j.byteTable = nil, nil, nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// evalKeysProbe evaluates probe-side key expressions; separate from the
+// build-side keyer because probe keys are different expressions over a
+// different schema.
+func (k *keyer) evalKeysProbe(exprs []expr.Expr, b *vector.Batch) ([]*vector.Vector, error) {
+	vecs := make([]*vector.Vector, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	return vecs, nil
+}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"indbml/internal/engine/expr"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// keyer encodes the key columns of a row into a comparable value for hash
+// joins and hash aggregation. Two implementations exist: a fast path for up
+// to two integer keys (the shape of every join and grouping key in the
+// generated ML queries: (ID, Node), (Layer_in, Node_in), …) using a
+// [2]int64 map key with no allocation, and a generic byte-encoded fallback.
+type keyer struct {
+	exprs   []expr.Expr
+	intFast bool
+}
+
+func newKeyer(exprs []expr.Expr) *keyer {
+	k := &keyer{exprs: exprs, intFast: len(exprs) <= 2}
+	for _, e := range exprs {
+		if !e.Type().IsInteger() {
+			k.intFast = false
+		}
+	}
+	return k
+}
+
+// intKey is the fast-path composite key.
+type intKey [2]int64
+
+// evalKeys evaluates the key expressions over a batch.
+func (k *keyer) evalKeys(b *vector.Batch) ([]*vector.Vector, error) {
+	vecs := make([]*vector.Vector, len(k.exprs))
+	for i, e := range k.exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	return vecs, nil
+}
+
+// intKeyAt builds the fast-path key for row r; only valid when intFast.
+func intKeyAt(vecs []*vector.Vector, r int) intKey {
+	var key intKey
+	for i, v := range vecs {
+		if v.NullAt(r) {
+			key[i] = math.MinInt64 + 1 // distinct-from-everything sentinel
+			continue
+		}
+		key[i] = v.AsInt64(r)
+	}
+	return key
+}
+
+// byteKeyAt appends the generic encoded key for row r to dst and returns it.
+func byteKeyAt(vecs []*vector.Vector, r int, dst []byte) []byte {
+	for _, v := range vecs {
+		if v.NullAt(r) {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		switch v.Type() {
+		case types.Bool:
+			if v.Bools()[r] {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		case types.Int32:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Int32s()[r]))
+		case types.Int64:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.Int64s()[r]))
+		case types.Float32:
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v.Float32s()[r]))
+		case types.Float64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float64s()[r]))
+		case types.String:
+			s := v.Strings()[r]
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+			dst = append(dst, s...)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// Exchange realizes the engine's partition parallelism (Sec. 4.4/5.2): each
+// child is an independent physical plan instance over one partition —
+// mirroring x100's private per-thread query plans — and Exchange runs them
+// concurrently, merging their outputs. Batches are deep-copied into the
+// channel because children reuse their output buffers.
+type Exchange struct {
+	Children []Operator
+	// MaxParallel caps concurrent children; 0 means all at once (the
+	// paper's setup runs 12 partitions at parallelism level 12).
+	MaxParallel int
+
+	ch      chan *vector.Batch
+	errCh   chan error
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	opened  bool
+}
+
+// NewExchange constructs an exchange over per-partition plans. All children
+// must share a schema.
+func NewExchange(children []Operator, maxParallel int) (*Exchange, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("exec: exchange requires at least one child")
+	}
+	for _, c := range children[1:] {
+		if !c.Schema().Equal(children[0].Schema()) {
+			return nil, fmt.Errorf("exec: exchange children have mismatched schemas: %s vs %s", c.Schema(), children[0].Schema())
+		}
+	}
+	return &Exchange{Children: children, MaxParallel: maxParallel}, nil
+}
+
+// Schema implements Operator.
+func (e *Exchange) Schema() *types.Schema { return e.Children[0].Schema() }
+
+// Open implements Operator: it launches one goroutine per child.
+func (e *Exchange) Open() error {
+	e.ch = make(chan *vector.Batch, len(e.Children))
+	e.errCh = make(chan error, len(e.Children))
+	e.stopped = make(chan struct{})
+	e.opened = true
+
+	limit := e.MaxParallel
+	if limit <= 0 || limit > len(e.Children) {
+		limit = len(e.Children)
+	}
+	sem := make(chan struct{}, limit)
+
+	for _, child := range e.Children {
+		e.wg.Add(1)
+		go func(op Operator) {
+			defer e.wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := op.Open(); err != nil {
+				e.errCh <- err
+				return
+			}
+			defer op.Close()
+			for {
+				b, err := op.Next()
+				if err != nil {
+					e.errCh <- err
+					return
+				}
+				if b == nil {
+					return
+				}
+				cp := vector.NewBatch(op.Schema(), b.Len())
+				cp.AppendBatch(b)
+				select {
+				case e.ch <- cp:
+				case <-e.stopped:
+					return
+				}
+			}
+		}(child)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.ch)
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (e *Exchange) Next() (*vector.Batch, error) {
+	for {
+		select {
+		case err := <-e.errCh:
+			return nil, err
+		case b, ok := <-e.ch:
+			if !ok {
+				// Drain a late error if one raced with channel close.
+				select {
+				case err := <-e.errCh:
+					return nil, err
+				default:
+					return nil, nil
+				}
+			}
+			return b, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (e *Exchange) Close() error {
+	if !e.opened {
+		return nil
+	}
+	close(e.stopped)
+	for range e.ch {
+		// Unblock producers and drain.
+	}
+	e.opened = false
+	return nil
+}

@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+func TestTopNMatchesSortLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	schema, b := twoColBatch(5000, func(i int) (int64, float64) { return int64(rng.Intn(1000)), float64(i) })
+
+	keys := []SortKey{{E: colRef(schema, "k")}, {E: colRef(schema, "v"), Desc: true}}
+	topn := NewTopN(NewValues(schema, b), keys, 25)
+	want := NewLimit(NewSort(NewValues(schema, b), keys), 25)
+
+	got, err := Collect(topn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Collect(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ref.Len() {
+		t.Fatalf("topn %d rows, sort+limit %d", got.Len(), ref.Len())
+	}
+	for r := 0; r < got.Len(); r++ {
+		if got.Vecs[0].Int64s()[r] != ref.Vecs[0].Int64s()[r] || got.Vecs[1].Float64s()[r] != ref.Vecs[1].Float64s()[r] {
+			t.Fatalf("row %d differs: (%d,%v) vs (%d,%v)", r,
+				got.Vecs[0].Int64s()[r], got.Vecs[1].Float64s()[r],
+				ref.Vecs[0].Int64s()[r], ref.Vecs[1].Float64s()[r])
+		}
+	}
+}
+
+func TestTopNFewerRowsThanN(t *testing.T) {
+	schema, b := intBatch("x", 3, 1, 2)
+	out, err := Collect(NewTopN(NewValues(schema, b), []SortKey{{E: colRef(schema, "x")}}, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("got %d rows", out.Len())
+	}
+	vals := out.Vecs[0].Int64s()
+	if vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Errorf("order wrong: %v", vals)
+	}
+}
+
+func TestTopNZero(t *testing.T) {
+	schema, b := intBatch("x", 1, 2)
+	out, err := Collect(NewTopN(NewValues(schema, b), []SortKey{{E: colRef(schema, "x")}}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("n=0 returned %d rows", out.Len())
+	}
+}
+
+func TestTopNPropertyAgainstOracle(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%20 + 1
+		rows := rng.Intn(500) + 1
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(100))
+		}
+		schema := types.NewSchema(types.Column{Name: "x", Type: types.Int64})
+		batch := newIntBatchFrom(schema, vals)
+		out, err := Collect(NewTopN(NewValues(schema, batch), []SortKey{{E: colRef(schema, "x"), Desc: true}}, n))
+		if err != nil {
+			return false
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		if n > rows {
+			n = rows
+		}
+		if out.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if out.Vecs[0].Int64s()[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// newIntBatchFrom builds a single-column int64 batch from values.
+func newIntBatchFrom(schema *types.Schema, vals []int64) *vector.Batch {
+	b := vector.NewBatch(schema, len(vals))
+	for _, v := range vals {
+		_ = b.AppendRow(types.Int64Datum(v))
+	}
+	return b
+}

@@ -1,0 +1,514 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/expr"
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/types"
+)
+
+// props are the physical properties the optimizer tracks bottom-up:
+//
+//   - clustered: output ordinal the stream is clustered by (rows with equal
+//     values are contiguous), or -1. Fuel for the pipelined segmented
+//     aggregation of Sec. 4.4.
+//   - partTable/partCol: when >= 0, output column partCol carries the unique
+//     key of partitioned table partTable, meaning rows with equal values
+//     can never meet across partition plan instances. Grouping on such a
+//     column is partition-aligned, so the paper's "no repartitioning is
+//     necessary" parallelization applies.
+type props struct {
+	clustered int
+	partTable *storage.Table
+	partCol   int
+}
+
+func noProps() props { return props{clustered: -1, partCol: -1} }
+
+// buildCtx parameterizes physical plan construction: the driver table is
+// scanned one partition per plan instance; every other table is read fully
+// (the "model table is shared/replicated between threads" of Sec. 4.4).
+type buildCtx struct {
+	cat       Catalog
+	driver    *storage.Table
+	partition int // -1 = scan all partitions
+}
+
+// node is a bound logical plan node.
+type node interface {
+	scope() *scope
+	props() props
+	build(ctx *buildCtx) (exec.Operator, error)
+	children() []node
+	describe() string
+}
+
+// walk visits the tree pre-order.
+func walk(n node, fn func(node)) {
+	fn(n)
+	for _, c := range n.children() {
+		walk(c, fn)
+	}
+}
+
+// containsTable reports whether the subtree scans t.
+func containsTable(n node, t *storage.Table) bool {
+	found := false
+	walk(n, func(m node) {
+		if s, ok := m.(*scanNode); ok && s.table == t {
+			found = true
+		}
+	})
+	return found
+}
+
+// --- scan ---
+
+type scanNode struct {
+	table *storage.Table
+	alias string
+	sc    *scope
+	// zone-map filters attached by predicate pushdown.
+	zoneFilters []storage.RangeFilter
+}
+
+func newScanNode(t *storage.Table, alias string) *scanNode {
+	sc := &scope{}
+	for i := 0; i < t.Schema.Len(); i++ {
+		sc.cols = append(sc.cols, scopeCol{
+			qual: strings.ToLower(alias),
+			name: strings.ToLower(t.Schema.Col(i).Name),
+			typ:  t.Schema.Col(i).Type,
+		})
+	}
+	return &scanNode{table: t, alias: alias, sc: sc}
+}
+
+func (s *scanNode) scope() *scope    { return s.sc }
+func (s *scanNode) children() []node { return nil }
+
+func (s *scanNode) props() props {
+	p := noProps()
+	p.clustered = s.table.SortedBy()
+	if uk := s.table.UniqueKey(); uk >= 0 && s.table.Partitions() > 1 {
+		p.partTable, p.partCol = s.table, uk
+	}
+	return p
+}
+
+func (s *scanNode) build(ctx *buildCtx) (exec.Operator, error) {
+	if ctx.driver == s.table && ctx.partition >= 0 {
+		return exec.NewScan(s.table, ctx.partition, nil, s.zoneFilters)
+	}
+	scans := make([]exec.Operator, s.table.Partitions())
+	for p := range scans {
+		sc, err := exec.NewScan(s.table, p, nil, s.zoneFilters)
+		if err != nil {
+			return nil, err
+		}
+		scans[p] = sc
+	}
+	if len(scans) == 1 {
+		return scans[0], nil
+	}
+	return exec.NewUnionAll(scans...), nil
+}
+
+func (s *scanNode) describe() string {
+	d := fmt.Sprintf("Scan %s", s.table.Name)
+	if len(s.zoneFilters) > 0 {
+		d += fmt.Sprintf(" [%d zone-map filters]", len(s.zoneFilters))
+	}
+	return d
+}
+
+// --- filter ---
+
+type filterNode struct {
+	child node
+	pred  expr.Expr
+}
+
+func (f *filterNode) scope() *scope    { return f.child.scope() }
+func (f *filterNode) props() props     { return f.child.props() }
+func (f *filterNode) children() []node { return []node{f.child} }
+
+func (f *filterNode) build(ctx *buildCtx) (exec.Operator, error) {
+	c, err := f.child.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewFilter(c, f.pred)
+}
+
+func (f *filterNode) describe() string { return fmt.Sprintf("Filter %s", f.pred) }
+
+// --- project ---
+
+type projectNode struct {
+	child node
+	exprs []expr.Expr
+	names []string
+	sc    *scope
+}
+
+func newProjectNode(child node, exprs []expr.Expr, names []string) *projectNode {
+	sc := &scope{}
+	for i, e := range exprs {
+		sc.cols = append(sc.cols, scopeCol{name: strings.ToLower(names[i]), typ: e.Type()})
+	}
+	return &projectNode{child: child, exprs: exprs, names: names, sc: sc}
+}
+
+func (p *projectNode) scope() *scope    { return p.sc }
+func (p *projectNode) children() []node { return []node{p.child} }
+
+func (p *projectNode) props() props {
+	cp := p.child.props()
+	out := noProps()
+	for i, e := range p.exprs {
+		if cr, ok := e.(*expr.ColRef); ok {
+			if cr.Idx == cp.clustered && out.clustered < 0 {
+				out.clustered = i
+			}
+			if cp.partCol >= 0 && cr.Idx == cp.partCol && out.partCol < 0 {
+				out.partTable, out.partCol = cp.partTable, i
+			}
+		}
+	}
+	return out
+}
+
+func (p *projectNode) build(ctx *buildCtx) (exec.Operator, error) {
+	c, err := p.child.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewProject(c, p.exprs, p.names)
+}
+
+func (p *projectNode) describe() string {
+	parts := make([]string, len(p.exprs))
+	for i, e := range p.exprs {
+		parts[i] = fmt.Sprintf("%s AS %s", e, p.names[i])
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// --- join ---
+
+type joinNode struct {
+	left, right         node
+	leftKeys, rightKeys []expr.Expr
+	buildRight          bool
+	sc                  *scope
+}
+
+func newJoinNode(left, right node, leftKeys, rightKeys []expr.Expr, buildRight bool) *joinNode {
+	return &joinNode{
+		left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys,
+		buildRight: buildRight,
+		sc:         left.scope().concat(right.scope()),
+	}
+}
+
+func (j *joinNode) scope() *scope    { return j.sc }
+func (j *joinNode) children() []node { return []node{j.left, j.right} }
+
+func (j *joinNode) props() props {
+	// The probe side streams, so its clustering and partition alignment
+	// survive; build-side columns offer no guarantees.
+	out := noProps()
+	if j.buildRight {
+		lp := j.left.props()
+		out.clustered = lp.clustered
+		out.partTable, out.partCol = lp.partTable, lp.partCol
+	} else {
+		rp := j.right.props()
+		off := j.left.scope().schema().Len()
+		if rp.clustered >= 0 {
+			out.clustered = off + rp.clustered
+		}
+		if rp.partCol >= 0 {
+			out.partTable, out.partCol = rp.partTable, off+rp.partCol
+		}
+	}
+	return out
+}
+
+func (j *joinNode) build(ctx *buildCtx) (exec.Operator, error) {
+	l, err := j.left.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.right.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewHashJoin(l, r, j.leftKeys, j.rightKeys, j.buildRight)
+}
+
+func (j *joinNode) describe() string {
+	if len(j.leftKeys) == 0 {
+		return "CrossJoin"
+	}
+	keys := make([]string, len(j.leftKeys))
+	for i := range j.leftKeys {
+		keys[i] = fmt.Sprintf("%s = %s", j.leftKeys[i], j.rightKeys[i])
+	}
+	side := "right"
+	if !j.buildRight {
+		side = "left"
+	}
+	return fmt.Sprintf("HashJoin (%s) [build %s]", strings.Join(keys, " AND "), side)
+}
+
+// --- aggregate ---
+
+type aggNode struct {
+	child      node
+	groupExprs []expr.Expr
+	groupNames []string
+	aggs       []exec.AggSpec
+	sc         *scope
+	// forceHash disables the segmented rewrite (used by ablations).
+	forceHash bool
+}
+
+func newAggNode(child node, groupExprs []expr.Expr, groupNames []string, aggs []exec.AggSpec) *aggNode {
+	sc := &scope{}
+	for i, g := range groupExprs {
+		sc.cols = append(sc.cols, scopeCol{name: strings.ToLower(groupNames[i]), typ: g.Type()})
+	}
+	for _, a := range aggs {
+		t := types.Int64
+		switch a.Func {
+		case exec.AggSum, exec.AggMin, exec.AggMax:
+			t = a.Arg.Type()
+		case exec.AggAvg:
+			t = types.Float64
+		}
+		sc.cols = append(sc.cols, scopeCol{name: strings.ToLower(a.Name), typ: t})
+	}
+	return &aggNode{child: child, groupExprs: groupExprs, groupNames: groupNames, aggs: aggs, sc: sc}
+}
+
+func (a *aggNode) scope() *scope    { return a.sc }
+func (a *aggNode) children() []node { return []node{a.child} }
+
+// segmentPrefix returns the index within groupExprs of a bare column
+// reference to the child's clustered column, or -1.
+func (a *aggNode) segmentPrefix() int {
+	if a.forceHash {
+		return -1
+	}
+	cp := a.child.props()
+	if cp.clustered < 0 {
+		return -1
+	}
+	for i, g := range a.groupExprs {
+		if cr, ok := g.(*expr.ColRef); ok && cr.Idx == cp.clustered {
+			return i
+		}
+	}
+	return -1
+}
+
+func (a *aggNode) props() props {
+	out := noProps()
+	if pi := a.segmentPrefix(); pi >= 0 {
+		out.clustered = pi // segment aggregation emits segments in order
+	}
+	cp := a.child.props()
+	if cp.partCol >= 0 {
+		for i, g := range a.groupExprs {
+			if cr, ok := g.(*expr.ColRef); ok && cr.Idx == cp.partCol {
+				out.partTable, out.partCol = cp.partTable, i
+				break
+			}
+		}
+	}
+	return out
+}
+
+// aligned reports whether the aggregation groups by a partition-aligned
+// column of the given driver table.
+func (a *aggNode) aligned(driver *storage.Table) bool {
+	cp := a.child.props()
+	if cp.partTable != driver || cp.partCol < 0 {
+		return false
+	}
+	for _, g := range a.groupExprs {
+		if cr, ok := g.(*expr.ColRef); ok && cr.Idx == cp.partCol {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *aggNode) build(ctx *buildCtx) (exec.Operator, error) {
+	c, err := a.child.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if pi := a.segmentPrefix(); pi >= 0 {
+		return exec.NewSegmentedAggregate(c, a.groupExprs, a.groupNames, a.aggs, pi)
+	}
+	return exec.NewHashAggregate(c, a.groupExprs, a.groupNames, a.aggs)
+}
+
+func (a *aggNode) describe() string {
+	kind := "HashAggregate"
+	if a.segmentPrefix() >= 0 {
+		kind = "SegmentedAggregate (pipelined)"
+	}
+	groups := make([]string, len(a.groupExprs))
+	for i, g := range a.groupExprs {
+		groups[i] = g.String()
+	}
+	aggs := make([]string, len(a.aggs))
+	for i, s := range a.aggs {
+		aggs[i] = s.Name
+	}
+	return fmt.Sprintf("%s by [%s] aggs [%s]", kind, strings.Join(groups, ", "), strings.Join(aggs, ", "))
+}
+
+// --- model join ---
+
+type modelJoinNode struct {
+	child     node
+	modelName string
+	meta      *ModelMeta
+	inputCols []int
+	device    string
+	sc        *scope
+}
+
+func newModelJoinNode(child node, meta *ModelMeta, inputCols []int, device string) *modelJoinNode {
+	sc := &scope{cols: append([]scopeCol(nil), child.scope().cols...)}
+	for _, c := range meta.PredictionCols() {
+		sc.cols = append(sc.cols, scopeCol{name: strings.ToLower(c.Name), typ: c.Type})
+	}
+	return &modelJoinNode{child: child, modelName: meta.Name, meta: meta, inputCols: inputCols, device: device, sc: sc}
+}
+
+func (m *modelJoinNode) scope() *scope    { return m.sc }
+func (m *modelJoinNode) children() []node { return []node{m.child} }
+
+// props: the ModelJoin is pipelined and order-preserving (Sec. 5.4), so the
+// child's properties flow through unchanged.
+func (m *modelJoinNode) props() props { return m.child.props() }
+
+func (m *modelJoinNode) build(ctx *buildCtx) (exec.Operator, error) {
+	c, err := m.child.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.cat.NewModelJoin(m.modelName, c, m.inputCols, m.device)
+}
+
+func (m *modelJoinNode) describe() string {
+	dev := m.device
+	if dev == "" {
+		dev = "cpu"
+	}
+	return fmt.Sprintf("ModelJoin %s [%s]", m.modelName, dev)
+}
+
+// --- sort / limit ---
+
+type sortNode struct {
+	child node
+	keys  []exec.SortKey
+	// trimTo, when > 0, drops hidden sort columns after sorting: only the
+	// first trimTo columns remain visible.
+	trimTo int
+}
+
+func (s *sortNode) scope() *scope {
+	sc := s.child.scope()
+	if s.trimTo > 0 && s.trimTo < len(sc.cols) {
+		return &scope{cols: sc.cols[:s.trimTo]}
+	}
+	return sc
+}
+func (s *sortNode) children() []node { return []node{s.child} }
+
+// trimOp wraps an operator with a projection keeping the first n columns.
+func trimOp(child exec.Operator, n int) (exec.Operator, error) {
+	sc := child.Schema()
+	exprs := make([]expr.Expr, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		exprs[i] = expr.NewColRef(i, sc.Col(i).Name, sc.Col(i).Type)
+		names[i] = sc.Col(i).Name
+	}
+	return exec.NewProject(child, exprs, names)
+}
+
+func (s *sortNode) props() props {
+	p := noProps()
+	if cr, ok := s.keys[0].E.(*expr.ColRef); ok && !s.keys[0].Desc {
+		p.clustered = cr.Idx
+	}
+	cp := s.child.props()
+	p.partTable, p.partCol = cp.partTable, cp.partCol
+	return p
+}
+
+func (s *sortNode) build(ctx *buildCtx) (exec.Operator, error) {
+	c, err := s.child.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var op exec.Operator = exec.NewSort(c, s.keys)
+	if s.trimTo > 0 && s.trimTo < s.child.scope().schema().Len() {
+		return trimOp(op, s.trimTo)
+	}
+	return op, nil
+}
+
+func (s *sortNode) describe() string {
+	parts := make([]string, len(s.keys))
+	for i, k := range s.keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		parts[i] = fmt.Sprintf("%s %s", k.E, dir)
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+
+type limitNode struct {
+	child node
+	n     int
+}
+
+func (l *limitNode) scope() *scope    { return l.child.scope() }
+func (l *limitNode) props() props     { return l.child.props() }
+func (l *limitNode) children() []node { return []node{l.child} }
+
+func (l *limitNode) build(ctx *buildCtx) (exec.Operator, error) {
+	c, err := l.child.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewLimit(c, l.n), nil
+}
+
+func (l *limitNode) describe() string { return fmt.Sprintf("Limit %d", l.n) }
+
+// Explain renders the plan tree.
+func explainNode(n node, indent int, sb *strings.Builder) {
+	sb.WriteString(strings.Repeat("  ", indent))
+	sb.WriteString(n.describe())
+	sb.WriteByte('\n')
+	for _, c := range n.children() {
+		explainNode(c, indent+1, sb)
+	}
+}

@@ -1,0 +1,795 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(input string) (Stmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: input}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a SELECT statement, rejecting other statement kinds.
+func ParseSelect(input string) (*SelectStmt, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errf("expected %s, found %q", want, p.cur().Text)
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	pos := p.cur().Pos
+	// Show a short context window around the error position.
+	lo := pos - 20
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pos + 20
+	if hi > len(p.src) {
+		hi = len(p.src)
+	}
+	return fmt.Errorf("sql: %s (near offset %d: …%s…)", fmt.Sprintf(format, args...), pos, p.src[lo:hi])
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(TokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(TokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(TokKeyword, "DROP"):
+		return p.parseDrop()
+	case p.at(TokKeyword, "EXPLAIN"):
+		p.next()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Select: sel}, nil
+	default:
+		return nil, p.errf("expected a statement, found %q", p.cur().Text)
+	}
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	sel.Distinct = p.accept(TokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+
+	if p.accept(TokKeyword, "FROM") {
+		from, err := p.parseTableRefs()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Qualified star: ident '.' '*'
+	if p.at(TokIdent, "") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+		table := p.next().Text
+		p.next() // '.'
+		p.next() // '*'
+		return SelectItem{Star: true, StarTable: table}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		t, err := p.expectIdentLike()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t
+	} else if p.at(TokIdent, "") {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// expectIdentLike accepts identifiers and non-reserved keyword spellings as
+// names (aliases like "output" or "model" are common in the generated SQL).
+func (p *Parser) expectIdentLike() (string, error) {
+	if p.at(TokIdent, "") {
+		return p.next().Text, nil
+	}
+	if p.cur().Kind == TokKeyword {
+		switch p.cur().Text {
+		case "MODEL", "VALUES", "DEVICE", "PREDICT": // soft keywords
+			return strings.ToLower(p.next().Text), nil
+		}
+	}
+	return "", p.errf("expected identifier, found %q", p.cur().Text)
+}
+
+func (p *Parser) parseTableRefs() (TableRef, error) {
+	left, err := p.parseJoinChain()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokOp, ",") {
+		right, err := p.parseJoinChain()
+		if err != nil {
+			return nil, err
+		}
+		left = &JoinRef{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseJoinChain parses a primary ref followed by JOIN / MODEL JOIN chains.
+func (p *Parser) parseJoinChain() (TableRef, error) {
+	left, err := p.parsePrimaryRef()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokKeyword, "JOIN"):
+			p.next()
+			right, err := p.parsePrimaryRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Left: left, Right: right, On: on}
+		case p.at(TokKeyword, "MODEL") && p.toks[p.pos+1].Kind == TokKeyword && p.toks[p.pos+1].Text == "JOIN":
+			p.next()
+			p.next()
+			name, err := p.expectIdentLike()
+			if err != nil {
+				return nil, err
+			}
+			mj := &ModelJoinRef{Fact: left, ModelName: name}
+			if p.accept(TokKeyword, "PREDICT") {
+				if _, err := p.expect(TokOp, "("); err != nil {
+					return nil, err
+				}
+				for {
+					col, err := p.expectIdentLike()
+					if err != nil {
+						return nil, err
+					}
+					mj.Inputs = append(mj.Inputs, col)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+			}
+			if p.accept(TokKeyword, "USING") {
+				if _, err := p.expect(TokKeyword, "DEVICE"); err != nil {
+					return nil, err
+				}
+				t, err := p.expect(TokString, "")
+				if err != nil {
+					return nil, err
+				}
+				mj.Device = strings.ToLower(t.Text)
+			}
+			left = mj
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryRef() (TableRef, error) {
+	if p.accept(TokOp, "(") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		p.accept(TokKeyword, "AS")
+		alias, err := p.expectIdentLike()
+		if err != nil {
+			return nil, p.errf("subquery in FROM requires an alias")
+		}
+		return &SubqueryRef{Select: sel, Alias: alias}, nil
+	}
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	ref := &BaseTable{Name: name}
+	if p.accept(TokKeyword, "AS") {
+		alias, err := p.expectIdentLike()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = alias
+	} else if p.at(TokIdent, "") {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// --- expression grammar: OR > AND > NOT > comparison/BETWEEN > add > mul > unary > primary ---
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(TokKeyword, "IS") {
+		not := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Not: not}, nil
+	}
+	if not := p.accept(TokKeyword, "NOT"); not || p.at(TokKeyword, "BETWEEN") || p.at(TokKeyword, "IN") {
+		// [NOT] IN (list)
+		if p.accept(TokKeyword, "IN") {
+			if _, err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			in := &InExpr{E: l, Not: not}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return in, nil
+		}
+		if _, err := p.expect(TokKeyword, "BETWEEN"); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: not}, nil
+	}
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(TokOp, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokOp, "+"):
+			op = "+"
+		case p.accept(TokOp, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokOp, "*"):
+			op = "*"
+		case p.accept(TokOp, "/"):
+			op = "/"
+		case p.accept(TokOp, "%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	p.accept(TokOp, "+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &NumberLit{Text: t.Text}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{Val: t.Text}, nil
+	case p.accept(TokKeyword, "TRUE"):
+		return &BoolLit{Val: true}, nil
+	case p.accept(TokKeyword, "FALSE"):
+		return &BoolLit{Val: false}, nil
+	case p.accept(TokKeyword, "NULL"):
+		return &NullLit{}, nil
+	case p.accept(TokKeyword, "CASE"):
+		return p.parseCase()
+	case p.accept(TokKeyword, "CAST"):
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &CastExpr{E: e, Type: typ}, nil
+	case p.accept(TokOp, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		// Function call?
+		if p.accept(TokOp, "(") {
+			fc := &FuncCall{Name: strings.ToUpper(t.Text)}
+			if p.accept(TokOp, "*") {
+				fc.Star = true
+			} else if !p.at(TokOp, ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified identifier?
+		if p.accept(TokOp, ".") {
+			name, err := p.expectIdentLike()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Table: t.Text, Name: name}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case t.Kind == TokKeyword && (t.Text == "MODEL" || t.Text == "DEVICE" || t.Text == "PREDICT"):
+		// Soft keywords usable as bare column references.
+		p.next()
+		name := strings.ToLower(t.Text)
+		if p.accept(TokOp, ".") {
+			col, err := p.expectIdentLike()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Table: name, Name: col}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errf("expected an expression, found %q", t.Text)
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	c := &CaseExpr{}
+	for p.accept(TokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if p.accept(TokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(TokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseTypeName() (string, error) {
+	t, err := p.expectIdentLike()
+	if err != nil {
+		return "", err
+	}
+	// Swallow optional length/precision arguments: VARCHAR(20), etc.
+	if p.accept(TokOp, "(") {
+		for !p.at(TokOp, ")") && !p.at(TokEOF, "") {
+			p.next()
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return "", err
+		}
+	}
+	return t, nil
+}
+
+func (p *Parser) parseCreate() (Stmt, error) {
+	p.next() // CREATE
+	isModel := p.accept(TokKeyword, "MODEL")
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name, Model: isModel}
+	if !isModel {
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdentLike()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Cols = append(stmt.Cols, ColDef{Name: col, Type: typ})
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		switch {
+		case p.accept(TokKeyword, "PARTITIONS"):
+			t, err := p.expect(TokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(t.Text)
+			if err != nil || n <= 0 {
+				return nil, p.errf("invalid PARTITIONS %q", t.Text)
+			}
+			stmt.Partitions = n
+		case p.accept(TokKeyword, "SORTED"):
+			if _, err := p.expect(TokKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			col, err := p.expectIdentLike()
+			if err != nil {
+				return nil, err
+			}
+			stmt.SortedBy = col
+		default:
+			return stmt, nil
+		}
+	}
+}
+
+func (p *Parser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.accept(TokOp, "(") {
+		for {
+			col, err := p.expectIdentLike()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Cols = append(stmt.Cols, col)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDrop() (Stmt, error) {
+	p.next() // DROP
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}

@@ -1,0 +1,317 @@
+// Package storage implements the engine's column store: tables are split
+// into partitions (the unit of parallelism, Sec. 4.4/5.2), partitions hold
+// one chunk per column, and chunks are sequences of compressed blocks, each
+// carrying a MinMax zone map (Moerkotte's Small Materialized Aggregates,
+// which the paper relies on for block pruning of the model table).
+package storage
+
+import (
+	"fmt"
+
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// BlockSize is the number of values per column block.
+const BlockSize = 8192
+
+// encoding identifies the physical layout of a block.
+type encoding uint8
+
+const (
+	encRaw encoding = iota
+	// encRLE stores (value, runLength) pairs; extremely effective on the
+	// model table, where e.g. the Layer column repeats for every edge of a
+	// layer, and on sparse weight columns full of zeros.
+	encRLE
+	// encConst stores a single value for the whole block.
+	encConst
+	// encDict stores string blocks as a dictionary plus int32 codes.
+	encDict
+)
+
+// block is one compressed run of up to BlockSize values of a single column,
+// together with its zone map.
+type block struct {
+	typ  types.T
+	enc  encoding
+	n    int
+	min  types.Datum // zone map; Null for empty/string-less support
+	max  types.Datum
+	base types.Datum // encConst payload
+	// nulls flags NULL positions; nil when the block has none. The typed
+	// payloads store zero values at NULL slots.
+	nulls []bool
+
+	// encRaw payloads (one populated per type).
+	b   []bool
+	i32 []int32
+	i64 []int64
+	f32 []float32
+	f64 []float64
+	str []string
+
+	// encRLE payload: runs[i] repeated runLen[i] times.
+	runLen []int32
+
+	// encDict payload.
+	dict  []string
+	codes []int32
+}
+
+// buildBlock compresses vals[lo:hi] of vec into a block, choosing the
+// cheapest encoding.
+func buildBlock(vec *vector.Vector, lo, hi int) *block {
+	b := &block{typ: vec.Type(), n: hi - lo}
+	if src := vec.Nulls(); src != nil {
+		for i := lo; i < hi; i++ {
+			if src[i] {
+				if b.nulls == nil {
+					b.nulls = make([]bool, hi-lo)
+				}
+				b.nulls[i-lo] = true
+			}
+		}
+	}
+	b.computeZoneMap(vec, lo, hi)
+
+	// Probe run structure once to choose encoding.
+	runs := 1
+	for i := lo + 1; i < hi; i++ {
+		if vec.Datum(i).Compare(vec.Datum(i-1)) != 0 {
+			runs++
+		}
+	}
+	switch {
+	case runs == 1:
+		b.enc = encConst
+		b.base = vec.Datum(lo)
+	case b.typ != types.String && runs*3 < b.n:
+		b.enc = encRLE
+		b.encodeRLE(vec, lo, hi)
+	case b.typ == types.String && runs*2 < b.n:
+		b.enc = encDict
+		b.encodeDict(vec, lo, hi)
+	default:
+		b.enc = encRaw
+		b.encodeRaw(vec, lo, hi)
+	}
+	return b
+}
+
+func (b *block) computeZoneMap(vec *vector.Vector, lo, hi int) {
+	if !b.typ.IsNumeric() || hi == lo {
+		return
+	}
+	mn, mx := vec.Datum(lo), vec.Datum(lo)
+	for i := lo + 1; i < hi; i++ {
+		d := vec.Datum(i)
+		if d.Compare(mn) < 0 {
+			mn = d
+		}
+		if d.Compare(mx) > 0 {
+			mx = d
+		}
+	}
+	b.min, b.max = mn, mx
+}
+
+func (b *block) encodeRaw(vec *vector.Vector, lo, hi int) {
+	switch b.typ {
+	case types.Bool:
+		b.b = append([]bool(nil), vec.Bools()[lo:hi]...)
+	case types.Int32:
+		b.i32 = append([]int32(nil), vec.Int32s()[lo:hi]...)
+	case types.Int64:
+		b.i64 = append([]int64(nil), vec.Int64s()[lo:hi]...)
+	case types.Float32:
+		b.f32 = append([]float32(nil), vec.Float32s()[lo:hi]...)
+	case types.Float64:
+		b.f64 = append([]float64(nil), vec.Float64s()[lo:hi]...)
+	case types.String:
+		b.str = append([]string(nil), vec.Strings()[lo:hi]...)
+	}
+}
+
+func (b *block) encodeRLE(vec *vector.Vector, lo, hi int) {
+	appendVal := func(i int) {
+		switch b.typ {
+		case types.Bool:
+			b.b = append(b.b, vec.Bools()[i])
+		case types.Int32:
+			b.i32 = append(b.i32, vec.Int32s()[i])
+		case types.Int64:
+			b.i64 = append(b.i64, vec.Int64s()[i])
+		case types.Float32:
+			b.f32 = append(b.f32, vec.Float32s()[i])
+		case types.Float64:
+			b.f64 = append(b.f64, vec.Float64s()[i])
+		}
+	}
+	appendVal(lo)
+	b.runLen = append(b.runLen, 1)
+	for i := lo + 1; i < hi; i++ {
+		if vec.Datum(i).Compare(vec.Datum(i-1)) == 0 {
+			b.runLen[len(b.runLen)-1]++
+		} else {
+			appendVal(i)
+			b.runLen = append(b.runLen, 1)
+		}
+	}
+}
+
+func (b *block) encodeDict(vec *vector.Vector, lo, hi int) {
+	index := map[string]int32{}
+	strs := vec.Strings()
+	for i := lo; i < hi; i++ {
+		s := strs[i]
+		code, ok := index[s]
+		if !ok {
+			code = int32(len(b.dict))
+			index[s] = code
+			b.dict = append(b.dict, s)
+		}
+		b.codes = append(b.codes, code)
+	}
+}
+
+// decodeInto appends values [lo:hi) of the block to dst, restoring NULLs.
+func (b *block) decodeInto(dst *vector.Vector, lo, hi int) {
+	start := dst.Len()
+	defer func() {
+		if b.nulls == nil {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if b.nulls[i] {
+				dst.SetNull(start + i - lo)
+			}
+		}
+	}()
+	switch b.enc {
+	case encConst:
+		for i := lo; i < hi; i++ {
+			dst.AppendDatum(b.base)
+		}
+	case encRaw:
+		switch b.typ {
+		case types.Bool:
+			for _, v := range b.b[lo:hi] {
+				dst.AppendDatum(types.BoolDatum(v))
+			}
+		case types.Int32:
+			appendInt32s(dst, b.i32[lo:hi])
+		case types.Int64:
+			appendInt64s(dst, b.i64[lo:hi])
+		case types.Float32:
+			appendFloat32s(dst, b.f32[lo:hi])
+		case types.Float64:
+			appendFloat64s(dst, b.f64[lo:hi])
+		case types.String:
+			for _, v := range b.str[lo:hi] {
+				dst.AppendDatum(types.StringDatum(v))
+			}
+		}
+	case encRLE:
+		pos := 0
+		for r, rl := range b.runLen {
+			runEnd := pos + int(rl)
+			from, to := max(lo, pos), min(hi, runEnd)
+			for i := from; i < to; i++ {
+				dst.AppendDatum(b.runDatum(r))
+			}
+			pos = runEnd
+			if pos >= hi {
+				break
+			}
+		}
+	case encDict:
+		for _, code := range b.codes[lo:hi] {
+			dst.AppendDatum(types.StringDatum(b.dict[code]))
+		}
+	}
+}
+
+func appendInt32s(dst *vector.Vector, vs []int32) {
+	for _, v := range vs {
+		dst.AppendDatum(types.Int32Datum(v))
+	}
+}
+
+func appendInt64s(dst *vector.Vector, vs []int64) {
+	for _, v := range vs {
+		dst.AppendDatum(types.Int64Datum(v))
+	}
+}
+
+func appendFloat32s(dst *vector.Vector, vs []float32) {
+	for _, v := range vs {
+		dst.AppendDatum(types.Float32Datum(v))
+	}
+}
+
+func appendFloat64s(dst *vector.Vector, vs []float64) {
+	for _, v := range vs {
+		dst.AppendDatum(types.Float64Datum(v))
+	}
+}
+
+func (b *block) runDatum(r int) types.Datum {
+	switch b.typ {
+	case types.Bool:
+		return types.BoolDatum(b.b[r])
+	case types.Int32:
+		return types.Int32Datum(b.i32[r])
+	case types.Int64:
+		return types.Int64Datum(b.i64[r])
+	case types.Float32:
+		return types.Float32Datum(b.f32[r])
+	case types.Float64:
+		return types.Float64Datum(b.f64[r])
+	}
+	panic(fmt.Sprintf("storage: runDatum on %v block", b.typ))
+}
+
+// memSize approximates the compressed footprint of the block in bytes.
+func (b *block) memSize() int64 {
+	var s int64
+	s += int64(len(b.b)) + int64(len(b.i32))*4 + int64(len(b.i64))*8 +
+		int64(len(b.f32))*4 + int64(len(b.f64))*8 + int64(len(b.runLen))*4 +
+		int64(len(b.codes))*4 + int64(len(b.nulls))
+	for _, v := range b.str {
+		s += int64(len(v)) + 16
+	}
+	for _, v := range b.dict {
+		s += int64(len(v)) + 16
+	}
+	return s
+}
+
+// overlaps reports whether the block's zone map intersects [lo, hi]; a nil
+// bound is unbounded. Blocks without zone maps always overlap.
+func (b *block) overlaps(lo, hi *types.Datum) bool {
+	if b.min.Type == types.Unknown {
+		return true
+	}
+	if lo != nil && b.max.Compare(*lo) < 0 {
+		return false
+	}
+	if hi != nil && b.min.Compare(*hi) > 0 {
+		return false
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

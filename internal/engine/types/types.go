@@ -1,0 +1,346 @@
+// Package types defines the value types and schemas used throughout the
+// vectorized query engine. The engine is a column store in the spirit of
+// MonetDB/X100 (Boncz et al., CIDR 2005): every intermediate result is a set
+// of typed column vectors, and a Schema describes the columns of a relation.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// T identifies a physical column type. The engine is deliberately small: the
+// six types below cover everything the paper's workloads need (fact tables,
+// the 16-column relational model representation, and inference results).
+type T uint8
+
+// Supported column types.
+const (
+	Unknown T = iota
+	Bool
+	Int32
+	Int64
+	Float32
+	Float64
+	String
+)
+
+// String returns the SQL-facing name of the type.
+func (t T) String() string {
+	switch t {
+	case Bool:
+		return "BOOLEAN"
+	case Int32:
+		return "INTEGER"
+	case Int64:
+		return "BIGINT"
+	case Float32:
+		return "REAL"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// IsNumeric reports whether t is a numeric type.
+func (t T) IsNumeric() bool {
+	switch t {
+	case Int32, Int64, Float32, Float64:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating point type.
+func (t T) IsFloat() bool { return t == Float32 || t == Float64 }
+
+// IsInteger reports whether t is an integer type.
+func (t T) IsInteger() bool { return t == Int32 || t == Int64 }
+
+// Width returns the in-memory width of a single value in bytes. Strings
+// report the size of a string header; their payload is accounted separately.
+func (t T) Width() int {
+	switch t {
+	case Bool:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	case String:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// ParseType maps a SQL type name to a T. It accepts the usual aliases so the
+// parser can stay simple.
+func ParseType(name string) (T, error) {
+	switch strings.ToUpper(name) {
+	case "BOOL", "BOOLEAN":
+		return Bool, nil
+	case "INT", "INT4", "INTEGER":
+		return Int32, nil
+	case "BIGINT", "INT8", "LONG":
+		return Int64, nil
+	case "REAL", "FLOAT4", "FLOAT":
+		return Float32, nil
+	case "DOUBLE", "FLOAT8", "DOUBLE PRECISION":
+		return Float64, nil
+	case "VARCHAR", "TEXT", "STRING", "CHAR":
+		return String, nil
+	default:
+		return Unknown, fmt.Errorf("types: unknown type name %q", name)
+	}
+}
+
+// Promote returns the common type two numeric operands are widened to before
+// a binary arithmetic or comparison operation, following the usual numeric
+// tower: any float operand promotes the result to the wider float; otherwise
+// the wider integer wins.
+func Promote(a, b T) (T, error) {
+	if a == b {
+		return a, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Unknown, fmt.Errorf("types: cannot promote %s and %s", a, b)
+	}
+	rank := func(t T) int {
+		switch t {
+		case Int32:
+			return 1
+		case Int64:
+			return 2
+		case Float32:
+			return 3
+		case Float64:
+			return 4
+		}
+		return 0
+	}
+	// Mixing an integer wider than 32 bits with float32 must not lose more
+	// precision than necessary; promote to float64 in that case, matching
+	// common SQL engines.
+	if a == Int64 && b == Float32 || a == Float32 && b == Int64 {
+		return Float64, nil
+	}
+	if rank(a) > rank(b) {
+		return a, nil
+	}
+	return b, nil
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type T
+	// NotNull records a NOT NULL constraint; vectors for such columns can
+	// skip null-bitmap handling.
+	NotNull bool
+}
+
+// Schema describes the columns of a relation. A Schema is immutable once
+// built; operators derive new schemas rather than mutating existing ones.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from a list of columns. Duplicate column names
+// are allowed (they occur naturally after joins); Lookup resolves to the
+// first occurrence, and callers that need a specific duplicate use ordinals.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, ok := s.index[key]; !ok {
+			s.index[key] = i
+		}
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Lookup returns the ordinal of the named column (case-insensitive) and
+// whether it exists.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// Concat returns a schema holding s's columns followed by o's columns, as
+// produced by a join.
+func (s *Schema) Concat(o *Schema) *Schema {
+	return NewSchema(append(s.Columns(), o.Columns()...)...)
+}
+
+// Rename returns a copy of the schema with column i renamed.
+func (s *Schema) Rename(i int, name string) *Schema {
+	cols := s.Columns()
+	cols[i].Name = name
+	return NewSchema(cols...)
+}
+
+// String renders the schema as "(a INTEGER, b REAL)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical column names and types.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if !strings.EqualFold(s.cols[i].Name, o.cols[i].Name) || s.cols[i].Type != o.cols[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// Datum is a single dynamically-typed value, used for literals, row-oriented
+// interfaces (INSERT ... VALUES, result iteration) and the wire protocol. The
+// zero Datum is NULL.
+type Datum struct {
+	Type T
+	Null bool
+	B    bool
+	I64  int64
+	F64  float64
+	S    string
+}
+
+// Null datum constructors.
+func NullDatum(t T) Datum { return Datum{Type: t, Null: true} }
+
+// BoolDatum returns a BOOLEAN datum.
+func BoolDatum(v bool) Datum { return Datum{Type: Bool, B: v} }
+
+// Int32Datum returns an INTEGER datum.
+func Int32Datum(v int32) Datum { return Datum{Type: Int32, I64: int64(v)} }
+
+// Int64Datum returns a BIGINT datum.
+func Int64Datum(v int64) Datum { return Datum{Type: Int64, I64: v} }
+
+// Float32Datum returns a REAL datum.
+func Float32Datum(v float32) Datum { return Datum{Type: Float32, F64: float64(v)} }
+
+// Float64Datum returns a DOUBLE datum.
+func Float64Datum(v float64) Datum { return Datum{Type: Float64, F64: v} }
+
+// StringDatum returns a VARCHAR datum.
+func StringDatum(v string) Datum { return Datum{Type: String, S: v} }
+
+// Float returns the datum as float64 (integers widen). It panics on
+// non-numeric datums; callers perform type checking during binding.
+func (d Datum) Float() float64 {
+	switch d.Type {
+	case Int32, Int64:
+		return float64(d.I64)
+	case Float32, Float64:
+		return d.F64
+	}
+	panic(fmt.Sprintf("types: Float() on %s datum", d.Type))
+}
+
+// Int returns the datum as int64, truncating floats.
+func (d Datum) Int() int64 {
+	switch d.Type {
+	case Int32, Int64:
+		return d.I64
+	case Float32, Float64:
+		return int64(d.F64)
+	}
+	panic(fmt.Sprintf("types: Int() on %s datum", d.Type))
+}
+
+// String renders the datum for display.
+func (d Datum) String() string {
+	if d.Null {
+		return "NULL"
+	}
+	switch d.Type {
+	case Bool:
+		if d.B {
+			return "true"
+		}
+		return "false"
+	case Int32, Int64:
+		return fmt.Sprintf("%d", d.I64)
+	case Float32:
+		return fmt.Sprintf("%g", float32(d.F64))
+	case Float64:
+		return fmt.Sprintf("%g", d.F64)
+	case String:
+		return d.S
+	}
+	return "?"
+}
+
+// Compare orders two datums of the same type: -1, 0, +1. NULLs sort first.
+func (d Datum) Compare(o Datum) int {
+	if d.Null || o.Null {
+		switch {
+		case d.Null && o.Null:
+			return 0
+		case d.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch d.Type {
+	case Bool:
+		switch {
+		case d.B == o.B:
+			return 0
+		case !d.B:
+			return -1
+		default:
+			return 1
+		}
+	case Int32, Int64:
+		switch {
+		case d.I64 < o.I64:
+			return -1
+		case d.I64 > o.I64:
+			return 1
+		default:
+			return 0
+		}
+	case Float32, Float64:
+		switch {
+		case d.F64 < o.F64:
+			return -1
+		case d.F64 > o.F64:
+			return 1
+		default:
+			return 0
+		}
+	case String:
+		return strings.Compare(d.S, o.S)
+	}
+	return 0
+}

@@ -1,0 +1,162 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for _, typ := range []T{Bool, Int32, Int64, Float32, Float64, String} {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if _, err := ParseType("BLOBFISH"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestParseTypeAliases(t *testing.T) {
+	tests := map[string]T{
+		"int": Int32, "INTEGER": Int32, "bigint": Int64, "FLOAT": Float32,
+		"real": Float32, "double": Float64, "text": String, "bool": Bool,
+	}
+	for name, want := range tests {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}
+
+func TestPromote(t *testing.T) {
+	tests := []struct {
+		a, b, want T
+	}{
+		{Int32, Int32, Int32},
+		{Int32, Int64, Int64},
+		{Int32, Float32, Float32},
+		{Int64, Float32, Float64}, // int64 into float32 would lose too much
+		{Int64, Float64, Float64},
+		{Float32, Float64, Float64},
+		{String, String, String},
+	}
+	for _, tc := range tests {
+		got, err := Promote(tc.a, tc.b)
+		if err != nil || got != tc.want {
+			t.Errorf("Promote(%v, %v) = %v, %v; want %v", tc.a, tc.b, got, err, tc.want)
+		}
+		// Promotion is symmetric.
+		rev, err := Promote(tc.b, tc.a)
+		if err != nil || rev != tc.want {
+			t.Errorf("Promote(%v, %v) = %v, %v; want %v", tc.b, tc.a, rev, err, tc.want)
+		}
+	}
+	if _, err := Promote(String, Int32); err == nil {
+		t.Error("expected error promoting string with int")
+	}
+}
+
+func TestSchemaLookupCaseInsensitive(t *testing.T) {
+	s := NewSchema(Column{Name: "Id", Type: Int64}, Column{Name: "VAL", Type: Float32})
+	if i, ok := s.Lookup("id"); !ok || i != 0 {
+		t.Errorf("Lookup(id) = %d, %v", i, ok)
+	}
+	if i, ok := s.Lookup("val"); !ok || i != 1 {
+		t.Errorf("Lookup(val) = %d, %v", i, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestSchemaDuplicateNamesResolveFirst(t *testing.T) {
+	s := NewSchema(Column{Name: "x", Type: Int32}, Column{Name: "x", Type: Float64})
+	i, ok := s.Lookup("x")
+	if !ok || i != 0 {
+		t.Errorf("duplicate lookup = %d, %v; want first occurrence", i, ok)
+	}
+}
+
+func TestSchemaConcatAndRename(t *testing.T) {
+	a := NewSchema(Column{Name: "a", Type: Int32})
+	b := NewSchema(Column{Name: "b", Type: Float64})
+	c := a.Concat(b)
+	if c.Len() != 2 || c.Col(1).Name != "b" {
+		t.Errorf("concat wrong: %s", c)
+	}
+	r := c.Rename(1, "bee")
+	if r.Col(1).Name != "bee" || c.Col(1).Name != "b" {
+		t.Error("rename must not mutate the original")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := NewSchema(Column{Name: "a", Type: Int32})
+	b := NewSchema(Column{Name: "A", Type: Int32})
+	c := NewSchema(Column{Name: "a", Type: Int64})
+	if !a.Equal(b) {
+		t.Error("case-insensitive equal failed")
+	}
+	if a.Equal(c) {
+		t.Error("type mismatch should not be equal")
+	}
+}
+
+func TestDatumCompareOrdering(t *testing.T) {
+	if Int64Datum(1).Compare(Int64Datum(2)) >= 0 {
+		t.Error("1 < 2 failed")
+	}
+	if Float32Datum(2.5).Compare(Float32Datum(2.5)) != 0 {
+		t.Error("equality failed")
+	}
+	if StringDatum("a").Compare(StringDatum("b")) >= 0 {
+		t.Error("string order failed")
+	}
+	if NullDatum(Int32).Compare(Int32Datum(-1000)) >= 0 {
+		t.Error("NULL must sort first")
+	}
+}
+
+func TestDatumCompareAntisymmetric(t *testing.T) {
+	err := quick.Check(func(a, b int64) bool {
+		return Int64Datum(a).Compare(Int64Datum(b)) == -Int64Datum(b).Compare(Int64Datum(a))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatumConversions(t *testing.T) {
+	if Int32Datum(7).Float() != 7.0 {
+		t.Error("int to float")
+	}
+	if Float64Datum(3.9).Int() != 3 {
+		t.Error("float truncation")
+	}
+	if Float32Datum(1.5).String() != "1.5" {
+		t.Errorf("float32 string = %q", Float32Datum(1.5).String())
+	}
+	if NullDatum(String).String() != "NULL" {
+		t.Error("null display")
+	}
+	if BoolDatum(true).String() != "true" {
+		t.Error("bool display")
+	}
+}
+
+func TestTypeWidths(t *testing.T) {
+	if Int32.Width() != 4 || Float64.Width() != 8 || Bool.Width() != 1 {
+		t.Error("widths wrong")
+	}
+	if !Float32.IsFloat() || Int64.IsFloat() {
+		t.Error("IsFloat wrong")
+	}
+	if !Int32.IsInteger() || Float32.IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+	if String.IsNumeric() {
+		t.Error("string is not numeric")
+	}
+}

@@ -1,0 +1,307 @@
+// Package mlruntime is the reproduction's embedded ML runtime — the stand-in
+// for TensorFlow in the paper's TF(Python), TF(C-API) and UDF baselines. It
+// executes models compiled from package nn on a compute device, through the
+// kind of interface a C-API exposes: opaque session handles, row-major
+// float32 buffers in, row-major float32 buffers out.
+//
+// The row-major contract is the point: an analytical engine stores columns,
+// so every integration through this API pays the columnar→row-major
+// conversion on input and the reverse on output — exactly the cost the paper
+// attributes to the Raven-style C-API integration (Sec. 6.1).
+package mlruntime
+
+import (
+	"fmt"
+
+	"indbml/internal/blas"
+	"indbml/internal/device"
+	"indbml/internal/nn"
+)
+
+// Session is a loaded model bound to a compute device, analogous to
+// TF_Session. Sessions are safe for sequential reuse; concurrent Run calls
+// require one session per goroutine (like TF sessions in practice).
+type Session struct {
+	model *nn.Model
+	dev   device.Device
+
+	// Device-resident weights, uploaded once at session creation (the
+	// runtime equivalent of the ModelJoin build phase).
+	dense []sessDense
+	lstm  *sessLSTM
+
+	// Scratch buffers sized for the largest batch seen so far.
+	bufs     []blas.Mat
+	batchCap int
+}
+
+type sessDense struct {
+	w blas.Mat
+	// bias is the raw 1×units vector; biasMat replicates it to
+	// batchCap×units so the bias add is a single device copy per batch,
+	// like a fused BiasAdd kernel.
+	bias    blas.Mat
+	biasMat blas.Mat
+	act     nn.Activation
+}
+
+type sessLSTM struct {
+	units, timeSteps, features int
+	wg, ug                     [4]blas.Mat
+	bias                       [4]blas.Mat
+	biasMat                    [4]blas.Mat
+	x, h, c, tmp               blas.Mat
+	z                          [4]blas.Mat
+}
+
+// NewSession uploads the model's weights to the device and returns a
+// runnable session.
+func NewSession(m *nn.Model, dev device.Device) (*Session, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mlruntime: %w", err)
+	}
+	s := &Session{model: m, dev: dev}
+	for _, l := range m.Layers {
+		switch l := l.(type) {
+		case *nn.Dense:
+			w := dev.NewMat(l.W.Rows, l.W.Cols)
+			dev.Upload(w, l.W.Data)
+			b := dev.NewMat(1, len(l.B))
+			dev.Upload(b, l.B)
+			s.dense = append(s.dense, sessDense{w: w, bias: b, act: l.Act})
+		case *nn.LSTM:
+			if l.Features != 1 {
+				return nil, fmt.Errorf("mlruntime: only univariate LSTM layers are supported (features == 1, got %d)", l.Features)
+			}
+			sl := &sessLSTM{units: l.Units, timeSteps: l.TimeSteps, features: l.Features}
+			for g := 0; g < 4; g++ {
+				wg := dev.NewMat(l.Features, l.Units)
+				ug := dev.NewMat(l.Units, l.Units)
+				bg := dev.NewMat(1, l.Units)
+				// Slice the stacked Keras weights into per-gate matrices.
+				for r := 0; r < l.Features; r++ {
+					dev.Upload(blas.Mat{Rows: 1, Cols: l.Units, Data: wg.Data[r*l.Units : (r+1)*l.Units]},
+						l.W.Row(r)[g*l.Units:(g+1)*l.Units])
+				}
+				for r := 0; r < l.Units; r++ {
+					dev.Upload(blas.Mat{Rows: 1, Cols: l.Units, Data: ug.Data[r*l.Units : (r+1)*l.Units]},
+						l.U.Row(r)[g*l.Units:(g+1)*l.Units])
+				}
+				dev.Upload(bg, l.B[g*l.Units:(g+1)*l.Units])
+				sl.wg[g], sl.ug[g], sl.bias[g] = wg, ug, bg
+			}
+			s.lstm = sl
+		}
+	}
+	return s, nil
+}
+
+// Model returns the session's model.
+func (s *Session) Model() *nn.Model { return s.model }
+
+// InputDim returns the expected row width of Run's input.
+func (s *Session) InputDim() int { return s.model.InputDim() }
+
+// OutputDim returns the row width of Run's output.
+func (s *Session) OutputDim() int { return s.model.OutputDim() }
+
+// ensureScratch (re)allocates per-batch working memory, including the
+// replicated bias matrices (one broadcast copy per layer per batch instead
+// of one per row).
+func (s *Session) ensureScratch(batch int) {
+	if batch <= s.batchCap {
+		return
+	}
+	dev := s.dev
+	for _, b := range s.bufs {
+		dev.Free(b)
+	}
+	s.bufs = s.bufs[:0]
+	if s.lstm != nil {
+		l := s.lstm
+		dev.Free(l.x)
+		dev.Free(l.h)
+		dev.Free(l.c)
+		dev.Free(l.tmp)
+		l.x = dev.NewMat(l.timeSteps*l.features, batch)
+		l.h = dev.NewMat(batch, l.units)
+		l.c = dev.NewMat(batch, l.units)
+		l.tmp = dev.NewMat(batch, l.units)
+		for g := 0; g < 4; g++ {
+			dev.Free(l.z[g])
+			l.z[g] = dev.NewMat(batch, l.units)
+			if l.biasMat[g].Data != nil {
+				dev.Free(l.biasMat[g])
+			}
+			l.biasMat[g] = replicateBias(dev, l.bias[g], batch, l.units)
+		}
+	} else {
+		s.bufs = append(s.bufs, dev.NewMat(batch, s.model.InputDim()))
+	}
+	for i := range s.dense {
+		d := &s.dense[i]
+		if d.biasMat.Data != nil {
+			dev.Free(d.biasMat)
+		}
+		d.biasMat = replicateBias(dev, d.bias, batch, d.w.Cols)
+	}
+	for _, lay := range s.model.Layers {
+		s.bufs = append(s.bufs, dev.NewMat(batch, lay.OutputDim()))
+	}
+	s.batchCap = batch
+}
+
+// replicateBias tiles a device bias vector into a rows×units device matrix.
+func replicateBias(dev device.Device, bias blas.Mat, rows, units int) blas.Mat {
+	host := make([]float32, units)
+	dev.Download(host, bias)
+	tiled := make([]float32, rows*units)
+	for r := 0; r < rows; r++ {
+		copy(tiled[r*units:(r+1)*units], host)
+	}
+	m := dev.NewMat(rows, units)
+	dev.Upload(m, tiled)
+	return m
+}
+
+// Run executes the model on batch rows of row-major input and writes
+// row-major predictions into out (batch×OutputDim, allocated by the caller
+// — the C-API convention). Input length must be batch×InputDim.
+func (s *Session) Run(input []float32, batch int, out []float32) error {
+	inDim, outDim := s.model.InputDim(), s.model.OutputDim()
+	if len(input) != batch*inDim {
+		return fmt.Errorf("mlruntime: input has %d values, want %d×%d", len(input), batch, inDim)
+	}
+	if len(out) != batch*outDim {
+		return fmt.Errorf("mlruntime: output buffer has %d values, want %d×%d", len(out), batch, outDim)
+	}
+	if batch == 0 {
+		return nil
+	}
+	s.ensureScratch(batch)
+	dev := s.dev
+
+	var act blas.Mat
+	denseIdx := 0
+	bufIdx := 0
+	if s.lstm != nil {
+		act = s.runLSTM(input, batch)
+		bufIdx = 0
+	} else {
+		in := blas.Mat{Rows: batch, Cols: inDim, Data: s.bufs[0].Data[:batch*inDim]}
+		dev.Upload(in, input)
+		act = in
+		bufIdx = 1
+	}
+	_ = denseIdx
+	di := 0
+	for _, lay := range s.model.Layers {
+		d, ok := lay.(*nn.Dense)
+		if !ok {
+			bufIdx++ // LSTM consumed its slot
+			continue
+		}
+		sd := s.dense[di]
+		di++
+		out := blas.Mat{Rows: batch, Cols: d.OutputDim(), Data: s.bufs[bufIdx].Data[:batch*d.OutputDim()]}
+		bufIdx++
+		// Fused BiasAdd: one broadcast copy, then multiply-accumulate.
+		dev.Copy(out.Data, sd.biasMat.Data[:len(out.Data)])
+		dev.Gemm(act, sd.w, out)
+		switch sd.act {
+		case nn.Sigmoid:
+			dev.Sigmoid(out.Data)
+		case nn.Tanh:
+			dev.Tanh(out.Data)
+		case nn.ReLU:
+			dev.ReLU(out.Data)
+		}
+		act = out
+	}
+	dev.Download(out, act)
+	return nil
+}
+
+// runLSTM executes the leading LSTM layer on row-major series input.
+func (s *Session) runLSTM(input []float32, batch int) blas.Mat {
+	l := s.lstm
+	dev := s.dev
+	// Transpose the series on the host so each time step is a contiguous
+	// device row, then upload once.
+	tposed := make([]float32, l.timeSteps*l.features*batch)
+	for r := 0; r < batch; r++ {
+		row := input[r*l.timeSteps*l.features:]
+		for t := 0; t < l.timeSteps*l.features; t++ {
+			tposed[t*batch+r] = row[t]
+		}
+	}
+	xAll := blas.Mat{Rows: l.timeSteps * l.features, Cols: batch, Data: l.x.Data[:l.timeSteps*l.features*batch]}
+	dev.Upload(xAll, tposed)
+
+	h := blas.Mat{Rows: batch, Cols: l.units, Data: l.h.Data[:batch*l.units]}
+	c := blas.Mat{Rows: batch, Cols: l.units, Data: l.c.Data[:batch*l.units]}
+	tmp := blas.Mat{Rows: batch, Cols: l.units, Data: l.tmp.Data[:batch*l.units]}
+	var z [4]blas.Mat
+	for g := 0; g < 4; g++ {
+		z[g] = blas.Mat{Rows: batch, Cols: l.units, Data: l.z[g].Data[:batch*l.units]}
+	}
+	for t := 0; t < l.timeSteps; t++ {
+		xt := blas.Mat{Rows: batch, Cols: l.features, Data: xAll.Data[t*l.features*batch : (t+1)*l.features*batch]}
+		// For features == 1 the transposed step row is already batch×1; the
+		// general case would need a device-side gather, which the paper's
+		// workloads never exercise (univariate series).
+		for g := 0; g < 4; g++ {
+			dev.Copy(z[g].Data, l.biasMat[g].Data[:len(z[g].Data)])
+			dev.Gemm(xt, l.wg[g], z[g])
+			if t > 0 {
+				dev.Gemm(h, l.ug[g], z[g])
+			}
+		}
+		dev.Sigmoid(z[0].Data)
+		dev.Sigmoid(z[1].Data)
+		dev.Tanh(z[2].Data)
+		dev.Sigmoid(z[3].Data)
+		dev.VsMul(z[0].Data, z[2].Data, z[2].Data)
+		if t > 0 {
+			dev.VsMul(z[1].Data, c.Data, c.Data)
+			dev.VsAdd(z[2].Data, c.Data, c.Data)
+		} else {
+			dev.Copy(c.Data, z[2].Data)
+		}
+		dev.Copy(tmp.Data, c.Data)
+		dev.Tanh(tmp.Data)
+		dev.VsMul(z[3].Data, tmp.Data, h.Data)
+	}
+	return h
+}
+
+// Close releases device memory.
+func (s *Session) Close() {
+	dev := s.dev
+	for _, d := range s.dense {
+		dev.Free(d.w)
+		dev.Free(d.bias)
+		if d.biasMat.Data != nil {
+			dev.Free(d.biasMat)
+		}
+	}
+	if s.lstm != nil {
+		for g := 0; g < 4; g++ {
+			dev.Free(s.lstm.wg[g])
+			dev.Free(s.lstm.ug[g])
+			dev.Free(s.lstm.bias[g])
+			dev.Free(s.lstm.z[g])
+			if s.lstm.biasMat[g].Data != nil {
+				dev.Free(s.lstm.biasMat[g])
+			}
+		}
+		dev.Free(s.lstm.x)
+		dev.Free(s.lstm.h)
+		dev.Free(s.lstm.c)
+		dev.Free(s.lstm.tmp)
+	}
+	for _, b := range s.bufs {
+		dev.Free(b)
+	}
+	s.dense, s.lstm, s.bufs, s.batchCap = nil, nil, nil, 0
+}

@@ -1,0 +1,136 @@
+package mlruntime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indbml/internal/device"
+	"indbml/internal/nn"
+)
+
+func randRows(rng *rand.Rand, n, dim int) ([][]float32, []float32) {
+	rows := make([][]float32, n)
+	flat := make([]float32, 0, n*dim)
+	for i := range rows {
+		rows[i] = make([]float32, dim)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float32()*2 - 1
+		}
+		flat = append(flat, rows[i]...)
+	}
+	return rows, flat
+}
+
+func TestSessionMatchesReferenceDense(t *testing.T) {
+	for _, gpu := range []bool{false, true} {
+		m := nn.NewDenseModel("m", 4, 16, 3, 2, 1)
+		var dev device.Device = device.NewCPU()
+		if gpu {
+			dev = device.NewGPU(device.DefaultGPUConfig())
+		}
+		sess, err := NewSession(m, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		rng := rand.New(rand.NewSource(2))
+		rows, flat := randRows(rng, 700, 4)
+		ref := m.PredictBatch(rows)
+		out := make([]float32, 700*2)
+		if err := sess.Run(flat, 700, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			for k := 0; k < 2; k++ {
+				if math.Abs(float64(out[i*2+k]-ref[i][k])) > 1e-5 {
+					t.Fatalf("gpu=%v row %d out %d: %v vs %v", gpu, i, k, out[i*2+k], ref[i][k])
+				}
+			}
+		}
+	}
+}
+
+func TestSessionMatchesReferenceLSTM(t *testing.T) {
+	m := nn.NewLSTMModel("lm", 3, 8, 3)
+	sess, err := NewSession(m, device.NewCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	rng := rand.New(rand.NewSource(3))
+	rows, flat := randRows(rng, 300, 3)
+	ref := m.PredictBatch(rows)
+	out := make([]float32, 300)
+	if err := sess.Run(flat, 300, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if math.Abs(float64(out[i]-ref[i][0])) > 1e-5 {
+			t.Fatalf("row %d: %v vs %v", i, out[i], ref[i][0])
+		}
+	}
+}
+
+func TestSessionReusableAcrossBatchSizes(t *testing.T) {
+	m := nn.NewDenseModel("m", 4, 8, 1, 1, 4)
+	sess, err := NewSession(m, device.NewCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 100, 1024, 7, 2048} {
+		rows, flat := randRows(rng, n, 4)
+		ref := m.PredictBatch(rows)
+		out := make([]float32, n)
+		if err := sess.Run(flat, n, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			if math.Abs(float64(out[i]-ref[i][0])) > 1e-5 {
+				t.Fatalf("batch %d row %d diverged", n, i)
+			}
+		}
+	}
+}
+
+func TestSessionBufferValidation(t *testing.T) {
+	m := nn.NewDenseModel("m", 4, 8, 1, 1, 6)
+	sess, err := NewSession(m, device.NewCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Run(make([]float32, 3), 1, make([]float32, 1)); err == nil {
+		t.Error("short input should be rejected")
+	}
+	if err := sess.Run(make([]float32, 4), 1, make([]float32, 2)); err == nil {
+		t.Error("wrong output buffer should be rejected")
+	}
+	if err := sess.Run(nil, 0, nil); err != nil {
+		t.Errorf("empty batch should be a no-op: %v", err)
+	}
+}
+
+func TestSessionRejectsInvalidModels(t *testing.T) {
+	if _, err := NewSession(&nn.Model{Name: "empty"}, device.NewCPU()); err == nil {
+		t.Error("empty model should be rejected")
+	}
+	multi := &nn.Model{Name: "mv", Layers: []nn.Layer{nn.NewLSTM(2, 4, 3), nn.NewDense(4, 1, nn.Linear)}}
+	if _, err := NewSession(multi, device.NewCPU()); err == nil {
+		t.Error("multivariate LSTM should be rejected")
+	}
+}
+
+func TestSessionDims(t *testing.T) {
+	m := nn.NewDenseModel("m", 4, 8, 2, 3, 7)
+	sess, err := NewSession(m, device.NewCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.InputDim() != 4 || sess.OutputDim() != 3 || sess.Model() != m {
+		t.Error("session dims wrong")
+	}
+}

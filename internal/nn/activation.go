@@ -1,0 +1,101 @@
+// Package nn implements the neural-network substrate of the reproduction:
+// dense (fully connected) and LSTM layers, the reference forward pass every
+// in-database approach is validated against, Keras-like JSON model
+// serialization, random initialization and a small SGD trainer for dense
+// networks (used by the examples to produce genuinely trained models).
+//
+// The paper (Sec. 2) restricts itself to feed-forward networks with dense
+// layers and recurrent networks with LSTM layers, as those are the
+// architectures relevant to relational data; so do we.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Activation identifies one of the activation functions supported by
+// ML-To-SQL and the ModelJoin operator (Sec. 4.3.5): linear, ReLU, sigmoid
+// and tanh.
+type Activation uint8
+
+// Supported activation functions.
+const (
+	Linear Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+)
+
+// ParseActivation maps a Keras-style activation name to an Activation.
+func ParseActivation(name string) (Activation, error) {
+	switch strings.ToLower(name) {
+	case "", "linear", "none":
+		return Linear, nil
+	case "relu":
+		return ReLU, nil
+	case "sigmoid":
+		return Sigmoid, nil
+	case "tanh":
+		return Tanh, nil
+	default:
+		return Linear, fmt.Errorf("nn: unsupported activation %q", name)
+	}
+}
+
+// String returns the Keras-style name of the activation.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return "linear"
+	}
+}
+
+// Apply computes the activation for a single pre-activation value.
+func (a Activation) Apply(x float32) float32 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	case Tanh:
+		return float32(math.Tanh(float64(x)))
+	default:
+		return x
+	}
+}
+
+// ApplySlice applies the activation elementwise in place.
+func (a Activation) ApplySlice(x []float32) {
+	for i, v := range x {
+		x[i] = a.Apply(v)
+	}
+}
+
+// Derivative returns dσ/dz given the pre-activation z and the activation
+// output y = σ(z); sigmoid and tanh derive cheaply from y.
+func (a Activation) Derivative(z, y float32) float32 {
+	switch a {
+	case ReLU:
+		if z > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+
+	"indbml/internal/blas"
+)
+
+// LayerKind discriminates the layer types of Sec. 2 the reproduction
+// supports.
+type LayerKind uint8
+
+// Supported layer kinds.
+const (
+	KindDense LayerKind = iota
+	KindLSTM
+)
+
+// String returns the Keras-style layer type name.
+func (k LayerKind) String() string {
+	if k == KindLSTM {
+		return "lstm"
+	}
+	return "dense"
+}
+
+// Layer is one layer of a sequential model. Forward consumes a batch of
+// inputs (one row per sample) and produces a batch of outputs; this batch
+// orientation matches the vectorized inference of the ModelJoin operator.
+type Layer interface {
+	// Kind returns the layer type.
+	Kind() LayerKind
+	// InputDim returns the expected width of an input row.
+	InputDim() int
+	// OutputDim returns the width of an output row.
+	OutputDim() int
+	// Forward runs the layer on a batch×InputDim matrix and returns a
+	// batch×OutputDim matrix.
+	Forward(in blas.Mat) blas.Mat
+	// ParamCount returns the number of trainable parameters, used by the
+	// experiment harness to report model sizes (Sec. 6.2.1 discusses the
+	// quadratic growth of parameter counts).
+	ParamCount() int
+}
+
+// Dense is a fully connected layer: out = act(in·W + b), with W of shape
+// InputDim×Units, exactly the dense layer of Fig. 1.
+type Dense struct {
+	// W is the kernel matrix (InputDim×Units).
+	W blas.Mat
+	// B is the bias vector (Units).
+	B []float32
+	// Act is the layer's activation function.
+	Act Activation
+}
+
+// NewDense allocates a zero-initialized dense layer.
+func NewDense(inputDim, units int, act Activation) *Dense {
+	return &Dense{W: blas.NewMat(inputDim, units), B: make([]float32, units), Act: act}
+}
+
+// Kind implements Layer.
+func (d *Dense) Kind() LayerKind { return KindDense }
+
+// InputDim implements Layer.
+func (d *Dense) InputDim() int { return d.W.Rows }
+
+// OutputDim implements Layer.
+func (d *Dense) OutputDim() int { return d.W.Cols }
+
+// ParamCount implements Layer.
+func (d *Dense) ParamCount() int { return d.W.Rows*d.W.Cols + len(d.B) }
+
+// Forward implements Layer.
+func (d *Dense) Forward(in blas.Mat) blas.Mat {
+	if in.Cols != d.W.Rows {
+		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", in.Cols, d.W.Rows))
+	}
+	out := blas.NewMat(in.Rows, d.W.Cols)
+	// Pre-fill the bias so sgemm's additive semantics produce in·W + b,
+	// mirroring the bias-matrix trick of Sec. 5.4.
+	for i := 0; i < out.Rows; i++ {
+		copy(out.Row(i), d.B)
+	}
+	blas.Sgemm(in, d.W, out)
+	d.Act.ApplySlice(out.Data)
+	return out
+}
+
+// LSTM is a recurrent layer following the Keras implementation referenced by
+// the paper (Sec. 4.3.3, Listing 5). Gate order in the stacked weight
+// matrices is i, f, c, o. The layer consumes TimeSteps·InputDim values per
+// sample (the flattened series, earliest step first) and emits the hidden
+// state after the last step.
+type LSTM struct {
+	// Units is the layer width n.
+	Units int
+	// Features is the input dimension m per time step (the paper's
+	// workloads are univariate: Features == 1).
+	Features int
+	// TimeSteps is the number of steps the layer looks into the past.
+	TimeSteps int
+	// W is the kernel (Features×4·Units), U the recurrent kernel
+	// (Units×4·Units) and B the bias (4·Units), each stacking the four
+	// gates i, f, c, o.
+	W, U blas.Mat
+	B    []float32
+}
+
+// NewLSTM allocates a zero-initialized LSTM layer.
+func NewLSTM(features, units, timeSteps int) *LSTM {
+	return &LSTM{
+		Units:     units,
+		Features:  features,
+		TimeSteps: timeSteps,
+		W:         blas.NewMat(features, 4*units),
+		U:         blas.NewMat(units, 4*units),
+		B:         make([]float32, 4*units),
+	}
+}
+
+// Kind implements Layer.
+func (l *LSTM) Kind() LayerKind { return KindLSTM }
+
+// InputDim implements Layer.
+func (l *LSTM) InputDim() int { return l.TimeSteps * l.Features }
+
+// OutputDim implements Layer.
+func (l *LSTM) OutputDim() int { return l.Units }
+
+// ParamCount implements Layer.
+func (l *LSTM) ParamCount() int {
+	return l.W.Rows*l.W.Cols + l.U.Rows*l.U.Cols + len(l.B)
+}
+
+// GateSlices splits a stacked 4·Units row into its i, f, c, o gate views.
+func GateSlices(z []float32, units int) (i, f, c, o []float32) {
+	return z[0:units], z[units : 2*units], z[2*units : 3*units], z[3*units : 4*units]
+}
+
+// Forward implements Layer with the standard Keras LSTM cell:
+//
+//	z   = x_t·W + h_{t-1}·U + b          (stacked gates)
+//	i,f = σ(z_i), σ(z_f)
+//	c̃   = tanh(z_c)
+//	c_t = f ⊙ c_{t-1} + i ⊙ c̃
+//	o   = σ(z_o)
+//	h_t = o ⊙ tanh(c_t)
+func (l *LSTM) Forward(in blas.Mat) blas.Mat {
+	if in.Cols != l.InputDim() {
+		panic(fmt.Sprintf("nn: lstm forward got %d inputs, want %d", in.Cols, l.InputDim()))
+	}
+	batch := in.Rows
+	h := blas.NewMat(batch, l.Units)
+	c := blas.NewMat(batch, l.Units)
+	xt := blas.NewMat(batch, l.Features)
+	z := blas.NewMat(batch, 4*l.Units)
+	tanhC := make([]float32, l.Units)
+	for t := 0; t < l.TimeSteps; t++ {
+		// Gather time step t into xt.
+		for r := 0; r < batch; r++ {
+			copy(xt.Row(r), in.Row(r)[t*l.Features:(t+1)*l.Features])
+		}
+		// z = b; z += xt·W; z += h·U
+		for r := 0; r < batch; r++ {
+			copy(z.Row(r), l.B)
+		}
+		blas.Sgemm(xt, l.W, z)
+		if t > 0 {
+			blas.Sgemm(h, l.U, z)
+		}
+		for r := 0; r < batch; r++ {
+			zi, zf, zc, zo := GateSlices(z.Row(r), l.Units)
+			blas.Sigmoid(zi)
+			blas.Sigmoid(zf)
+			blas.Tanh(zc)
+			blas.Sigmoid(zo)
+			cr, hr := c.Row(r), h.Row(r)
+			for j := 0; j < l.Units; j++ {
+				cr[j] = zf[j]*cr[j] + zi[j]*zc[j]
+				tanhC[j] = cr[j]
+			}
+			blas.Tanh(tanhC[:l.Units])
+			for j := 0; j < l.Units; j++ {
+				hr[j] = zo[j] * tanhC[j]
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,303 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"indbml/internal/blas"
+)
+
+// Model is a sequential neural network, the unit ML-To-SQL and the ModelJoin
+// operator consume. The paper's evaluation uses two shapes: stacks of dense
+// layers (the "dense experiment", Fig. 8) and a single LSTM layer followed by
+// a one-unit dense output layer (the "LSTM experiment", Fig. 9).
+type Model struct {
+	// Name labels the model; it becomes the model-table name in the
+	// relational representation.
+	Name string
+	// Layers are applied in order.
+	Layers []Layer
+}
+
+// InputDim returns the width of the model's input row.
+func (m *Model) InputDim() int {
+	if len(m.Layers) == 0 {
+		return 0
+	}
+	return m.Layers[0].InputDim()
+}
+
+// OutputDim returns the width of the model's output row.
+func (m *Model) OutputDim() int {
+	if len(m.Layers) == 0 {
+		return 0
+	}
+	return m.Layers[len(m.Layers)-1].OutputDim()
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.ParamCount()
+	}
+	return n
+}
+
+// Validate checks that consecutive layer dimensions line up and that the
+// model matches the paper's supported shapes (LSTM only as first layer, as
+// in Sec. 4.3.3 where the time-series input feeds the recurrent layer).
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("nn: model %q has no layers", m.Name)
+	}
+	for i := 1; i < len(m.Layers); i++ {
+		if m.Layers[i].Kind() == KindLSTM {
+			return fmt.Errorf("nn: model %q: LSTM layers are only supported as the first layer", m.Name)
+		}
+		want := m.Layers[i-1].OutputDim()
+		if got := m.Layers[i].InputDim(); got != want {
+			return fmt.Errorf("nn: model %q: layer %d expects %d inputs, previous layer produces %d", m.Name, i, got, want)
+		}
+	}
+	return nil
+}
+
+// Forward runs the reference forward pass on a batch×InputDim matrix. This
+// is the ground truth every in-database approach is validated against.
+func (m *Model) Forward(in blas.Mat) blas.Mat {
+	out := in
+	for _, l := range m.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Predict runs a single sample through the model.
+func (m *Model) Predict(in []float32) []float32 {
+	mat := blas.Mat{Rows: 1, Cols: len(in), Data: in}
+	return m.Forward(mat).Data
+}
+
+// PredictBatch runs a slice of samples through the model, returning one
+// output row per sample.
+func (m *Model) PredictBatch(rows [][]float32) [][]float32 {
+	if len(rows) == 0 {
+		return nil
+	}
+	in := blas.NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(in.Row(i), r)
+	}
+	out := m.Forward(in)
+	res := make([][]float32, out.Rows)
+	for i := range res {
+		res[i] = append([]float32(nil), out.Row(i)...)
+	}
+	return res
+}
+
+// jsonModel is the Keras-like on-disk schema. Weights are nested arrays so
+// models are human-inspectable; the paper's ML-To-SQL framework similarly
+// walks Keras model objects layer by layer.
+type jsonModel struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+type jsonLayer struct {
+	Type       string      `json:"type"`
+	Units      int         `json:"units"`
+	Activation string      `json:"activation,omitempty"`
+	TimeSteps  int         `json:"time_steps,omitempty"`
+	Features   int         `json:"features,omitempty"`
+	Kernel     [][]float32 `json:"kernel"`
+	Recurrent  [][]float32 `json:"recurrent_kernel,omitempty"`
+	Bias       []float32   `json:"bias"`
+}
+
+func matToRows(m blas.Mat) [][]float32 {
+	rows := make([][]float32, m.Rows)
+	for i := range rows {
+		rows[i] = append([]float32(nil), m.Row(i)...)
+	}
+	return rows
+}
+
+func rowsToMat(rows [][]float32) (blas.Mat, error) {
+	if len(rows) == 0 {
+		return blas.Mat{}, fmt.Errorf("nn: empty kernel")
+	}
+	m := blas.NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return blas.Mat{}, fmt.Errorf("nn: ragged kernel row %d", i)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// MarshalJSON implements json.Marshaler using the Keras-like schema.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	jm := jsonModel{Name: m.Name}
+	for _, l := range m.Layers {
+		switch l := l.(type) {
+		case *Dense:
+			jm.Layers = append(jm.Layers, jsonLayer{
+				Type: "dense", Units: l.OutputDim(), Activation: l.Act.String(),
+				Kernel: matToRows(l.W), Bias: append([]float32(nil), l.B...),
+			})
+		case *LSTM:
+			jm.Layers = append(jm.Layers, jsonLayer{
+				Type: "lstm", Units: l.Units, TimeSteps: l.TimeSteps, Features: l.Features,
+				Kernel: matToRows(l.W), Recurrent: matToRows(l.U), Bias: append([]float32(nil), l.B...),
+			})
+		default:
+			return nil, fmt.Errorf("nn: cannot marshal layer of kind %v", l.Kind())
+		}
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var jm jsonModel
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return fmt.Errorf("nn: decoding model: %w", err)
+	}
+	m.Name = jm.Name
+	m.Layers = nil
+	for i, jl := range jm.Layers {
+		switch jl.Type {
+		case "dense":
+			act, err := ParseActivation(jl.Activation)
+			if err != nil {
+				return fmt.Errorf("nn: layer %d: %w", i, err)
+			}
+			w, err := rowsToMat(jl.Kernel)
+			if err != nil {
+				return fmt.Errorf("nn: layer %d: %w", i, err)
+			}
+			if len(jl.Bias) != w.Cols {
+				return fmt.Errorf("nn: layer %d: bias length %d != units %d", i, len(jl.Bias), w.Cols)
+			}
+			m.Layers = append(m.Layers, &Dense{W: w, B: append([]float32(nil), jl.Bias...), Act: act})
+		case "lstm":
+			w, err := rowsToMat(jl.Kernel)
+			if err != nil {
+				return fmt.Errorf("nn: layer %d: %w", i, err)
+			}
+			u, err := rowsToMat(jl.Recurrent)
+			if err != nil {
+				return fmt.Errorf("nn: layer %d: %w", i, err)
+			}
+			features := jl.Features
+			if features == 0 {
+				features = w.Rows
+			}
+			units := jl.Units
+			if units == 0 {
+				units = w.Cols / 4
+			}
+			if w.Rows != features || w.Cols != 4*units || u.Rows != units || u.Cols != 4*units || len(jl.Bias) != 4*units {
+				return fmt.Errorf("nn: layer %d: inconsistent LSTM shapes", i)
+			}
+			if jl.TimeSteps <= 0 {
+				return fmt.Errorf("nn: layer %d: LSTM requires time_steps > 0", i)
+			}
+			m.Layers = append(m.Layers, &LSTM{
+				Units: units, Features: features, TimeSteps: jl.TimeSteps,
+				W: w, U: u, B: append([]float32(nil), jl.Bias...),
+			})
+		default:
+			return fmt.Errorf("nn: layer %d: unknown type %q", i, jl.Type)
+		}
+	}
+	return m.Validate()
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// SaveFile writes the model to a JSON file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: saving model: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return fmt.Errorf("nn: saving model: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a model from JSON.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("nn: loading model: %w", err)
+	}
+	return &m, nil
+}
+
+// LoadFile reads a model from a JSON file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: loading model: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// glorot fills a matrix with Glorot-uniform random weights.
+func glorot(rng *rand.Rand, m blas.Mat) {
+	limit := float32(2.44948974 / float32(m.Rows+m.Cols)) // sqrt(6/(in+out))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit * 2.44948974
+	}
+}
+
+// NewDenseModel builds a randomly initialized stack of dense layers matching
+// the paper's dense experiment: for width w and depth d it creates d hidden
+// layers of width w with ReLU and a final linear output layer of size
+// outputs. Seeded so experiments are reproducible.
+func NewDenseModel(name string, inputs int, width, depth, outputs int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Name: name}
+	in := inputs
+	for i := 0; i < depth; i++ {
+		l := NewDense(in, width, ReLU)
+		glorot(rng, l.W)
+		m.Layers = append(m.Layers, l)
+		in = width
+	}
+	out := NewDense(in, outputs, Linear)
+	glorot(rng, out.W)
+	m.Layers = append(m.Layers, out)
+	return m
+}
+
+// NewLSTMModel builds a randomly initialized model matching the paper's LSTM
+// experiment: one LSTM layer of the given width over timeSteps univariate
+// steps, followed by a single-neuron linear output layer.
+func NewLSTMModel(name string, timeSteps, width int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Name: name}
+	l := NewLSTM(1, width, timeSteps)
+	glorot(rng, l.W)
+	glorot(rng, l.U)
+	m.Layers = append(m.Layers, l)
+	out := NewDense(width, 1, Linear)
+	glorot(rng, out.W)
+	m.Layers = append(m.Layers, out)
+	return m
+}

@@ -1,0 +1,298 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indbml/internal/blas"
+)
+
+func TestActivationParseRoundTrip(t *testing.T) {
+	for _, a := range []Activation{Linear, ReLU, Sigmoid, Tanh} {
+		got, err := ParseActivation(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseActivation(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseActivation("softmax9000"); err == nil {
+		t.Error("expected error for unknown activation")
+	}
+}
+
+func TestActivationApply(t *testing.T) {
+	tests := []struct {
+		act  Activation
+		in   float32
+		want float64
+	}{
+		{Linear, 3.5, 3.5},
+		{ReLU, -1, 0},
+		{ReLU, 2, 2},
+		{Sigmoid, 0, 0.5},
+		{Tanh, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.act.Apply(tc.in); math.Abs(float64(got)-tc.want) > 1e-6 {
+			t.Errorf("%v(%v) = %v, want %v", tc.act, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestActivationDerivativeNumeric(t *testing.T) {
+	const h = 1e-3
+	for _, act := range []Activation{Linear, Sigmoid, Tanh} {
+		for _, z := range []float32{-1.5, -0.2, 0.3, 2} {
+			y := act.Apply(z)
+			got := act.Derivative(z, y)
+			num := (act.Apply(z+h) - act.Apply(z-h)) / (2 * h)
+			if math.Abs(float64(got-num)) > 1e-2 {
+				t.Errorf("%v'(%v) = %v, numeric %v", act, z, got, num)
+			}
+		}
+	}
+}
+
+// TestDenseForwardManual verifies the dense layer against a hand computation.
+func TestDenseForwardManual(t *testing.T) {
+	d := NewDense(2, 2, ReLU)
+	// W = [[1, -1], [2, 0.5]], b = [0.5, -10]
+	d.W.Set(0, 0, 1)
+	d.W.Set(0, 1, -1)
+	d.W.Set(1, 0, 2)
+	d.W.Set(1, 1, 0.5)
+	d.B[0], d.B[1] = 0.5, -10
+
+	in := blas.NewMat(1, 2)
+	in.Data[0], in.Data[1] = 3, 4
+	out := d.Forward(in)
+	// node0: 3*1 + 4*2 + 0.5 = 11.5 ; node1: 3*-1 + 4*0.5 - 10 = -11 -> relu 0
+	if math.Abs(float64(out.At(0, 0))-11.5) > 1e-5 || out.At(0, 1) != 0 {
+		t.Errorf("dense forward = %v", out.Data)
+	}
+}
+
+// TestLSTMForwardManual verifies one LSTM step against the cell equations
+// computed by hand in float64.
+func TestLSTMForwardManual(t *testing.T) {
+	l := NewLSTM(1, 1, 2)
+	// Scalar weights for each gate (i, f, c, o).
+	wi, wf, wc, wo := 0.5, 0.4, 0.3, 0.2
+	ui, uf, uc, uo := 0.1, 0.15, 0.25, 0.35
+	bi, bf, bc, bo := 0.01, 0.02, 0.03, 0.04
+	l.W.Data = []float32{float32(wi), float32(wf), float32(wc), float32(wo)}
+	l.U.Data = []float32{float32(ui), float32(uf), float32(uc), float32(uo)}
+	l.B = []float32{float32(bi), float32(bf), float32(bc), float32(bo)}
+
+	x := []float64{0.7, -0.3}
+	sig := func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+	var h, c float64
+	for _, xt := range x {
+		i := sig(xt*wi + h*ui + bi)
+		f := sig(xt*wf + h*uf + bf)
+		cand := math.Tanh(xt*wc + h*uc + bc)
+		o := sig(xt*wo + h*uo + bo)
+		c = f*c + i*cand
+		h = o * math.Tanh(c)
+	}
+
+	in := blas.NewMat(1, 2)
+	in.Data[0], in.Data[1] = 0.7, -0.3
+	out := l.Forward(in)
+	if math.Abs(float64(out.At(0, 0))-h) > 1e-5 {
+		t.Errorf("lstm forward = %v, want %v", out.At(0, 0), h)
+	}
+}
+
+// TestLSTMBatchConsistency checks that batched inference equals one-by-one
+// inference — the property the vectorized ModelJoin relies on.
+func TestLSTMBatchConsistency(t *testing.T) {
+	m := NewLSTMModel("m", 3, 8, 42)
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float32, 50)
+	for i := range rows {
+		rows[i] = []float32{rng.Float32(), rng.Float32(), rng.Float32()}
+	}
+	batched := m.PredictBatch(rows)
+	for i, r := range rows {
+		single := m.Predict(append([]float32(nil), r...))
+		if math.Abs(float64(batched[i][0]-single[0])) > 1e-5 {
+			t.Fatalf("row %d: batched %v != single %v", i, batched[i][0], single[0])
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := &Model{Name: "bad", Layers: []Layer{NewDense(4, 8, ReLU), NewDense(9, 2, Linear)}}
+	if err := m.Validate(); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+	m2 := &Model{Name: "bad2", Layers: []Layer{NewDense(4, 8, ReLU), NewLSTM(1, 4, 8)}}
+	if err := m2.Validate(); err == nil {
+		t.Error("expected error for LSTM beyond first layer")
+	}
+	if err := (&Model{Name: "empty"}).Validate(); err == nil {
+		t.Error("expected error for empty model")
+	}
+	if err := NewDenseModel("ok", 4, 32, 2, 1, 1).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	for _, m := range []*Model{
+		NewDenseModel("dense", 4, 8, 2, 3, 11),
+		NewLSTMModel("lstm", 3, 6, 12),
+	} {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("save %s: %v", m.Name, err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("load %s: %v", m.Name, err)
+		}
+		if got.Name != m.Name || len(got.Layers) != len(m.Layers) {
+			t.Fatalf("round trip changed structure of %s", m.Name)
+		}
+		in := make([]float32, m.InputDim())
+		for i := range in {
+			in[i] = float32(i) * 0.1
+		}
+		want := m.Predict(append([]float32(nil), in...))
+		have := got.Predict(append([]float32(nil), in...))
+		for i := range want {
+			if math.Abs(float64(want[i]-have[i])) > 1e-6 {
+				t.Fatalf("%s: output changed after round trip", m.Name)
+			}
+		}
+	}
+}
+
+func TestModelJSONRejectsBadShapes(t *testing.T) {
+	bad := []string{
+		`{"name":"x","layers":[{"type":"warp","units":2,"kernel":[[1]],"bias":[1]}]}`,
+		`{"name":"x","layers":[{"type":"dense","units":2,"kernel":[[1,2]],"bias":[1]}]}`,
+		`{"name":"x","layers":[{"type":"lstm","units":2,"time_steps":0,"kernel":[[1,1,1,1,1,1,1,1]],"recurrent_kernel":[[1,1,1,1,1,1,1,1],[1,1,1,1,1,1,1,1]],"bias":[0,0,0,0,0,0,0,0]}]}`,
+	}
+	for i, s := range bad {
+		var m Model
+		if err := m.UnmarshalJSON([]byte(s)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	// Width 128, depth 4, 4 inputs, 1 output:
+	// 4·128+128 + 3·(128·128+128) + 128+1.
+	m := NewDenseModel("m", 4, 128, 4, 1, 1)
+	want := 4*128 + 128 + 3*(128*128+128) + 128 + 1
+	if got := m.ParamCount(); got != want {
+		t.Errorf("ParamCount = %d, want %d", got, want)
+	}
+	// The paper: width 512 depth 8 has ≈ 4·512 + 7·512² + 512 ≈ 1.8e6.
+	big := NewDenseModel("big", 4, 512, 8, 1, 1)
+	if big.ParamCount() < 1_800_000 || big.ParamCount() > 1_900_000 {
+		t.Errorf("width-512 depth-8 param count = %d, paper cites ≈1.8e6", big.ParamCount())
+	}
+}
+
+func TestTrainLearnsXOR(t *testing.T) {
+	x := [][]float32{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := [][]float32{{0}, {1}, {1}, {0}}
+	m := &Model{Name: "xor", Layers: []Layer{NewDense(2, 8, Tanh), NewDense(8, 1, Sigmoid)}}
+	rng := rand.New(rand.NewSource(3))
+	for _, l := range m.Layers {
+		d := l.(*Dense)
+		for i := range d.W.Data {
+			d.W.Data[i] = rng.Float32()*2 - 1
+		}
+	}
+	loss, err := Train(m, x, y, TrainConfig{LearningRate: 0.5, Epochs: 2000, BatchSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR did not converge: loss %v", loss)
+	}
+	for i, in := range x {
+		out := m.Predict(append([]float32(nil), in...))
+		if (out[0] > 0.5) != (y[i][0] > 0.5) {
+			t.Errorf("xor(%v) = %v, want %v", in, out[0], y[i][0])
+		}
+	}
+}
+
+func TestTrainRejectsLSTM(t *testing.T) {
+	m := NewLSTMModel("m", 3, 4, 1)
+	if _, err := Train(m, [][]float32{{1, 2, 3}}, [][]float32{{1}}, TrainConfig{}); err == nil {
+		t.Error("expected error training an LSTM model")
+	}
+}
+
+// TestForwardDeterministic: the reference forward pass is a pure function.
+func TestForwardDeterministic(t *testing.T) {
+	m := NewDenseModel("m", 4, 16, 3, 2, 5)
+	err := quick.Check(func(a, b, c, d float32) bool {
+		in := []float32{clamp(a), clamp(b), clamp(c), clamp(d)}
+		o1 := m.Predict(append([]float32(nil), in...))
+		o2 := m.Predict(append([]float32(nil), in...))
+		return o1[0] == o2[0] && o1[1] == o2[1]
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(v float32) float32 {
+	if v != v || math.IsInf(float64(v), 0) {
+		return 0
+	}
+	if v > 10 {
+		return 10
+	}
+	if v < -10 {
+		return -10
+	}
+	return v
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/model.json"
+	m := NewDenseModel("filemodel", 4, 8, 1, 1, 33)
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "filemodel" || got.ParamCount() != m.ParamCount() {
+		t.Errorf("file round trip changed the model")
+	}
+	if _, err := LoadFile(dir + "/missing.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestPredictBatchEmpty(t *testing.T) {
+	m := NewDenseModel("m", 4, 4, 1, 1, 1)
+	if out := m.PredictBatch(nil); out != nil {
+		t.Errorf("empty batch should return nil, got %v", out)
+	}
+}
+
+func TestGateSlices(t *testing.T) {
+	z := make([]float32, 8)
+	for i := range z {
+		z[i] = float32(i)
+	}
+	i, f, c, o := GateSlices(z, 2)
+	if i[0] != 0 || f[0] != 2 || c[0] != 4 || o[0] != 6 {
+		t.Errorf("gate slicing wrong: %v %v %v %v", i, f, c, o)
+	}
+}

@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indbml/internal/blas"
+)
+
+// TrainConfig parameterizes SGD training of dense models. The paper performs
+// inference only; training exists here so the examples operate on genuinely
+// trained models (iris classification, sinus regression) rather than random
+// weights.
+type TrainConfig struct {
+	// LearningRate is the SGD step size (default 0.05).
+	LearningRate float32
+	// Epochs is the number of passes over the data (default 50).
+	Epochs int
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+	// Seed makes shuffling deterministic.
+	Seed int64
+	// Verbose, when set, receives a per-epoch mean loss callback.
+	Verbose func(epoch int, loss float64)
+}
+
+func (c *TrainConfig) defaults() {
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 50
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+}
+
+// Train fits a dense-only model to (x, y) pairs with mini-batch SGD under
+// mean squared error, returning the final epoch's mean loss. It rejects
+// models containing recurrent layers: LSTM training (BPTT) is out of scope,
+// matching the paper's inference-only focus.
+func Train(m *Model, x, y [][]float32, cfg TrainConfig) (float64, error) {
+	cfg.defaults()
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, fmt.Errorf("nn: training needs matching non-empty x and y (%d vs %d)", len(x), len(y))
+	}
+	layers := make([]*Dense, len(m.Layers))
+	for i, l := range m.Layers {
+		d, ok := l.(*Dense)
+		if !ok {
+			return 0, fmt.Errorf("nn: Train supports dense-only models; layer %d is %v", i, l.Kind())
+		}
+		layers[i] = d
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := make([]int, len(x))
+	for i := range perm {
+		perm[i] = i
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := perm[start:end]
+			epochLoss += trainBatch(layers, x, y, batch, cfg.LearningRate)
+		}
+		lastLoss = epochLoss / float64(len(perm))
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// trainBatch runs forward + backward on one mini-batch and applies the SGD
+// update, returning the summed sample losses.
+func trainBatch(layers []*Dense, x, y [][]float32, batch []int, lr float32) float64 {
+	n := len(batch)
+	in := blas.NewMat(n, len(x[batch[0]]))
+	for i, idx := range batch {
+		copy(in.Row(i), x[idx])
+	}
+
+	// Forward pass, keeping pre-activations and activations per layer.
+	acts := make([]blas.Mat, len(layers)+1)
+	preacts := make([]blas.Mat, len(layers))
+	acts[0] = in
+	for li, l := range layers {
+		z := blas.NewMat(n, l.OutputDim())
+		for r := 0; r < n; r++ {
+			copy(z.Row(r), l.B)
+		}
+		blas.Sgemm(acts[li], l.W, z)
+		preacts[li] = z.Clone()
+		l.Act.ApplySlice(z.Data)
+		acts[li+1] = z
+	}
+
+	// Output delta under MSE: δ = (ŷ − y) ⊙ σ'(z), and the loss itself.
+	out := acts[len(layers)]
+	delta := blas.NewMat(n, out.Cols)
+	var loss float64
+	for i, idx := range batch {
+		or, yr, dr, zr := out.Row(i), y[idx], delta.Row(i), preacts[len(layers)-1].Row(i)
+		for j := range or {
+			diff := or[j] - yr[j]
+			loss += float64(diff * diff)
+			dr[j] = diff * layers[len(layers)-1].Act.Derivative(zr[j], or[j])
+		}
+	}
+	loss /= float64(out.Cols)
+
+	// Backward pass with immediate SGD updates.
+	for li := len(layers) - 1; li >= 0; li-- {
+		l := layers[li]
+		prev := acts[li]
+		// Propagate delta to the previous layer before updating weights.
+		var prevDelta blas.Mat
+		if li > 0 {
+			prevDelta = blas.NewMat(n, l.InputDim())
+			// prevDelta = delta·Wᵀ ⊙ σ'(z_prev)
+			wt := blas.NewMat(l.W.Cols, l.W.Rows)
+			blas.Transpose(l.W, wt)
+			blas.Sgemm(delta, wt, prevDelta)
+			prevAct, prevZ := acts[li], preacts[li-1]
+			for r := 0; r < n; r++ {
+				pd, pa, pz := prevDelta.Row(r), prevAct.Row(r), prevZ.Row(r)
+				for j := range pd {
+					pd[j] *= layers[li-1].Act.Derivative(pz[j], pa[j])
+				}
+			}
+		}
+		// Gradient step: W -= lr/n · prevᵀ·delta, B -= lr/n · Σ delta.
+		scale := -lr / float32(n)
+		for r := 0; r < n; r++ {
+			pr, dr := prev.Row(r), delta.Row(r)
+			for i, pv := range pr {
+				if pv == 0 {
+					continue
+				}
+				wRow := l.W.Row(i)
+				for j, dv := range dr {
+					wRow[j] += scale * pv * dv
+				}
+			}
+			for j, dv := range dr {
+				l.B[j] += scale * dv
+			}
+		}
+		delta = prevDelta
+	}
+	return loss
+}

@@ -1,0 +1,244 @@
+// Package pyudf simulates the Python UDF execution environment of the
+// paper's UDF baseline. Values crossing the engine↔UDF boundary are boxed
+// into dynamically-typed objects (`any`) one by one — the marshalling and
+// per-object overhead a real engine pays when handing tuples to an embedded
+// Python interpreter — and results are unboxed the same way on return.
+//
+// Two invocation modes exist, following the paper's setup (Sec. 6.1):
+//
+//   - tuple-at-a-time: the function is called once per row, the classic UDF
+//     contract;
+//   - vectorized: the function is called once per engine vector of 1024
+//     tuples (Actian Vector's accelerated Python UDFs, Kläbe et al. CIDR'22),
+//     amortizing the per-call cost.
+package pyudf
+
+import (
+	"fmt"
+
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// Value is a boxed value in the simulated Python environment.
+type Value = any
+
+// ScalarFunc is a tuple-at-a-time UDF: one boxed argument row in, one boxed
+// result row (one value per output column) out.
+type ScalarFunc func(args []Value) ([]Value, error)
+
+// VectorFunc is a vectorized UDF: boxed argument columns in (args[i][r] is
+// row r of argument i), boxed result columns out.
+type VectorFunc func(args [][]Value) ([][]Value, error)
+
+// Operator runs a UDF over its child's batches, appending the UDF's output
+// columns. It implements exec.Operator, so UDF inference slots into query
+// plans exactly like the native ModelJoin.
+type Operator struct {
+	Child   exec.Operator
+	ArgCols []int
+	OutCols []types.Column
+	Scalar  ScalarFunc
+	Vector  VectorFunc
+
+	schema *types.Schema
+	// Calls counts UDF invocations (for tests and experiment reporting).
+	Calls int
+}
+
+// NewScalar builds a tuple-at-a-time UDF operator.
+func NewScalar(child exec.Operator, argCols []int, outCols []types.Column, fn ScalarFunc) (*Operator, error) {
+	return newOp(child, argCols, outCols, fn, nil)
+}
+
+// NewVectorized builds a vectorized UDF operator.
+func NewVectorized(child exec.Operator, argCols []int, outCols []types.Column, fn VectorFunc) (*Operator, error) {
+	return newOp(child, argCols, outCols, nil, fn)
+}
+
+func newOp(child exec.Operator, argCols []int, outCols []types.Column, sf ScalarFunc, vf VectorFunc) (*Operator, error) {
+	cs := child.Schema()
+	for _, c := range argCols {
+		if c < 0 || c >= cs.Len() {
+			return nil, fmt.Errorf("pyudf: argument column %d out of range", c)
+		}
+	}
+	cols := append(cs.Columns(), outCols...)
+	return &Operator{
+		Child: child, ArgCols: argCols, OutCols: outCols,
+		Scalar: sf, Vector: vf,
+		schema: types.NewSchema(cols...),
+	}, nil
+}
+
+// Schema implements exec.Operator.
+func (o *Operator) Schema() *types.Schema { return o.schema }
+
+// Open implements exec.Operator.
+func (o *Operator) Open() error {
+	o.Calls = 0
+	return o.Child.Open()
+}
+
+// Next implements exec.Operator.
+func (o *Operator) Next() (*vector.Batch, error) {
+	in, err := o.Child.Next()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	n := in.Len()
+
+	// Marshal: box every argument value into the "Python" representation.
+	args := make([][]Value, len(o.ArgCols))
+	for i, c := range o.ArgCols {
+		args[i] = Box(in.Vecs[c], n)
+	}
+
+	var results [][]Value
+	if o.Vector != nil {
+		o.Calls++
+		results, err = o.Vector(args)
+		if err != nil {
+			return nil, fmt.Errorf("pyudf: %w", err)
+		}
+	} else {
+		results = make([][]Value, len(o.OutCols))
+		rowArgs := make([]Value, len(o.ArgCols))
+		for r := 0; r < n; r++ {
+			for i := range args {
+				rowArgs[i] = args[i][r]
+			}
+			o.Calls++
+			rowOut, err := o.Scalar(rowArgs)
+			if err != nil {
+				return nil, fmt.Errorf("pyudf: row %d: %w", r, err)
+			}
+			if len(rowOut) != len(o.OutCols) {
+				return nil, fmt.Errorf("pyudf: row %d returned %d values, want %d", r, len(rowOut), len(o.OutCols))
+			}
+			for i, v := range rowOut {
+				results[i] = append(results[i], v)
+			}
+		}
+	}
+	if len(results) != len(o.OutCols) {
+		return nil, fmt.Errorf("pyudf: UDF returned %d columns, want %d", len(results), len(o.OutCols))
+	}
+
+	out := vector.NewBatch(o.schema, n)
+	for c := 0; c < in.Schema.Len(); c++ {
+		out.Vecs[c].CopyFrom(in.Vecs[c], nil)
+	}
+	// Unmarshal: unbox results back into engine vectors.
+	for i, col := range results {
+		if len(col) != n {
+			return nil, fmt.Errorf("pyudf: output column %d has %d rows, want %d", i, len(col), n)
+		}
+		v := out.Vecs[in.Schema.Len()+i]
+		for r, val := range col {
+			d, err := Unbox(val, o.OutCols[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("pyudf: output column %d row %d: %w", i, r, err)
+			}
+			v.AppendDatum(d)
+		}
+	}
+	out.SetLen(n)
+	return out, nil
+}
+
+// Close implements exec.Operator.
+func (o *Operator) Close() error { return o.Child.Close() }
+
+// Box converts an engine vector into boxed values, one allocation and one
+// dynamic dispatch per value — the cost of materializing Python objects.
+func Box(v *vector.Vector, n int) []Value {
+	out := make([]Value, n)
+	for r := 0; r < n; r++ {
+		if v.NullAt(r) {
+			out[r] = nil
+			continue
+		}
+		switch v.Type() {
+		case types.Bool:
+			out[r] = v.Bools()[r]
+		case types.Int32:
+			out[r] = v.Int32s()[r]
+		case types.Int64:
+			out[r] = v.Int64s()[r]
+		case types.Float32:
+			out[r] = v.Float32s()[r]
+		case types.Float64:
+			out[r] = v.Float64s()[r]
+		case types.String:
+			out[r] = v.Strings()[r]
+		}
+	}
+	return out
+}
+
+// Unbox converts a boxed value back into an engine datum of the target type.
+func Unbox(val Value, t types.T) (types.Datum, error) {
+	if val == nil {
+		return types.NullDatum(t), nil
+	}
+	var d types.Datum
+	switch v := val.(type) {
+	case bool:
+		d = types.BoolDatum(v)
+	case int32:
+		d = types.Int32Datum(v)
+	case int64:
+		d = types.Int64Datum(v)
+	case int:
+		d = types.Int64Datum(int64(v))
+	case float32:
+		d = types.Float32Datum(v)
+	case float64:
+		d = types.Float64Datum(v)
+	case string:
+		d = types.StringDatum(v)
+	default:
+		return d, fmt.Errorf("pyudf: cannot unbox %T", val)
+	}
+	return convert(d, t), nil
+}
+
+func convert(d types.Datum, t types.T) types.Datum {
+	if d.Type == t {
+		return d
+	}
+	switch t {
+	case types.Int32:
+		return types.Int32Datum(int32(d.Int()))
+	case types.Int64:
+		return types.Int64Datum(d.Int())
+	case types.Float32:
+		return types.Float32Datum(float32(d.Float()))
+	case types.Float64:
+		return types.Float64Datum(d.Float())
+	case types.String:
+		return types.StringDatum(d.String())
+	}
+	return d
+}
+
+// ToFloat32 unboxes a numeric Python value to float32 (the conversion the
+// inference UDF performs per value when building its input matrix).
+func ToFloat32(v Value) (float32, error) {
+	switch v := v.(type) {
+	case float32:
+		return v, nil
+	case float64:
+		return float32(v), nil
+	case int32:
+		return float32(v), nil
+	case int64:
+		return float32(v), nil
+	case int:
+		return float32(v), nil
+	default:
+		return 0, fmt.Errorf("pyudf: cannot convert %T to float", v)
+	}
+}

@@ -1,0 +1,148 @@
+package pyudf
+
+import (
+	"fmt"
+	"testing"
+
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+func input(t *testing.T, rows int) exec.Operator {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "a", Type: types.Float32},
+		types.Column{Name: "b", Type: types.Int64},
+	)
+	b := vector.NewBatch(schema, rows)
+	for i := 0; i < rows; i++ {
+		_ = b.AppendRow(types.Float32Datum(float32(i)), types.Int64Datum(int64(i*10)))
+	}
+	return exec.NewValues(schema, b)
+}
+
+func TestScalarUDF(t *testing.T) {
+	fn := func(args []Value) ([]Value, error) {
+		a, _ := ToFloat32(args[0])
+		b, _ := ToFloat32(args[1])
+		return []Value{a + b}, nil
+	}
+	op, err := NewScalar(input(t, 5), []int{0, 1}, []types.Column{{Name: "sum", Type: types.Float32}}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 || op.Calls != 5 {
+		t.Fatalf("rows %d calls %d", out.Len(), op.Calls)
+	}
+	for i := 0; i < 5; i++ {
+		if got := out.Vecs[2].Float32s()[i]; got != float32(i)+float32(i*10) {
+			t.Errorf("row %d = %v", i, got)
+		}
+	}
+}
+
+func TestVectorizedUDF(t *testing.T) {
+	fn := func(args [][]Value) ([][]Value, error) {
+		n := len(args[0])
+		out := make([]Value, n)
+		for i := 0; i < n; i++ {
+			a, _ := ToFloat32(args[0][i])
+			out[i] = a * 2
+		}
+		return [][]Value{out}, nil
+	}
+	op, err := NewVectorized(input(t, 7), []int{0}, []types.Column{{Name: "d", Type: types.Float32}}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Calls != 1 {
+		t.Errorf("vectorized UDF called %d times", op.Calls)
+	}
+	if out.Vecs[2].Float32s()[3] != 6 {
+		t.Errorf("udf result wrong: %v", out.Vecs[2].Float32s())
+	}
+}
+
+func TestUDFErrorsPropagate(t *testing.T) {
+	fn := func(args []Value) ([]Value, error) { return nil, fmt.Errorf("boom") }
+	op, err := NewScalar(input(t, 2), []int{0}, []types.Column{{Name: "x", Type: types.Float32}}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Collect(op); err == nil {
+		t.Error("UDF error should propagate")
+	}
+}
+
+func TestUDFArityValidation(t *testing.T) {
+	fnWrong := func(args []Value) ([]Value, error) { return []Value{1, 2}, nil }
+	op, err := NewScalar(input(t, 1), []int{0}, []types.Column{{Name: "x", Type: types.Float32}}, fnWrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Collect(op); err == nil {
+		t.Error("wrong result arity should fail")
+	}
+	if _, err := NewScalar(input(t, 1), []int{9}, nil, nil); err == nil {
+		t.Error("bad arg column should fail at construction")
+	}
+}
+
+func TestBoxUnboxRoundTrip(t *testing.T) {
+	v := vector.New(types.Float64, 0)
+	v.AppendDatum(types.Float64Datum(1.25))
+	v.AppendDatum(types.NullDatum(types.Float64))
+	boxed := Box(v, 2)
+	if boxed[0].(float64) != 1.25 || boxed[1] != nil {
+		t.Fatalf("boxed = %v", boxed)
+	}
+	d, err := Unbox(boxed[0], types.Float32)
+	if err != nil || d.Type != types.Float32 || d.F64 != 1.25 {
+		t.Errorf("unbox = %v, %v", d, err)
+	}
+	nd, err := Unbox(nil, types.Float32)
+	if err != nil || !nd.Null {
+		t.Errorf("null unbox = %v, %v", nd, err)
+	}
+	if _, err := Unbox(struct{}{}, types.Float32); err == nil {
+		t.Error("unboxing a struct should fail")
+	}
+}
+
+func TestToFloat32(t *testing.T) {
+	for _, v := range []Value{float32(2), float64(2), int32(2), int64(2), int(2)} {
+		f, err := ToFloat32(v)
+		if err != nil || f != 2 {
+			t.Errorf("ToFloat32(%T) = %v, %v", v, f, err)
+		}
+	}
+	if _, err := ToFloat32("nope"); err == nil {
+		t.Error("string conversion should fail")
+	}
+}
+
+func TestUDFSchemaExtension(t *testing.T) {
+	fn := func(args [][]Value) ([][]Value, error) {
+		return [][]Value{make([]Value, len(args[0])), make([]Value, len(args[0]))}, nil
+	}
+	op, err := NewVectorized(input(t, 1), []int{0},
+		[]types.Column{{Name: "p0", Type: types.Float32}, {Name: "p1", Type: types.Float32}}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Schema().Len() != 4 {
+		t.Errorf("schema = %s", op.Schema())
+	}
+	if i, ok := op.Schema().Lookup("p1"); !ok || i != 3 {
+		t.Errorf("output column position wrong: %d %v", i, ok)
+	}
+}

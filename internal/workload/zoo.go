@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+
+	"indbml/internal/nn"
+)
+
+// Paper grid parameters (Sec. 6.1): dense networks with all combinations of
+// widths {32, 128, 512} and depths {2, 4, 8} over the 4 Iris features, and
+// single-layer LSTMs of widths {32, 128, 512} over 3 time steps.
+var (
+	// DenseWidths are the paper's model_widths.
+	DenseWidths = []int{32, 128, 512}
+	// DenseDepths are the paper's model_depths.
+	DenseDepths = []int{2, 4, 8}
+	// LSTMWidths are the LSTM experiment's layer widths.
+	LSTMWidths = []int{32, 128, 512}
+	// LSTMTimeSteps is the number of time steps per forecast.
+	LSTMTimeSteps = 3
+	// FactSizes are the fact-tuple counts of Figs. 8/9 (50k .. 500k).
+	FactSizes = []int{50_000, 100_000, 200_000, 300_000, 400_000, 500_000}
+)
+
+// DenseModel builds the paper's dense model shape: `depth` hidden ReLU
+// layers of the given width over the four Iris features and a single-neuron
+// linear output ("a model of width 128 and depth 4 has 4 dense layers of
+// width 128 and an output layer of size 1"). Seeded for reproducibility.
+func DenseModel(width, depth int) *nn.Model {
+	seed := int64(width)*1000 + int64(depth)
+	return nn.NewDenseModel(DenseModelName(width, depth), 4, width, depth, 1, seed)
+}
+
+// DenseModelName names a grid model.
+func DenseModelName(width, depth int) string { return fmt.Sprintf("dense_w%d_d%d", width, depth) }
+
+// LSTMModel builds the paper's LSTM shape: one LSTM layer of the given
+// width over LSTMTimeSteps univariate steps, then a single-neuron linear
+// output layer.
+func LSTMModel(width int) *nn.Model {
+	return nn.NewLSTMModel(LSTMModelName(width), LSTMTimeSteps, width, int64(width)*7+1)
+}
+
+// LSTMModelName names an LSTM grid model.
+func LSTMModelName(width int) string { return fmt.Sprintf("lstm_w%d", width) }
