@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench examples experiments experiments-paper clean
+.PHONY: all build test race vet bench examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The serving layer is concurrency-heavy; run the whole suite under the
+# race detector.
+race:
+	$(GO) test -race ./...
 
 # One representative benchmark cell per figure/table plus the ablations.
 bench:

@@ -1,12 +1,17 @@
 // Command vectordb is an interactive SQL shell over the engine — handy for
 // exploring the relational model representation and the MODEL JOIN syntax.
 //
+// By default it runs an embedded engine in-process. With -connect it dials
+// a vectordbd daemon instead and speaks the framed wire protocol, so the
+// same shell drives both the library and the served engine.
+//
 // Besides SQL (CREATE TABLE / INSERT / SELECT / EXPLAIN / DROP), it offers
 // meta commands:
 //
-//	\load-model <path.json> [partitions]   register a model from JSON
-//	\tables                                list tables and models
-//	\demo                                  load a small iris demo setup
+//	\load-model <path.json> [partitions]   register a model from JSON (embedded mode)
+//	\tables                                list tables and models (embedded mode)
+//	\demo                                  load a small iris demo setup (embedded mode)
+//	\status                                server stats snapshot (-connect mode)
 //	\q                                     quit
 //
 // Example session:
@@ -19,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -28,25 +34,70 @@ import (
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/vector"
 	"indbml/internal/nn"
+	"indbml/internal/server/client"
 	"indbml/internal/workload"
 )
 
+// session abstracts over the embedded engine and a remote daemon, so the
+// REPL loop is shared.
+type session interface {
+	runSQL(text string)
+	meta(line string) bool // false → quit
+	close()
+}
+
 func main() {
-	d := db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4})
+	connect := flag.String("connect", "", "dial a vectordbd daemon at host:port instead of running an embedded engine")
+	flag.Parse()
+
+	var s session
+	if *connect != "" {
+		c, err := client.Dial(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vectordb: connect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vectordb — connected to %s (\\q quits, \\status shows server stats)\n", *connect)
+		s = &remoteSession{c: c}
+	} else {
+		fmt.Println("vectordb — in-database ML playground (\\q quits, \\demo loads sample data)")
+		s = &localSession{d: db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4})}
+	}
+	defer s.close()
+	repl(s)
+}
+
+// repl reads statements (terminated by ';') and meta commands (lines
+// starting with '\', honored even mid-statement) until EOF or \q. The
+// prompt is derived from the statement buffer, so it always reflects
+// whether a continuation is pending.
+func repl(s session) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("vectordb — in-database ML playground (\\q quits, \\demo loads sample data)")
 
 	var stmt strings.Builder
-	prompt := "> "
 	for {
-		fmt.Print(prompt)
+		if stmt.Len() == 0 {
+			fmt.Print("> ")
+		} else {
+			fmt.Print("… ")
+		}
 		if !in.Scan() {
-			break
+			if err := in.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "vectordb: reading input:", err)
+			}
+			fmt.Println()
+			if stmt.Len() > 0 {
+				// Ctrl-D mid-statement: tell the user what was dropped
+				// instead of exiting silently.
+				fmt.Fprintf(os.Stderr, "vectordb: discarding unfinished statement: %s\n",
+					strings.TrimSpace(stmt.String()))
+			}
+			return
 		}
 		line := strings.TrimSpace(in.Text())
-		if stmt.Len() == 0 && strings.HasPrefix(line, "\\") {
-			if !meta(d, line) {
+		if strings.HasPrefix(line, "\\") {
+			if !s.meta(line) {
 				return
 			}
 			continue
@@ -57,40 +108,108 @@ func main() {
 		stmt.WriteString(line)
 		stmt.WriteByte(' ')
 		if !strings.HasSuffix(line, ";") {
-			prompt = "… "
 			continue
 		}
-		prompt = "> "
 		text := strings.TrimSuffix(strings.TrimSpace(stmt.String()), ";")
 		stmt.Reset()
-		runSQL(d, text)
+		s.runSQL(text)
 	}
 }
 
-func runSQL(d *db.Database, text string) {
+// ---- embedded engine session ----
+
+type localSession struct {
+	d *db.Database
+}
+
+func (s *localSession) close() {}
+
+func (s *localSession) runSQL(text string) {
 	upper := strings.ToUpper(strings.TrimSpace(text))
 	switch {
 	case strings.HasPrefix(upper, "EXPLAIN"):
-		plan, err := d.Explain(strings.TrimSpace(text[len("EXPLAIN"):]))
+		plan, err := s.d.Explain(strings.TrimSpace(text[len("EXPLAIN"):]))
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		fmt.Print(plan)
 	case strings.HasPrefix(upper, "SELECT"):
-		res, err := d.Query(text)
+		res, err := s.d.Query(text)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		printResult(res)
 	default:
-		if err := d.Exec(text); err != nil {
+		if err := s.d.Exec(text); err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		fmt.Println("ok")
 	}
+}
+
+// meta handles backslash commands; it returns false to quit.
+func (s *localSession) meta(line string) bool {
+	d := s.d
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\tables":
+		fmt.Println(catalogSummary(d))
+	case "\\costs":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\costs <model> <tuples>")
+			return true
+		}
+		tuples, err := strconv.Atoi(fields[2])
+		if err != nil || tuples <= 0 {
+			fmt.Println("usage: \\costs <model> <tuples>")
+			return true
+		}
+		adv := d.NewAdvisor()
+		txt, err := adv.ExplainCosts(fields[1], tuples, true)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(txt)
+		dev, _ := adv.AdviseDevice(fields[1], tuples)
+		fmt.Printf("advised MODEL JOIN device: %s\n", dev)
+	case "\\demo":
+		if err := workload.LoadDemo(d); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Println("demo loaded: tables iris, sinus, sinus_windowed; model iris_model (3 outputs)")
+		fmt.Println(`try: SELECT * FROM iris MODEL JOIN iris_model PREDICT (sepal_length, sepal_width, petal_length, petal_width) LIMIT 5;`)
+	case "\\load-model":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\load-model <path.json> [partitions]")
+			return true
+		}
+		parts := 4
+		if len(fields) >= 3 {
+			if n, err := strconv.Atoi(fields[2]); err == nil {
+				parts = n
+			}
+		}
+		m, err := nn.LoadFile(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if _, err := d.RegisterModel(m, relmodel.ExportOptions{Partitions: parts}); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("registered model %q (%d parameters)\n", m.Name, m.ParamCount())
+	default:
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs")
+	}
+	return true
 }
 
 func printResult(b *vector.Batch) {
@@ -130,68 +249,12 @@ func printResult(b *vector.Batch) {
 	fmt.Printf("(%d rows)\n", rows)
 }
 
-// meta handles backslash commands; it returns false to quit.
-func meta(d *db.Database, line string) bool {
-	fields := strings.Fields(line)
-	switch fields[0] {
-	case "\\q", "\\quit", "\\exit":
-		return false
-	case "\\tables":
-		fmt.Println(catalogSummary(d))
-	case "\\costs":
-		if len(fields) < 3 {
-			fmt.Println("usage: \\costs <model> <tuples>")
-			return true
-		}
-		tuples, err := strconv.Atoi(fields[2])
-		if err != nil || tuples <= 0 {
-			fmt.Println("usage: \\costs <model> <tuples>")
-			return true
-		}
-		adv := d.NewAdvisor()
-		txt, err := adv.ExplainCosts(fields[1], tuples, true)
-		if err != nil {
-			fmt.Println("error:", err)
-			return true
-		}
-		fmt.Print(txt)
-		dev, _ := adv.AdviseDevice(fields[1], tuples)
-		fmt.Printf("advised MODEL JOIN device: %s\n", dev)
-	case "\\demo":
-		loadDemo(d)
-	case "\\load-model":
-		if len(fields) < 2 {
-			fmt.Println("usage: \\load-model <path.json> [partitions]")
-			return true
-		}
-		parts := 4
-		if len(fields) >= 3 {
-			if n, err := strconv.Atoi(fields[2]); err == nil {
-				parts = n
-			}
-		}
-		m, err := nn.LoadFile(fields[1])
-		if err != nil {
-			fmt.Println("error:", err)
-			return true
-		}
-		if _, err := d.RegisterModel(m, relmodel.ExportOptions{Partitions: parts}); err != nil {
-			fmt.Println("error:", err)
-			return true
-		}
-		fmt.Printf("registered model %q (%d parameters)\n", m.Name, m.ParamCount())
-	default:
-		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs")
-	}
-	return true
-}
-
 func catalogSummary(d *db.Database) string {
 	// The facade intentionally has no catalog-iteration API for queries;
 	// the shell keeps its own notes via \demo and \load-model. Listing what
 	// standard workloads create is good enough for a playground.
 	var sb strings.Builder
-	for _, name := range []string{"iris", "iris_model", "sinus", "sinus_windowed"} {
+	for _, name := range workload.DemoTables {
 		if t, err := d.Table(name); err == nil {
 			fmt.Fprintf(&sb, "%-16s %8d rows  %s\n", t.Name, t.RowCount(), t.Schema)
 		}
@@ -202,45 +265,106 @@ func catalogSummary(d *db.Database) string {
 	return sb.String()
 }
 
-func loadDemo(d *db.Database) {
-	tbl, _ := workload.IrisTable("iris", 150, 4)
-	d.RegisterTable(tbl)
-	// Train on the raw (unscaled) features so predictions over the stored
-	// table columns are directly meaningful.
-	var x, y [][]float32
-	for _, r := range workload.Iris() {
-		x = append(x, []float32{r.SepalLength, r.SepalWidth, r.PetalLength, r.PetalWidth})
-		target := make([]float32, 3)
-		target[r.Class] = 1
-		y = append(y, target)
+// ---- remote daemon session ----
+
+type remoteSession struct {
+	c *client.Client
+}
+
+func (s *remoteSession) close() { s.c.Close() }
+
+func (s *remoteSession) runSQL(text string) {
+	upper := strings.ToUpper(strings.TrimSpace(text))
+	switch {
+	case strings.HasPrefix(upper, "EXPLAIN"), upper == "STATUS":
+		out, err := s.c.Command(text)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(out)
+		if !strings.HasSuffix(out, "\n") {
+			fmt.Println()
+		}
+	case strings.HasPrefix(upper, "SELECT"):
+		rows, err := s.c.Query(text)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printRows(rows)
+	default:
+		if err := s.c.Exec(text); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("ok")
 	}
-	model := &nn.Model{Name: "iris_model", Layers: []nn.Layer{
-		nn.NewDense(4, 16, nn.Tanh), nn.NewDense(16, 3, nn.Sigmoid),
-	}}
-	seedDense(model)
-	if _, err := nn.Train(model, x, y, nn.TrainConfig{Epochs: 400, LearningRate: 0.05, Seed: 7}); err != nil {
-		fmt.Println("error training demo model:", err)
-		return
+}
+
+func (s *remoteSession) meta(line string) bool {
+	switch strings.Fields(line)[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\status":
+		out, err := s.c.Status()
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Println(out)
+	default:
+		fmt.Println("unknown meta command; available in -connect mode: \\q \\status")
 	}
-	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 4}); err != nil {
+	return true
+}
+
+// printRows renders a streamed remote result: the first 50 rows as a
+// table, then a count of the rest (still fully consumed, so the
+// connection stays framed).
+func printRows(rows *client.Rows) {
+	const maxRows = 50
+	cols := rows.Columns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c.Name)
+	}
+	var cells [][]string
+	total := 0
+	for row := rows.Next(); row != nil; row = rows.Next() {
+		total++
+		if total > maxRows {
+			continue
+		}
+		rc := make([]string, len(cols))
+		for i, v := range row {
+			if v == nil {
+				rc[i] = "NULL"
+			} else {
+				rc[i] = fmt.Sprint(v)
+			}
+			if len(rc[i]) > widths[i] {
+				widths[i] = len(rc[i])
+			}
+		}
+		cells = append(cells, rc)
+	}
+	if err := rows.Err(); err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	series := workload.SinusSeries(1000, 0.1)
-	d.RegisterTable(workload.SeriesTable("sinus", series, 4))
-	win, _ := workload.WindowedSeriesTable("sinus_windowed", series, 3, 4)
-	d.RegisterTable(win)
-	fmt.Println("demo loaded: tables iris, sinus, sinus_windowed; model iris_model (3 outputs)")
-	fmt.Println(`try: SELECT * FROM iris MODEL JOIN iris_model PREDICT (sepal_length, sepal_width, petal_length, petal_width) LIMIT 5;`)
-}
-
-func seedDense(m *nn.Model) {
-	seed := int64(42)
-	for _, l := range m.Layers {
-		d := l.(*nn.Dense)
-		for i := range d.W.Data {
-			seed = seed*6364136223846793005 + 1442695040888963407
-			d.W.Data[i] = float32(int32(seed>>33)) / float32(1<<31) * 0.5
-		}
+	for i, c := range cols {
+		fmt.Printf("%-*s  ", widths[i], c.Name)
 	}
+	fmt.Println()
+	for _, rc := range cells {
+		for i := range rc {
+			fmt.Printf("%-*s  ", widths[i], rc[i])
+		}
+		fmt.Println()
+	}
+	if total > len(cells) {
+		fmt.Printf("… (%d more rows)\n", total-len(cells))
+	}
+	fmt.Printf("(%d rows)\n", total)
 }

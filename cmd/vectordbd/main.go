@@ -1,0 +1,77 @@
+// Command vectordbd runs the engine as a network daemon: it listens for
+// framed-protocol connections (package wire), serves SQL — including MODEL
+// JOIN inference queries — with admission control and per-query deadlines,
+// and drains gracefully on SIGINT/SIGTERM.
+//
+// Connect with the interactive shell:
+//
+//	vectordbd -addr 127.0.0.1:5433 -demo &
+//	vectordb -connect 127.0.0.1:5433
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"indbml/internal/engine/db"
+	"indbml/internal/server"
+	"indbml/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "listen address (host:port)")
+	slots := flag.Int("slots", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "admitted-statement queue depth (0 = reject when all slots busy)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a statement queues for a slot (0 = wait until its deadline)")
+	idle := flag.Duration("idle", 5*time.Minute, "close sessions idle this long (0 = never)")
+	maxQuery := flag.Duration("max-query", 0, "cap every query's run time (0 = uncapped)")
+	partitions := flag.Int("partitions", 4, "default table partition count")
+	parallelism := flag.Int("parallelism", 0, "query parallelism (0 = GOMAXPROCS)")
+	demo := flag.Bool("demo", false, "load the iris/sinus demo workload at startup")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight queries are canceled")
+	flag.Parse()
+
+	d := db.Open(db.Options{DefaultPartitions: *partitions, Parallelism: *parallelism})
+	if *demo {
+		if err := workload.LoadDemo(d); err != nil {
+			log.Fatalf("vectordbd: loading demo workload: %v", err)
+		}
+		log.Printf("demo workload loaded: %v", workload.DemoTables)
+	}
+
+	s := server.New(d, server.Config{
+		QuerySlots:       *slots,
+		QueueDepth:       *queue,
+		QueueWait:        *queueWait,
+		IdleTimeout:      *idle,
+		MaxQueryDuration: *maxQuery,
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(*addr) }()
+	log.Printf("vectordbd listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("vectordbd: serve: %v", err)
+		}
+	case sig := <-sigc:
+		log.Printf("received %s; draining (budget %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Printf("drain budget exceeded; in-flight queries canceled: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	}
+}

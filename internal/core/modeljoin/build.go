@@ -248,15 +248,27 @@ func fillWeight(host []hostLayer, meta *relmodel.Meta, b *vector.Batch, r int) e
 			return fmt.Errorf("modeljoin: model %s dense edge (%d→%d) out of range", meta.Name, nodeIn, node)
 		}
 		hl.w.Set(nodeIn, node, w(0))
-		hl.bias[node] = w(8)
+		// Every in-edge row repeats the node's bias, and a node's in-edges
+		// span model-table partitions; the weight cells are disjoint across
+		// parallel build workers but the bias cell is not. Let exactly one
+		// row — the (0→node) edge, present once per node in a fully
+		// connected layer — write it, keeping the build barrier-free.
+		if nodeIn == 0 {
+			hl.bias[node] = w(8)
+		}
 	case nn.KindLSTM:
 		if nodeIn >= hl.units || node >= hl.units {
 			return fmt.Errorf("modeljoin: model %s lstm edge (%d→%d) out of range", meta.Name, nodeIn, node)
 		}
 		for g := 0; g < 4; g++ {
 			hl.ug[g].Set(nodeIn, node, w(4+g))
-			hl.wg[g].Set(0, node, w(g))
-			hl.gBias[g][node] = w(8 + g)
+			// As with the dense bias: input weights and gate biases repeat
+			// on every recurrent edge row, so only the (0→node) row writes
+			// the shared cells.
+			if nodeIn == 0 {
+				hl.wg[g].Set(0, node, w(g))
+				hl.gBias[g][node] = w(8 + g)
+			}
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -207,17 +208,17 @@ func (d *Database) planner() *plan.Planner {
 	}
 }
 
-// Query parses, plans and executes a SELECT, materializing the result.
+// Query parses, plans and executes a SELECT, materializing the result. It
+// is the uncancellable convenience wrapper over QueryContext.
 func (d *Database) Query(text string) (*vector.Batch, error) {
-	sel, err := sql.ParseSelect(text)
-	if err != nil {
-		return nil, err
-	}
-	p, err := d.planner().PlanSelect(sel)
-	if err != nil {
-		return nil, err
-	}
-	op, err := p.Build()
+	return d.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query with cancellation: a canceled or expired ctx makes
+// execution return ctx's error at the next batch boundary (the Scan leaves
+// and any Exchange check it), instead of running the query to completion.
+func (d *Database) QueryContext(ctx context.Context, text string) (*vector.Batch, error) {
+	op, err := d.QueryOpContext(ctx, text)
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +229,13 @@ func (d *Database) Query(text string) (*vector.Batch, error) {
 // executing it — used by the benchmark harness to separate planning from
 // execution and to stream results without materialization.
 func (d *Database) QueryOp(text string) (exec.Operator, error) {
+	return d.QueryOpContext(context.Background(), text)
+}
+
+// QueryOpContext is QueryOp with a cancellation context attached to the
+// built operator tree. The serving layer streams over the returned operator
+// so large results never materialize inside the engine.
+func (d *Database) QueryOpContext(ctx context.Context, text string) (exec.Operator, error) {
 	sel, err := sql.ParseSelect(text)
 	if err != nil {
 		return nil, err
@@ -236,7 +244,10 @@ func (d *Database) QueryOp(text string) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.Build()
+	if ctx == nil || ctx == context.Background() {
+		return p.Build()
+	}
+	return p.BuildContext(ctx)
 }
 
 // Explain returns the query plan rendering for a SELECT.
@@ -255,8 +266,18 @@ func (d *Database) Explain(text string) (string, error) {
 // Exec runs a DDL/DML statement (CREATE TABLE, CREATE MODEL TABLE, INSERT,
 // DROP TABLE). EXPLAIN and SELECT are rejected — use Query/Explain.
 func (d *Database) Exec(text string) error {
+	return d.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec with cancellation. DDL/DML statements are short, so
+// the context is consulted between parse and execution rather than inside
+// row appends; a statement that has begun mutating the catalog completes.
+func (d *Database) ExecContext(ctx context.Context, text string) error {
 	stmt, err := sql.Parse(text)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	switch s := stmt.(type) {

@@ -7,9 +7,19 @@
 package exec
 
 import (
+	"context"
+	"errors"
+
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
 )
+
+// IsCancellation reports whether an execution error originates from context
+// cancellation or deadline expiry rather than a genuine query failure.
+// Operators propagate ctx errors verbatim, so errors.Is suffices.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Operator is a physical query operator. The contract:
 //

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,6 +19,10 @@ type Exchange struct {
 	// MaxParallel caps concurrent children; 0 means all at once (the
 	// paper's setup runs 12 partitions at parallelism level 12).
 	MaxParallel int
+	// Ctx, when set, cancels the exchange: producer goroutines stop pulling
+	// from their children and Next fails fast, so a canceled query releases
+	// its workers without draining the remaining partitions.
+	Ctx context.Context
 
 	ch      chan *vector.Batch
 	errCh   chan error
@@ -42,6 +47,15 @@ func NewExchange(children []Operator, maxParallel int) (*Exchange, error) {
 
 // Schema implements Operator.
 func (e *Exchange) Schema() *types.Schema { return e.Children[0].Schema() }
+
+// done returns the cancellation channel (nil — blocking forever in a
+// select — when no context is attached).
+func (e *Exchange) done() <-chan struct{} {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.Ctx.Done()
+}
 
 // Open implements Operator: it launches one goroutine per child.
 func (e *Exchange) Open() error {
@@ -68,6 +82,12 @@ func (e *Exchange) Open() error {
 			}
 			defer op.Close()
 			for {
+				if e.Ctx != nil {
+					if err := e.Ctx.Err(); err != nil {
+						e.errCh <- err
+						return
+					}
+				}
 				b, err := op.Next()
 				if err != nil {
 					e.errCh <- err
@@ -81,6 +101,9 @@ func (e *Exchange) Open() error {
 				select {
 				case e.ch <- cp:
 				case <-e.stopped:
+					return
+				case <-e.done():
+					e.errCh <- e.Ctx.Err()
 					return
 				}
 			}
@@ -110,6 +133,8 @@ func (e *Exchange) Next() (*vector.Batch, error) {
 				}
 			}
 			return b, nil
+		case <-e.done():
+			return nil, e.Ctx.Err()
 		}
 	}
 }

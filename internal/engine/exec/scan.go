@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"indbml/internal/engine/storage"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
@@ -14,6 +16,11 @@ type Scan struct {
 	Partition int
 	Proj      []int
 	Filters   []storage.RangeFilter
+
+	// Ctx, when set, is checked on every Next call: scans are the leaves of
+	// every plan, so a canceled query stops pulling blocks within one batch
+	// regardless of what pipeline sits above.
+	Ctx context.Context
 
 	scanner *storage.Scanner
 	buf     *vector.Batch
@@ -47,6 +54,11 @@ func (s *Scan) Open() error {
 
 // Next implements Operator.
 func (s *Scan) Next() (*vector.Batch, error) {
+	if s.Ctx != nil {
+		if err := s.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if !s.scanner.Next(s.buf) {
 		return nil, nil
 	}

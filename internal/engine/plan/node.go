@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,6 +36,10 @@ type buildCtx struct {
 	cat       Catalog
 	driver    *storage.Table
 	partition int // -1 = scan all partitions
+	// qctx is the query's cancellation context (nil for uncancellable
+	// plans); it is attached to every Scan so cancellation reaches the
+	// leaves of the operator tree.
+	qctx context.Context
 }
 
 // node is a bound logical plan node.
@@ -101,7 +106,12 @@ func (s *scanNode) props() props {
 
 func (s *scanNode) build(ctx *buildCtx) (exec.Operator, error) {
 	if ctx.driver == s.table && ctx.partition >= 0 {
-		return exec.NewScan(s.table, ctx.partition, nil, s.zoneFilters)
+		sc, err := exec.NewScan(s.table, ctx.partition, nil, s.zoneFilters)
+		if err != nil {
+			return nil, err
+		}
+		sc.Ctx = ctx.qctx
+		return sc, nil
 	}
 	scans := make([]exec.Operator, s.table.Partitions())
 	for p := range scans {
@@ -109,6 +119,7 @@ func (s *scanNode) build(ctx *buildCtx) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		sc.Ctx = ctx.qctx
 		scans[p] = sc
 	}
 	if len(scans) == 1 {

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -66,12 +67,18 @@ func (p *Plan) Explain() string {
 }
 
 // Build constructs the physical operator tree.
-func (p *Plan) Build() (exec.Operator, error) {
+func (p *Plan) Build() (exec.Operator, error) { return p.BuildContext(nil) }
+
+// BuildContext constructs the physical operator tree with a cancellation
+// context attached to its Scan leaves and Exchange root: a canceled ctx
+// makes the next batch boundary return ctx.Err() instead of running the
+// query to completion. A nil ctx builds an uncancellable plan.
+func (p *Plan) BuildContext(ctx context.Context) (exec.Operator, error) {
 	var root exec.Operator
 	if p.parallel {
 		children := make([]exec.Operator, p.driver.Partitions())
 		for part := range children {
-			op, err := p.root.build(&buildCtx{cat: p.planner.Cat, driver: p.driver, partition: part})
+			op, err := p.root.build(&buildCtx{cat: p.planner.Cat, driver: p.driver, partition: part, qctx: ctx})
 			if err != nil {
 				return nil, err
 			}
@@ -81,9 +88,10 @@ func (p *Plan) Build() (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		ex.Ctx = ctx
 		root = ex
 	} else {
-		op, err := p.root.build(&buildCtx{cat: p.planner.Cat, partition: -1})
+		op, err := p.root.build(&buildCtx{cat: p.planner.Cat, partition: -1, qctx: ctx})
 		if err != nil {
 			return nil, err
 		}

@@ -6,318 +6,84 @@
 // transfer overhead the paper identifies as TF(Python)'s dominant cost
 // (Sec. 6.2.1) is measured, not modeled.
 //
-// The protocol is deliberately row-major and tagged, like ODBC's wire
-// formats: an analytical engine must pivot its columns into rows to serve
-// it, and the client pays per-value dispatch to decode.
+// The byte-level encoding lives in package wire and is shared with the
+// network SQL server (package server), so baseline and serving
+// measurements use the identical row format.
 package odbc
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
-	"strconv"
 
 	"indbml/internal/engine/db"
-	"indbml/internal/engine/types"
-	"indbml/internal/engine/vector"
+	"indbml/internal/wire"
 )
-
-// Wire-format value tags. Non-null values travel as length-prefixed text —
-// the representation ODBC drivers commonly use (and the reason fetching
-// large numeric results through ODBC costs so much: every float is
-// formatted by the server and parsed by the client).
-const (
-	tagNull = 0
-	tagText = 1
-)
-
-// Message framing.
-const (
-	msgSchema = 0xA1
-	msgRows   = 0xA2
-	msgDone   = 0xA3
-	msgError  = 0xAE
-)
-
-// chunkRows is how many rows are framed per message; small enough to keep
-// the pipe streaming, large enough to amortize framing.
-const chunkRows = 512
 
 // Server drains query results from an engine into the wire protocol.
 type Server struct {
 	DB *db.Database
 }
 
-// Serve executes the query and streams its result batches to w. Errors are
+// Serve executes one query and streams its result batches to w. Errors are
 // reported in-band so the client always sees a terminated stream.
 func (s *Server) Serve(query string, w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 64<<10)
+	return s.serveOne(query, bw)
+}
+
+func (s *Server) serveOne(query string, bw *bufio.Writer) error {
 	op, err := s.DB.QueryOp(query)
 	if err != nil {
-		writeError(bw, err)
+		wire.WriteError(bw, wire.CodeError, err.Error())
 		return bw.Flush()
 	}
-	if err := op.Open(); err != nil {
-		writeError(bw, err)
-		return bw.Flush()
-	}
-	defer op.Close()
+	_, err = wire.StreamOperator(bw, op)
+	return err
+}
 
-	schema := op.Schema()
-	writeSchema(bw, schema)
-	// Rows are framed into count-prefixed chunks: [msgRows][n]([len][row])×n.
-	chunk := make([][]byte, 0, chunkRows)
-	flushChunk := func() {
-		if len(chunk) == 0 {
-			return
-		}
-		bw.WriteByte(msgRows)
-		writeUvarint(bw, uint64(len(chunk)))
-		for _, row := range chunk {
-			writeUvarint(bw, uint64(len(row)))
-			bw.Write(row)
-		}
-		chunk = chunk[:0]
-	}
+// ServeConn handles a full connection: statement frames arrive one after
+// another and each is answered with a result stream, so a client can issue
+// multiple sequential queries over one pipe (the successor to the one-shot
+// Serve). It returns when the client closes the connection.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
 	for {
-		b, err := op.Next()
+		query, _, err := wire.ReadStmt(br)
 		if err != nil {
-			writeError(bw, err)
-			return bw.Flush()
-		}
-		if b == nil {
-			break
-		}
-		for r := 0; r < b.Len(); r++ {
-			chunk = append(chunk, encodeRow(nil, b, r))
-			if len(chunk) >= chunkRows {
-				flushChunk()
+			if err == io.EOF {
+				return nil
 			}
+			return err
+		}
+		// Engine errors are reported in-band and leave the connection
+		// usable; the writer's sticky error distinguishes a dead transport.
+		s.serveOne(query, bw)
+		if err := bw.Flush(); err != nil {
+			return err
 		}
 	}
-	flushChunk()
-	bw.WriteByte(msgDone)
-	return bw.Flush()
-}
-
-func writeError(w *bufio.Writer, err error) {
-	w.WriteByte(msgError)
-	msg := err.Error()
-	writeUvarint(w, uint64(len(msg)))
-	w.WriteString(msg)
-}
-
-func writeSchema(w *bufio.Writer, schema *types.Schema) {
-	w.WriteByte(msgSchema)
-	writeUvarint(w, uint64(schema.Len()))
-	for i := 0; i < schema.Len(); i++ {
-		c := schema.Col(i)
-		writeUvarint(w, uint64(len(c.Name)))
-		w.WriteString(c.Name)
-		w.WriteByte(byte(c.Type))
-	}
-}
-
-func writeUvarint(w *bufio.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
-}
-
-// encodeRow pivots one row out of the columnar batch, formatting every
-// value as text (the server-side half of the ODBC conversion cost).
-func encodeRow(dst []byte, b *vector.Batch, r int) []byte {
-	var scratch [32]byte
-	for _, v := range b.Vecs {
-		if v.NullAt(r) {
-			dst = append(dst, tagNull)
-			continue
-		}
-		dst = append(dst, tagText)
-		var text []byte
-		switch v.Type() {
-		case types.Bool:
-			if v.Bools()[r] {
-				text = append(scratch[:0], "true"...)
-			} else {
-				text = append(scratch[:0], "false"...)
-			}
-		case types.Int32:
-			text = strconv.AppendInt(scratch[:0], int64(v.Int32s()[r]), 10)
-		case types.Int64:
-			text = strconv.AppendInt(scratch[:0], v.Int64s()[r], 10)
-		case types.Float32:
-			text = strconv.AppendFloat(scratch[:0], float64(v.Float32s()[r]), 'g', -1, 32)
-		case types.Float64:
-			text = strconv.AppendFloat(scratch[:0], v.Float64s()[r], 'g', -1, 64)
-		case types.String:
-			text = []byte(v.Strings()[r])
-		}
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(text)))
-		dst = append(dst, text...)
-	}
-	return dst
 }
 
 // Column describes one result column on the client side.
-type Column struct {
-	Name string
-	Type types.T
-}
+type Column = wire.Column
 
 // Rows is the client-side cursor. Values are decoded into boxed `any`
 // slices — the equivalent of Python objects materialized per fetched value.
 type Rows struct {
-	r       *bufio.Reader
-	cols    []Column
-	err     error
-	done    bool
-	pending uint64 // rows left in the current chunk
-	rowBuf  []byte
+	cur *wire.Cursor
 }
 
 // Columns returns the result schema.
-func (rs *Rows) Columns() []Column { return rs.cols }
+func (rs *Rows) Columns() []Column { return rs.cur.Columns() }
 
 // Err returns the terminal error, if any.
-func (rs *Rows) Err() error { return rs.err }
+func (rs *Rows) Err() error { return rs.cur.Err() }
 
 // Next returns the next row as boxed values, or nil at end of stream.
-func (rs *Rows) Next() []any {
-	if rs.done || rs.err != nil {
-		return nil
-	}
-	for {
-		if rs.pending == 0 {
-			tag, err := rs.r.ReadByte()
-			if err != nil {
-				rs.fail(err)
-				return nil
-			}
-			switch tag {
-			case msgRows:
-				n, err := binary.ReadUvarint(rs.r)
-				if err != nil {
-					rs.fail(err)
-					return nil
-				}
-				rs.pending = n
-			case msgDone:
-				rs.done = true
-				return nil
-			case msgError:
-				n, _ := binary.ReadUvarint(rs.r)
-				buf := make([]byte, n)
-				io.ReadFull(rs.r, buf)
-				rs.fail(fmt.Errorf("odbc: server: %s", buf))
-				return nil
-			default:
-				rs.fail(fmt.Errorf("odbc: unexpected message tag 0x%x", tag))
-				return nil
-			}
-			continue
-		}
-		rs.pending--
-		n, err := binary.ReadUvarint(rs.r)
-		if err != nil {
-			rs.fail(err)
-			return nil
-		}
-		if cap(rs.rowBuf) < int(n) {
-			rs.rowBuf = make([]byte, n)
-		}
-		buf := rs.rowBuf[:n]
-		if _, err := io.ReadFull(rs.r, buf); err != nil {
-			rs.fail(err)
-			return nil
-		}
-		row, err := decodeRow(buf, rs.cols)
-		if err != nil {
-			rs.fail(err)
-			return nil
-		}
-		return row
-	}
-}
-
-func (rs *Rows) fail(err error) {
-	if rs.err == nil {
-		rs.err = err
-	}
-	rs.done = true
-}
-
-// decodeRow parses each text value back into a boxed value of the column's
-// declared type — the client-side half of the ODBC conversion plus the
-// per-object materialization a Python client pays.
-func decodeRow(buf []byte, cols []Column) ([]any, error) {
-	row := make([]any, 0, len(cols))
-	for len(row) < len(cols) {
-		if len(buf) == 0 {
-			return nil, fmt.Errorf("odbc: truncated row")
-		}
-		tag := buf[0]
-		buf = buf[1:]
-		if tag == tagNull {
-			row = append(row, nil)
-			continue
-		}
-		if tag != tagText {
-			return nil, fmt.Errorf("odbc: unknown value tag %d", tag)
-		}
-		if len(buf) < 4 {
-			return nil, fmt.Errorf("odbc: truncated value length")
-		}
-		n := int(binary.LittleEndian.Uint32(buf))
-		buf = buf[4:]
-		if len(buf) < n {
-			return nil, fmt.Errorf("odbc: truncated value payload")
-		}
-		text := string(buf[:n])
-		buf = buf[n:]
-		v, err := parseValue(text, cols[len(row)].Type)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, v)
-	}
-	return row, nil
-}
-
-func parseValue(text string, t types.T) (any, error) {
-	switch t {
-	case types.Bool:
-		return text == "true", nil
-	case types.Int32:
-		v, err := strconv.ParseInt(text, 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("odbc: parsing %q: %w", text, err)
-		}
-		return int32(v), nil
-	case types.Int64:
-		v, err := strconv.ParseInt(text, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("odbc: parsing %q: %w", text, err)
-		}
-		return v, nil
-	case types.Float32:
-		v, err := strconv.ParseFloat(text, 32)
-		if err != nil {
-			return nil, fmt.Errorf("odbc: parsing %q: %w", text, err)
-		}
-		return float32(v), nil
-	case types.Float64:
-		v, err := strconv.ParseFloat(text, 64)
-		if err != nil {
-			return nil, fmt.Errorf("odbc: parsing %q: %w", text, err)
-		}
-		return v, nil
-	default:
-		return text, nil
-	}
-}
+func (rs *Rows) Next() []any { return rs.cur.Next() }
 
 // Query runs a query against the database over an in-memory network pipe
 // and returns a client-side cursor. A server goroutine streams the result;
@@ -329,39 +95,67 @@ func Query(d *db.Database, query string) (*Rows, error) {
 		(&Server{DB: d}).Serve(query, server)
 	}()
 	r := bufio.NewReaderSize(client, 64<<10)
-	tag, err := r.ReadByte()
+	cur, err := wire.ReadResultHeader(r)
 	if err != nil {
+		if se, ok := err.(*wire.ServerError); ok {
+			return nil, fmt.Errorf("odbc: server: %s", se.Msg)
+		}
 		return nil, fmt.Errorf("odbc: reading schema: %w", err)
 	}
-	switch tag {
-	case msgError:
-		n, _ := binary.ReadUvarint(r)
-		buf := make([]byte, n)
-		io.ReadFull(r, buf)
-		return nil, fmt.Errorf("odbc: server: %s", buf)
-	case msgSchema:
-	default:
-		return nil, fmt.Errorf("odbc: expected schema message, got 0x%x", tag)
+	return &Rows{cur: cur}, nil
+}
+
+// Session is a client-side handle over one multi-query connection served by
+// ServeConn: it sends statement frames and reads result streams in lock
+// step, mimicking an ODBC connection that stays open between queries.
+type Session struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	cur  *Rows
+}
+
+// Connect starts a ServeConn goroutine over an in-memory pipe and returns
+// the client half.
+func Connect(d *db.Database) *Session {
+	client, server := net.Pipe()
+	go func() {
+		defer server.Close()
+		(&Server{DB: d}).ServeConn(server)
+	}()
+	return NewSession(client)
+}
+
+// NewSession wraps an established connection to a ServeConn peer.
+func NewSession(conn io.ReadWriteCloser) *Session {
+	return &Session{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
 	}
-	ncols, err := binary.ReadUvarint(r)
-	if err != nil {
+}
+
+// Query issues one statement on the session and returns its cursor. Any
+// unfinished previous cursor is drained first, keeping the stream framed.
+func (s *Session) Query(query string) (*Rows, error) {
+	if s.cur != nil {
+		s.cur.cur.Drain()
+		s.cur = nil
+	}
+	wire.WriteStmt(s.bw, query, 0)
+	if err := s.bw.Flush(); err != nil {
 		return nil, err
 	}
-	cols := make([]Column, ncols)
-	for i := range cols {
-		n, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
+	cur, err := wire.ReadResultHeader(s.br)
+	if err != nil {
+		if se, ok := err.(*wire.ServerError); ok {
+			return nil, fmt.Errorf("odbc: server: %s", se.Msg)
 		}
-		name := make([]byte, n)
-		if _, err := io.ReadFull(r, name); err != nil {
-			return nil, err
-		}
-		t, err := r.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		cols[i] = Column{Name: string(name), Type: types.T(t)}
+		return nil, err
 	}
-	return &Rows{r: r, cols: cols}, nil
+	s.cur = &Rows{cur: cur}
+	return s.cur, nil
 }
+
+// Close tears down the connection.
+func (s *Session) Close() error { return s.conn.Close() }

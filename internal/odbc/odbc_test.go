@@ -126,3 +126,69 @@ func itoa(i int) string {
 	}
 	return string(b)
 }
+
+func TestSessionSequentialQueries(t *testing.T) {
+	d := setup(t)
+	s := Connect(d)
+	defer s.Close()
+
+	// Several statements over the one connection, in lock step.
+	for i := 0; i < 3; i++ {
+		rows, err := s.Query("SELECT id, s FROM t ORDER BY id")
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		n := 0
+		for rows.Next() != nil {
+			n++
+		}
+		if rows.Err() != nil || n != 2 {
+			t.Fatalf("query %d: rows = %d, err = %v", i, n, rows.Err())
+		}
+	}
+
+	// An engine error is reported in-band and leaves the session usable.
+	if _, err := s.Query("SELECT nope FROM t"); err == nil {
+		t.Fatal("planning error should surface at Query")
+	}
+	rows, err := s.Query("SELECT COUNT(*) AS n FROM t")
+	if err != nil {
+		t.Fatalf("session dead after in-band error: %v", err)
+	}
+	row := rows.Next()
+	if row == nil || row[0].(int64) != 2 {
+		t.Fatalf("count after error = %v", row)
+	}
+}
+
+func TestSessionAbandonedCursorIsDrained(t *testing.T) {
+	d := db.Open(db.Options{DefaultPartitions: 2})
+	if err := d.Exec("CREATE TABLE big (id BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i += 4 {
+		if err := d.Exec("INSERT INTO big VALUES (" + itoa(i) + "), (" + itoa(i+1) + "), (" + itoa(i+2) + "), (" + itoa(i+3) + ")"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := Connect(d)
+	defer s.Close()
+
+	// Read only one row of a multi-chunk result, then issue the next
+	// statement: the session must drain the rest to stay framed.
+	rows, err := s.Query("SELECT id FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Next() == nil {
+		t.Fatal("expected a first row")
+	}
+	rows2, err := s.Query("SELECT COUNT(*) AS n FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows2.Next()
+	if row == nil || row[0].(int64) != 2000 {
+		t.Fatalf("count after abandoned cursor = %v", row)
+	}
+}

@@ -1,0 +1,156 @@
+// Package client dials the network SQL server (package server) and speaks
+// the framed protocol of package wire: sequential statements over one
+// connection, streamed result cursors, per-query deadlines, and the STATUS
+// command.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"indbml/internal/wire"
+)
+
+// Client is one session against the server. It is not safe for concurrent
+// use: statements on a session are sequential by design — open one client
+// per concurrent stream of work.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	cur  *Rows // unfinished cursor, drained before the next statement
+}
+
+// Dial connects to a server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (used by tests over in-memory
+// pipes).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Close tears down the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// send frames one statement, draining any unfinished previous cursor so
+// request and response streams stay in lock step.
+func (c *Client) send(sql string, timeout time.Duration) error {
+	if c.cur != nil {
+		c.cur.cur.Drain()
+		c.cur = nil
+	}
+	var millis uint64
+	if timeout > 0 {
+		millis = uint64(timeout / time.Millisecond)
+		if millis == 0 {
+			millis = 1
+		}
+	}
+	wire.WriteStmt(c.bw, sql, millis)
+	return c.bw.Flush()
+}
+
+// Query issues a SELECT and returns a streaming cursor over its rows.
+func (c *Client) Query(sql string) (*Rows, error) { return c.QueryTimeout(sql, 0) }
+
+// QueryTimeout is Query with a server-enforced deadline: when it expires,
+// the server cancels the query mid-scan and terminates the stream with a
+// cancellation error (surfaced through Rows.Err).
+func (c *Client) QueryTimeout(sql string, timeout time.Duration) (*Rows, error) {
+	if err := c.send(sql, timeout); err != nil {
+		return nil, err
+	}
+	cur, err := wire.ReadResultHeader(c.br)
+	if err != nil {
+		return nil, err
+	}
+	c.cur = &Rows{cur: cur}
+	return c.cur, nil
+}
+
+// Exec runs a DDL/DML statement and waits for its acknowledgement.
+func (c *Client) Exec(sql string) error { return c.ExecTimeout(sql, 0) }
+
+// ExecTimeout is Exec with a server-enforced deadline.
+func (c *Client) ExecTimeout(sql string, timeout time.Duration) error {
+	_, err := c.command(sql, timeout)
+	return err
+}
+
+// Command runs a statement whose reply is a single text payload (STATUS,
+// EXPLAIN …) and returns that text.
+func (c *Client) Command(sql string) (string, error) { return c.command(sql, 0) }
+
+// Status fetches the server's plain-text stats snapshot.
+func (c *Client) Status() (string, error) { return c.command("STATUS", 0) }
+
+func (c *Client) command(sql string, timeout time.Duration) (string, error) {
+	if err := c.send(sql, timeout); err != nil {
+		return "", err
+	}
+	kind, err := c.br.ReadByte()
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case wire.MsgOK:
+		return wire.ReadOKBody(c.br)
+	case wire.MsgError:
+		return "", wire.ReadErrorBody(c.br)
+	case wire.MsgSchema:
+		// The statement produced rows (e.g. Command("SELECT …")); drain
+		// them so the connection stays framed, then report the misuse.
+		cols, err := wire.ReadSchemaBody(c.br)
+		if err != nil {
+			return "", err
+		}
+		wire.NewCursor(c.br, cols).Drain()
+		return "", fmt.Errorf("client: statement returned rows; use Query")
+	default:
+		return "", fmt.Errorf("client: unexpected message kind 0x%x", kind)
+	}
+}
+
+// Rows is a streaming cursor over one result.
+type Rows struct {
+	cur *wire.Cursor
+}
+
+// Columns returns the result schema.
+func (r *Rows) Columns() []wire.Column { return r.cur.Columns() }
+
+// Next returns the next row as boxed values, or nil at end of stream.
+func (r *Rows) Next() []any { return r.cur.Next() }
+
+// Err returns the terminal error, if any.
+func (r *Rows) Err() error { return r.cur.Err() }
+
+// Drain consumes any remaining rows and returns the terminal error.
+func (r *Rows) Drain() error { return r.cur.Drain() }
+
+// IsOverloaded reports whether err is an admission-control fast-reject.
+func IsOverloaded(err error) bool {
+	var se *wire.ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeOverloaded
+}
+
+// IsCanceled reports whether err reports a query ended by deadline or
+// cancellation.
+func IsCanceled(err error) bool {
+	var se *wire.ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeCanceled
+}

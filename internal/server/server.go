@@ -1,0 +1,412 @@
+// Package server is the network serving layer in front of the engine: a
+// stdlib-only TCP server speaking the framed protocol of package wire, with
+// per-connection sessions, admission control, per-query deadlines and live
+// stats.
+//
+// The paper evaluates in-database inference because shipping data out of
+// the DBMS is the expensive path; a co-located model still has to be
+// *served*, though, and this package is that boundary. Design points:
+//
+//   - Sessions are one goroutine per connection; statements on a session
+//     execute sequentially, so a session is also the unit of ordering.
+//   - Admission control is a bounded slot semaphore with a bounded wait
+//     queue: when every slot is busy and the queue is full (or the queue
+//     wait expires), the statement is fast-rejected with CodeOverloaded
+//     instead of piling up — overload sheds load at the door rather than
+//     inside the engine.
+//   - Every statement runs under a context.Context assembled from the
+//     client's deadline and the server's cap; cancellation reaches the
+//     Volcano Next loop (Scan leaves, Exchange) via db.QueryOpContext, so
+//     a canceled query frees its slot mid-scan instead of running to
+//     completion.
+//   - Results stream batch-by-batch over db.QueryOp — nothing is
+//     materialized server-side.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"indbml/internal/engine/db"
+	"indbml/internal/wire"
+)
+
+// Config tunes the serving layer. The zero value serves with sensible
+// defaults (slots = GOMAXPROCS, small queue, no idle timeout).
+type Config struct {
+	// QuerySlots caps concurrently executing statements across all
+	// sessions. 0 means runtime.GOMAXPROCS(0).
+	QuerySlots int
+	// QueueDepth caps statements waiting for a slot; a statement arriving
+	// when the queue is full is rejected immediately. 0 means no queueing:
+	// every statement that cannot get a slot at once is rejected.
+	QueueDepth int
+	// QueueWait bounds how long a queued statement waits for a slot before
+	// being rejected. 0 means wait until the statement's own deadline (or
+	// forever).
+	QueueWait time.Duration
+	// IdleTimeout closes sessions that send no statement for this long.
+	// 0 disables the timeout.
+	IdleTimeout time.Duration
+	// MaxQueryDuration caps every statement's execution time, including
+	// statements whose clients request no deadline. 0 means uncapped.
+	MaxQueryDuration time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QuerySlots <= 0 {
+		c.QuerySlots = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	return c
+}
+
+// Server serves SQL over TCP connections.
+type Server struct {
+	db    *db.Database
+	cfg   Config
+	stats Stats
+
+	slots chan struct{} // buffered semaphore: one token per running query
+
+	baseCtx    context.Context // canceled on hard stop: aborts running queries
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // live session handlers
+}
+
+// New creates a server over an opened database.
+func New(d *db.Database, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:         d,
+		cfg:        cfg,
+		slots:      make(chan struct{}, cfg.QuerySlots),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		conns:      make(map[net.Conn]struct{}),
+	}
+}
+
+// DB exposes the underlying database (for in-process seeding by daemons
+// and tests).
+func (s *Server) DB() *db.Database { return s.db }
+
+// ListenAndServe listens on addr and serves until Shutdown or a listener
+// error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until the listener fails or Shutdown
+// closes it. Each connection is handled on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server gracefully: the listener closes, idle
+// sessions end at once, busy sessions finish their in-flight statement,
+// and no new statements are admitted. If ctx expires first, running
+// queries are canceled and connections force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	// Poke every session out of its blocking read: sessions parked between
+	// statements wake with a deadline error and see the drain flag; busy
+	// sessions only read again after finishing their statement, at which
+	// point they also see the flag.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		// Hard stop: cancel running queries and cut the transports.
+		s.baseCancel()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server without draining.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// StatusText renders the live stats snapshot served to STATUS commands.
+func (s *Server) StatusText() string {
+	sn := s.stats.snapshot()
+	sn.Slots = int64(s.cfg.QuerySlots)
+	sn.SlotsInUse = int64(len(s.slots))
+	sn.QueueDepth = int64(s.cfg.QueueDepth)
+	return sn.String()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handleConn runs one session: a loop of read-statement / serve-statement.
+func (s *Server) handleConn(conn net.Conn) {
+	s.stats.ActiveSessions.Add(1)
+	s.stats.TotalSessions.Add(1)
+	defer func() {
+		s.stats.ActiveSessions.Add(-1)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		if s.isDraining() {
+			return
+		}
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		stmt, deadlineMillis, err := wire.ReadStmt(br)
+		if err != nil {
+			// EOF: client hung up. Deadline: idle timeout or drain poke.
+			// Either way the session ends; an idle-timeout gets a courtesy
+			// error frame (best effort — the client may be gone).
+			if errors.Is(err, os.ErrDeadlineExceeded) && !s.isDraining() {
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				wire.WriteError(bw, wire.CodeShutdown, "session closed: idle timeout")
+				bw.Flush()
+			}
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		if s.isDraining() {
+			wire.WriteError(bw, wire.CodeShutdown, "server is shutting down")
+			bw.Flush()
+			return
+		}
+		s.serveStmt(bw, stmt, deadlineMillis)
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// queryCtx assembles the statement's execution context from the client's
+// requested deadline and the server's cap.
+func (s *Server) queryCtx(deadlineMillis uint64) (context.Context, context.CancelFunc) {
+	timeout := time.Duration(0)
+	if deadlineMillis > 0 {
+		timeout = time.Duration(deadlineMillis) * time.Millisecond
+	}
+	if s.cfg.MaxQueryDuration > 0 && (timeout == 0 || timeout > s.cfg.MaxQueryDuration) {
+		timeout = s.cfg.MaxQueryDuration
+	}
+	if timeout > 0 {
+		return context.WithTimeout(s.baseCtx, timeout)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// admit acquires a query slot, queueing up to the configured depth and
+// wait. The returned release func must be called exactly once; a nil
+// release means the statement was rejected or canceled and the error
+// carries the wire code to report.
+func (s *Server) admit(ctx context.Context) (release func(), code byte, err error) {
+	// Fast path: a slot is free.
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, 0, nil
+	default:
+	}
+	// Slow path: queue if there is room.
+	if s.cfg.QueueDepth == 0 {
+		s.stats.Rejected.Add(1)
+		return nil, wire.CodeOverloaded, fmt.Errorf("overloaded: %d query slots busy and no queue", s.cfg.QuerySlots)
+	}
+	if n := s.stats.Queued.Add(1); n > int64(s.cfg.QueueDepth) {
+		s.stats.Queued.Add(-1)
+		s.stats.Rejected.Add(1)
+		return nil, wire.CodeOverloaded, fmt.Errorf("overloaded: %d query slots busy, queue of %d full", s.cfg.QuerySlots, s.cfg.QueueDepth)
+	}
+	defer s.stats.Queued.Add(-1)
+
+	var timeout <-chan time.Time
+	if s.cfg.QueueWait > 0 {
+		t := time.NewTimer(s.cfg.QueueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, 0, nil
+	case <-timeout:
+		s.stats.Rejected.Add(1)
+		return nil, wire.CodeOverloaded, fmt.Errorf("overloaded: no query slot within %s", s.cfg.QueueWait)
+	case <-ctx.Done():
+		s.stats.Canceled.Add(1)
+		return nil, wire.CodeCanceled, fmt.Errorf("canceled while queued: %w", ctx.Err())
+	}
+}
+
+// serveStmt dispatches one statement. STATUS bypasses admission control so
+// operators can observe an overloaded server.
+func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64) {
+	text := strings.TrimSpace(stmt)
+	upper := strings.ToUpper(text)
+	if upper == "" {
+		wire.WriteError(bw, wire.CodeError, "empty statement")
+		return
+	}
+	if upper == "STATUS" {
+		wire.WriteOK(bw, s.StatusText())
+		return
+	}
+
+	start := time.Now()
+	ctx, cancel := s.queryCtx(deadlineMillis)
+	defer cancel()
+
+	release, code, err := s.admit(ctx)
+	if err != nil {
+		wire.WriteError(bw, code, err.Error())
+		return
+	}
+	s.stats.Running.Add(1)
+	defer func() {
+		s.stats.Running.Add(-1)
+		release()
+		s.stats.observeLatency(time.Since(start))
+	}()
+
+	switch {
+	case strings.HasPrefix(upper, "EXPLAIN"):
+		plan, err := s.db.Explain(strings.TrimSpace(text[len("EXPLAIN"):]))
+		if err != nil {
+			s.stats.Failed.Add(1)
+			wire.WriteError(bw, wire.CodeError, err.Error())
+			return
+		}
+		s.stats.Completed.Add(1)
+		wire.WriteOK(bw, plan)
+	case strings.HasPrefix(upper, "SELECT"):
+		op, err := s.db.QueryOpContext(ctx, text)
+		if err != nil {
+			s.stats.Failed.Add(1)
+			wire.WriteError(bw, wire.CodeError, err.Error())
+			return
+		}
+		rows, err := wire.StreamOperator(bw, op)
+		s.stats.RowsServed.Add(rows)
+		switch {
+		case err == nil:
+			s.stats.Completed.Add(1)
+		case wire.IsCancellation(err):
+			s.stats.Canceled.Add(1)
+		default:
+			s.stats.Failed.Add(1)
+		}
+	default:
+		if err := s.db.ExecContext(ctx, text); err != nil {
+			if wire.IsCancellation(err) {
+				s.stats.Canceled.Add(1)
+				wire.WriteError(bw, wire.CodeCanceled, err.Error())
+			} else {
+				s.stats.Failed.Add(1)
+				wire.WriteError(bw, wire.CodeError, err.Error())
+			}
+			return
+		}
+		s.stats.Completed.Add(1)
+		wire.WriteOK(bw, "ok")
+	}
+}

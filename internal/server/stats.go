@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the upper bounds of the fixed latency histogram, in
+// ascending order; the final bucket is unbounded.
+var latencyBounds = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// Stats are the server's live counters. All fields are atomics so the hot
+// path (every statement on every session) never takes a lock; STATUS reads
+// a consistent-enough snapshot without stopping traffic.
+type Stats struct {
+	ActiveSessions atomic.Int64
+	TotalSessions  atomic.Int64
+
+	Queued    atomic.Int64 // statements waiting for a query slot
+	Running   atomic.Int64 // statements holding a query slot
+	Completed atomic.Int64 // statements finished successfully
+	Canceled  atomic.Int64 // statements ended by deadline/cancellation
+	Failed    atomic.Int64 // statements ended by a query error
+	Rejected  atomic.Int64 // statements fast-rejected by admission control
+
+	RowsServed atomic.Int64
+
+	latency [5]atomic.Int64 // one bucket per bound, plus overflow
+}
+
+// observeLatency records one statement's wall time into the histogram.
+func (s *Stats) observeLatency(d time.Duration) {
+	for i, b := range latencyBounds {
+		if d <= b {
+			s.latency[i].Add(1)
+			return
+		}
+	}
+	s.latency[len(latencyBounds)].Add(1)
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	ActiveSessions, TotalSessions         int64
+	Queued, Running                       int64
+	Completed, Canceled, Failed, Rejected int64
+	RowsServed                            int64
+	Latency                               [5]int64
+	Slots, SlotsInUse, QueueDepth         int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) snapshot() Snapshot {
+	var out Snapshot
+	out.ActiveSessions = s.ActiveSessions.Load()
+	out.TotalSessions = s.TotalSessions.Load()
+	out.Queued = s.Queued.Load()
+	out.Running = s.Running.Load()
+	out.Completed = s.Completed.Load()
+	out.Canceled = s.Canceled.Load()
+	out.Failed = s.Failed.Load()
+	out.Rejected = s.Rejected.Load()
+	out.RowsServed = s.RowsServed.Load()
+	for i := range out.Latency {
+		out.Latency[i] = s.latency[i].Load()
+	}
+	return out
+}
+
+// String renders the snapshot as the plain-text STATUS payload.
+func (sn Snapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sessions: active=%d total=%d\n", sn.ActiveSessions, sn.TotalSessions)
+	fmt.Fprintf(&sb, "queries: running=%d queued=%d completed=%d canceled=%d failed=%d rejected=%d\n",
+		sn.Running, sn.Queued, sn.Completed, sn.Canceled, sn.Failed, sn.Rejected)
+	fmt.Fprintf(&sb, "slots: total=%d in_use=%d queue_depth=%d\n", sn.Slots, sn.SlotsInUse, sn.QueueDepth)
+	fmt.Fprintf(&sb, "rows_served: %d\n", sn.RowsServed)
+	sb.WriteString("latency:")
+	for i, b := range latencyBounds {
+		fmt.Fprintf(&sb, " le_%s=%d", b, sn.Latency[i])
+	}
+	fmt.Fprintf(&sb, " gt_%s=%d\n", latencyBounds[len(latencyBounds)-1], sn.Latency[len(latencyBounds)])
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Cursor is the client-side reader of one result stream: it consumes
+// MsgRows chunks up to the MsgDone (or MsgError) terminator and decodes
+// each row into boxed `any` values — the equivalent of Python objects
+// materialized per fetched value.
+//
+// The cursor reads exactly one result stream and leaves the underlying
+// reader positioned after the terminator, so several results can follow
+// each other on one connection.
+type Cursor struct {
+	r       *bufio.Reader
+	cols    []Column
+	err     error
+	done    bool
+	pending uint64 // rows left in the current chunk
+	rowBuf  []byte
+}
+
+// NewCursor builds a cursor over a stream whose MsgSchema frame has
+// already been consumed into cols.
+func NewCursor(r *bufio.Reader, cols []Column) *Cursor { return &Cursor{r: r, cols: cols} }
+
+// ReadResultHeader consumes a result stream's first frame — MsgSchema or
+// MsgError — and returns a cursor over the rows that follow.
+func ReadResultHeader(r *bufio.Reader) (*Cursor, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading result header: %w", err)
+	}
+	switch kind {
+	case MsgError:
+		return nil, ReadErrorBody(r)
+	case MsgSchema:
+	default:
+		return nil, fmt.Errorf("wire: expected schema message, got 0x%x", kind)
+	}
+	cols, err := ReadSchemaBody(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{r: r, cols: cols}, nil
+}
+
+// Columns returns the result schema.
+func (c *Cursor) Columns() []Column { return c.cols }
+
+// Err returns the terminal error, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Finished reports whether the stream terminator has been consumed (whether
+// cleanly or by error); once true, the underlying reader is free for the
+// next result.
+func (c *Cursor) Finished() bool { return c.done }
+
+// Next returns the next row as boxed values, or nil at end of stream.
+func (c *Cursor) Next() []any {
+	if c.done || c.err != nil {
+		return nil
+	}
+	for {
+		if c.pending == 0 {
+			kind, err := c.r.ReadByte()
+			if err != nil {
+				c.fail(err)
+				return nil
+			}
+			switch kind {
+			case MsgRows:
+				n, err := binary.ReadUvarint(c.r)
+				if err != nil {
+					c.fail(err)
+					return nil
+				}
+				c.pending = n
+			case MsgDone:
+				c.done = true
+				return nil
+			case MsgError:
+				c.fail(ReadErrorBody(c.r))
+				return nil
+			default:
+				c.fail(fmt.Errorf("wire: unexpected message kind 0x%x", kind))
+				return nil
+			}
+			continue
+		}
+		c.pending--
+		n, err := readLen(c.r)
+		if err != nil {
+			c.fail(err)
+			return nil
+		}
+		if cap(c.rowBuf) < n {
+			c.rowBuf = make([]byte, n)
+		}
+		buf := c.rowBuf[:n]
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			c.fail(err)
+			return nil
+		}
+		row, err := DecodeRow(buf, c.cols)
+		if err != nil {
+			c.fail(err)
+			return nil
+		}
+		return row
+	}
+}
+
+// Drain consumes and discards any remaining rows so the underlying reader
+// is positioned at the next result. It returns the cursor's terminal error.
+func (c *Cursor) Drain() error {
+	for c.Next() != nil {
+	}
+	return c.err
+}
+
+func (c *Cursor) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.done = true
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "n", Type: types.Int32},
+		types.Column{Name: "v", Type: types.Float32},
+		types.Column{Name: "w", Type: types.Float64},
+		types.Column{Name: "s", Type: types.String},
+		types.Column{Name: "b", Type: types.Bool},
+	)
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	schema := testSchema()
+	b := vector.NewBatch(schema, 4)
+	if err := b.AppendRow(
+		types.Int64Datum(-42), types.Int32Datum(7),
+		types.Float32Datum(1.5), types.Float64Datum(math.Pi),
+		types.StringDatum("héllo; with \x00 bytes"), types.BoolDatum(true),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(
+		types.Int64Datum(0), types.NullDatum(types.Int32),
+		types.NullDatum(types.Float32), types.Float64Datum(-0.25),
+		types.StringDatum(""), types.BoolDatum(false),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	cols := make([]Column, schema.Len())
+	for i := range cols {
+		cols[i] = Column{Name: schema.Col(i).Name, Type: schema.Col(i).Type}
+	}
+
+	r0, err := DecodeRow(EncodeRow(nil, b, 0), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0[0].(int64) != -42 || r0[1].(int32) != 7 || r0[2].(float32) != 1.5 ||
+		r0[3].(float64) != math.Pi || r0[4].(string) != "héllo; with \x00 bytes" || r0[5].(bool) != true {
+		t.Fatalf("row 0 round trip wrong: %v", r0)
+	}
+	r1, err := DecodeRow(EncodeRow(nil, b, 1), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].(int64) != 0 || r1[1] != nil || r1[2] != nil ||
+		r1[3].(float64) != -0.25 || r1[4].(string) != "" || r1[5].(bool) != false {
+		t.Fatalf("row 1 round trip wrong: %v", r1)
+	}
+}
+
+func TestDecodeRowTruncated(t *testing.T) {
+	schema := testSchema()
+	b := vector.NewBatch(schema, 1)
+	if err := b.AppendRow(
+		types.Int64Datum(1), types.Int32Datum(2), types.Float32Datum(3),
+		types.Float64Datum(4), types.StringDatum("five"), types.BoolDatum(true),
+	); err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]Column, schema.Len())
+	for i := range cols {
+		cols[i] = Column{Name: schema.Col(i).Name, Type: schema.Col(i).Type}
+	}
+	enc := EncodeRow(nil, b, 0)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeRow(enc[:cut], cols); err == nil {
+			t.Fatalf("truncation at %d/%d not detected", cut, len(enc))
+		}
+	}
+}
+
+func TestSchemaFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	WriteSchema(w, testSchema())
+	w.Flush()
+
+	r := bufio.NewReader(&buf)
+	kind, _ := r.ReadByte()
+	if kind != MsgSchema {
+		t.Fatalf("kind = 0x%x", kind)
+	}
+	cols, err := ReadSchemaBody(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 6 || cols[0].Name != "id" || cols[0].Type != types.Int64 ||
+		cols[4].Name != "s" || cols[4].Type != types.String {
+		t.Fatalf("schema round trip wrong: %+v", cols)
+	}
+}
+
+func TestStmtFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	WriteStmt(w, "SELECT 1", 1500)
+	WriteStmt(w, "STATUS", 0)
+	w.Flush()
+
+	r := bufio.NewReader(&buf)
+	sql, millis, err := ReadStmt(r)
+	if err != nil || sql != "SELECT 1" || millis != 1500 {
+		t.Fatalf("stmt 1 = %q/%d/%v", sql, millis, err)
+	}
+	sql, millis, err = ReadStmt(r)
+	if err != nil || sql != "STATUS" || millis != 0 {
+		t.Fatalf("stmt 2 = %q/%d/%v", sql, millis, err)
+	}
+}
+
+func TestErrorAndOKFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	WriteError(w, CodeOverloaded, "too busy")
+	WriteOK(w, "done")
+	w.Flush()
+
+	r := bufio.NewReader(&buf)
+	kind, _ := r.ReadByte()
+	if kind != MsgError {
+		t.Fatalf("kind = 0x%x", kind)
+	}
+	err := ReadErrorBody(r)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeOverloaded || se.Msg != "too busy" {
+		t.Fatalf("error round trip wrong: %v", err)
+	}
+	kind, _ = r.ReadByte()
+	if kind != MsgOK {
+		t.Fatalf("kind = 0x%x", kind)
+	}
+	text, err := ReadOKBody(r)
+	if err != nil || text != "done" {
+		t.Fatalf("ok round trip wrong: %q/%v", text, err)
+	}
+}
+
+func TestFrameLengthLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	w.WriteByte(MsgStmt)
+	WriteUvarint(w, 0)             // deadline
+	WriteUvarint(w, maxFrameLen+1) // hostile length, no payload follows
+	w.Flush()
+
+	if _, _, err := ReadStmt(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

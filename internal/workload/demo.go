@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/nn"
+)
+
+// DemoTables lists what LoadDemo registers, for catalog summaries.
+var DemoTables = []string{"iris", "iris_model", "sinus", "sinus_windowed"}
+
+// LoadDemo seeds a database with the playground setup shared by the REPL
+// (\demo) and the daemon (-demo): the iris fact table with a trained
+// classifier registered as a model table, plus the sinus series tables.
+func LoadDemo(d *db.Database) error {
+	tbl, _ := IrisTable("iris", 150, 4)
+	d.RegisterTable(tbl)
+	// Train on the raw (unscaled) features so predictions over the stored
+	// table columns are directly meaningful.
+	var x, y [][]float32
+	for _, r := range Iris() {
+		x = append(x, []float32{r.SepalLength, r.SepalWidth, r.PetalLength, r.PetalWidth})
+		target := make([]float32, 3)
+		target[r.Class] = 1
+		y = append(y, target)
+	}
+	model := &nn.Model{Name: "iris_model", Layers: []nn.Layer{
+		nn.NewDense(4, 16, nn.Tanh), nn.NewDense(16, 3, nn.Sigmoid),
+	}}
+	SeedDense(model, 42)
+	if _, err := nn.Train(model, x, y, nn.TrainConfig{Epochs: 400, LearningRate: 0.05, Seed: 7}); err != nil {
+		return fmt.Errorf("workload: training demo model: %w", err)
+	}
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 4}); err != nil {
+		return err
+	}
+	series := SinusSeries(1000, 0.1)
+	d.RegisterTable(SeriesTable("sinus", series, 4))
+	win, _ := WindowedSeriesTable("sinus_windowed", series, 3, 4)
+	d.RegisterTable(win)
+	return nil
+}
+
+// SeedDense fills every dense layer's weights with a deterministic
+// pseudo-random pattern, so demo models behave identically across runs.
+func SeedDense(m *nn.Model, seed int64) {
+	for _, l := range m.Layers {
+		d, ok := l.(*nn.Dense)
+		if !ok {
+			continue
+		}
+		for i := range d.W.Data {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			d.W.Data[i] = float32(int32(seed>>33)) / float32(1<<31) * 0.5
+		}
+	}
+}
