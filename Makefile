@@ -20,9 +20,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One representative benchmark cell per figure/table plus the ablations.
+# One representative benchmark cell per figure/table plus the ablations,
+# the BLAS kernel microbenchmarks, and the ModelJoin build-phase / artifact
+# cache benches. The root run leaves BENCH_modeljoin.json behind with the
+# cold-vs-cached MODEL JOIN cells.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run=NONE -bench=. -benchmem . ./internal/blas ./internal/core/modeljoin
 
 examples: build
 	$(GO) run ./examples/quickstart
@@ -39,4 +42,4 @@ experiments-paper:
 	$(GO) run ./cmd/mjbench -experiment all -scale paper -csv results_paper.csv
 
 clean:
-	rm -f results_*.csv forecaster.json test_output.txt bench_output.txt
+	rm -f results_*.csv forecaster.json test_output.txt bench_output.txt BENCH_modeljoin.json

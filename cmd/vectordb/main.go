@@ -206,8 +206,12 @@ func (s *localSession) meta(line string) bool {
 			return true
 		}
 		fmt.Printf("registered model %q (%d parameters)\n", m.Name, m.ParamCount())
+	case "\\cache":
+		st := d.ModelCacheStats()
+		fmt.Printf("model cache: hits=%d misses=%d evictions=%d entries=%d\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries)
 	default:
-		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs")
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache")
 	}
 	return true
 }

@@ -32,11 +32,12 @@ func main() {
 	maxQuery := flag.Duration("max-query", 0, "cap every query's run time (0 = uncapped)")
 	partitions := flag.Int("partitions", 4, "default table partition count")
 	parallelism := flag.Int("parallelism", 0, "query parallelism (0 = GOMAXPROCS)")
+	modelCache := flag.Int("model-cache", 0, "model artifact cache entries (0 = default 32, negative = disabled)")
 	demo := flag.Bool("demo", false, "load the iris/sinus demo workload at startup")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight queries are canceled")
 	flag.Parse()
 
-	d := db.Open(db.Options{DefaultPartitions: *partitions, Parallelism: *parallelism})
+	d := db.Open(db.Options{DefaultPartitions: *partitions, Parallelism: *parallelism, ModelCacheEntries: *modelCache})
 	if *demo {
 		if err := workload.LoadDemo(d); err != nil {
 			log.Fatalf("vectordbd: loading demo workload: %v", err)

@@ -11,9 +11,7 @@ package blas
 
 import (
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
+	"strings"
 )
 
 // Mat is a dense row-major matrix: element (i, j) lives at Data[i*Cols+j].
@@ -59,102 +57,11 @@ func (m Mat) Equal(o Mat, eps float32) bool {
 
 // String renders small matrices for debugging.
 func (m Mat) String() string {
-	s := ""
+	var sb strings.Builder
 	for i := 0; i < m.Rows; i++ {
-		s += fmt.Sprintf("%v\n", m.Row(i))
+		fmt.Fprintf(&sb, "%v\n", m.Row(i))
 	}
-	return s
-}
-
-// parallelThreshold is the amount of scalar work below which kernels stay
-// single-threaded; goroutine fan-out only pays off for larger inputs.
-const parallelThreshold = 1 << 22
-
-// parallelRows splits rows [0, n) across workers and waits for completion.
-// The worker count scales with the amount of work so small kernels (which
-// are common when the engine already runs partition-parallel plans around
-// the BLAS calls) stay single-threaded instead of oversubscribing cores.
-func parallelRows(n int, work int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if byWork := work / parallelThreshold; byWork < workers {
-		workers = byWork
-	}
-	if workers > n {
-		workers = n
-	}
-	if n < 2 || workers < 2 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// Sgemm computes C = A·B + C for row-major matrices, the BLAS operation the
-// paper's layer-forward functions are built on (the "+ C" term carries the
-// pre-copied bias matrix, Sec. 5.4). Dimensions: A is m×k, B is k×n, C is
-// m×n. It panics on dimension mismatch — shapes are established once in the
-// ModelJoin build phase, so a mismatch is a programming error.
-func Sgemm(a, b, c Mat) {
-	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
-		panic(fmt.Sprintf("blas: sgemm dimension mismatch: (%dx%d)·(%dx%d) -> (%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	n := b.Cols
-	parallelRows(a.Rows, a.Rows*a.Cols*n, func(lo, hi int) {
-		// 4-row micro-kernel: each streamed B row feeds four accumulator
-		// rows, quartering B traffic — the matrices in inference gemms are
-		// larger than L1 and this loop is memory bound.
-		i := lo
-		for ; i+4 <= hi; i += 4 {
-			c0 := c.Data[(i+0)*n : (i+1)*n]
-			c1 := c.Data[(i+1)*n : (i+2)*n]
-			c2 := c.Data[(i+2)*n : (i+3)*n]
-			c3 := c.Data[(i+3)*n : (i+4)*n]
-			a0 := a.Data[(i+0)*a.Cols : (i+1)*a.Cols]
-			a1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
-			a2 := a.Data[(i+2)*a.Cols : (i+3)*a.Cols]
-			a3 := a.Data[(i+3)*a.Cols : (i+4)*a.Cols]
-			for k := 0; k < a.Cols; k++ {
-				v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
-				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
-					continue
-				}
-				bk := b.Data[k*n : (k+1)*n]
-				for j, bkj := range bk {
-					c0[j] += v0 * bkj
-					c1[j] += v1 * bkj
-					c2[j] += v2 * bkj
-					c3[j] += v3 * bkj
-				}
-			}
-		}
-		for ; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
-			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-			for k, aik := range ai {
-				if aik == 0 {
-					continue
-				}
-				bk := b.Data[k*n : (k+1)*n]
-				for j, bkj := range bk {
-					ci[j] += aik * bkj
-				}
-			}
-		}
-	})
+	return sb.String()
 }
 
 // Sgemv computes y = A·x + y for an m×n matrix A and vectors x (n) and y (m).
@@ -260,20 +167,6 @@ func Transpose(a, dst Mat) {
 				}
 			}
 		}
-	}
-}
-
-// Sigmoid applies the logistic function elementwise in place.
-func Sigmoid(x []float32) {
-	for i, v := range x {
-		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
-	}
-}
-
-// Tanh applies the hyperbolic tangent elementwise in place.
-func Tanh(x []float32) {
-	for i, v := range x {
-		x[i] = float32(math.Tanh(float64(v)))
 	}
 }
 

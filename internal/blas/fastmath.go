@@ -1,0 +1,65 @@
+package blas
+
+// Float32 activation kernels. The previous implementations round-tripped
+// every element through float64 math.Exp/math.Tanh; inference only carries
+// float32 precision end to end (the paper's models are REAL-typed), so the
+// extra bits were pure cost on the hot path. tanh32 is the rational
+// approximation used by vectorized ML runtimes (a degree-13/6 minimax quotient
+// on the clamped range), accurate to a few float32 ULP, and sigmoid derives
+// from it via σ(x) = (1 + tanh(x/2)) / 2.
+
+// tanhClamp is the |x| beyond which float32 tanh is exactly ±1.
+const tanhClamp = 7.90531110763549805
+
+// Minimax coefficients for tanh(x) ≈ x·P(x²)/Q(x²) on [-tanhClamp, tanhClamp].
+const (
+	tanhAlpha1  = 4.89352455891786e-03
+	tanhAlpha3  = 6.37261928875436e-04
+	tanhAlpha5  = 1.48572235717979e-05
+	tanhAlpha7  = 5.12229709037114e-08
+	tanhAlpha9  = -8.60467152213735e-11
+	tanhAlpha11 = 2.00018790482477e-13
+	tanhAlpha13 = -2.76076847742355e-16
+
+	tanhBeta0 = 4.89352518554385e-03
+	tanhBeta2 = 2.26843463243900e-03
+	tanhBeta4 = 1.18534705686654e-04
+	tanhBeta6 = 1.19825839466702e-06
+)
+
+// tanh32 evaluates the approximation for one element.
+func tanh32(x float32) float32 {
+	if x > tanhClamp {
+		x = tanhClamp
+	} else if x < -tanhClamp {
+		x = -tanhClamp
+	}
+	x2 := x * x
+	p := float32(tanhAlpha13)
+	p = x2*p + tanhAlpha11
+	p = x2*p + tanhAlpha9
+	p = x2*p + tanhAlpha7
+	p = x2*p + tanhAlpha5
+	p = x2*p + tanhAlpha3
+	p = x2*p + tanhAlpha1
+	p = x * p
+	q := float32(tanhBeta6)
+	q = x2*q + tanhBeta4
+	q = x2*q + tanhBeta2
+	q = x2*q + tanhBeta0
+	return p / q
+}
+
+// Sigmoid applies the logistic function elementwise in place.
+func Sigmoid(x []float32) {
+	for i, v := range x {
+		x[i] = 0.5 + 0.5*tanh32(0.5*v)
+	}
+}
+
+// Tanh applies the hyperbolic tangent elementwise in place.
+func Tanh(x []float32) {
+	for i, v := range x {
+		x[i] = tanh32(v)
+	}
+}

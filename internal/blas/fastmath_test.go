@@ -1,0 +1,86 @@
+package blas
+
+import (
+	"math"
+	"testing"
+)
+
+// maxAbsErr sweeps fn against ref over [-lim, lim] at the given step and
+// returns the largest absolute deviation.
+func maxAbsErr(fn func([]float32), ref func(float64) float64, lim, step float64) float64 {
+	worst := 0.0
+	for x := -lim; x <= lim; x += step {
+		v := []float32{float32(x)}
+		fn(v)
+		if d := math.Abs(float64(v[0]) - ref(x)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestTanhAccuracy bounds the fast float32 tanh against the math package
+// reference. The rational approximation is good to a few float32 ULP inside
+// the clamp range and exact (±1) outside it; 1e-6 absolute is a conservative
+// ceiling with margin for platform rounding differences.
+func TestTanhAccuracy(t *testing.T) {
+	const bound = 1e-6
+	if err := maxAbsErr(Tanh, math.Tanh, 12, 1e-3); err > bound {
+		t.Errorf("fast tanh max abs error %.3g exceeds bound %.3g", err, bound)
+	}
+}
+
+// TestSigmoidAccuracy bounds the fast sigmoid (derived from tanh via the
+// half-angle identity) against 1/(1+exp(-x)).
+func TestSigmoidAccuracy(t *testing.T) {
+	const bound = 1e-6
+	ref := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	if err := maxAbsErr(Sigmoid, ref, 12, 1e-3); err > bound {
+		t.Errorf("fast sigmoid max abs error %.3g exceeds bound %.3g", err, bound)
+	}
+}
+
+// TestTanhSaturation checks the clamped tails: far outside the clamp range
+// the result must be exactly ±1 and never overshoot.
+func TestTanhSaturation(t *testing.T) {
+	for _, x := range []float32{-100, -20, 20, 100} {
+		v := []float32{x}
+		Tanh(v)
+		want := float32(1)
+		if x < 0 {
+			want = -1
+		}
+		if v[0] != want {
+			t.Errorf("tanh(%v) = %v, want exactly %v", x, v[0], want)
+		}
+	}
+	for _, x := range []float32{-50, 50} {
+		v := []float32{x}
+		Sigmoid(v)
+		if v[0] < 0 || v[0] > 1 {
+			t.Errorf("sigmoid(%v) = %v out of [0, 1]", x, v[0])
+		}
+	}
+}
+
+func BenchmarkTanh(b *testing.B) {
+	x := make([]float32, 4096)
+	for i := range x {
+		x[i] = float32(i%17) - 8
+	}
+	b.SetBytes(int64(len(x)) * 4)
+	for i := 0; i < b.N; i++ {
+		Tanh(x)
+	}
+}
+
+func BenchmarkSigmoid(b *testing.B) {
+	x := make([]float32, 4096)
+	for i := range x {
+		x[i] = float32(i%17) - 8
+	}
+	b.SetBytes(int64(len(x)) * 4)
+	for i := 0; i < b.N; i++ {
+		Sigmoid(x)
+	}
+}

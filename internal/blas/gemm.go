@@ -1,0 +1,161 @@
+package blas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache-blocking parameters for the packed kernel. A packed panel is at most
+// packKC×packNC float32s (256 KB) — sized to stay resident in L2 while the
+// row loop streams over it. Panels are packed row-major with stride nLen so
+// the micro-kernel reads them sequentially regardless of the original B
+// width.
+const (
+	packKC = 256
+	packNC = 256
+	// packMinBElems is the B size (elements) above which packing pays for
+	// itself: below it, B already fits comfortably in cache and the extra
+	// copy only costs time.
+	packMinBElems = 1 << 15
+)
+
+// packBufs recycles panel buffers across Sgemm calls so the steady-state
+// serving hot path performs no per-call allocation.
+var packBufs = sync.Pool{
+	New: func() any {
+		b := make([]float32, packKC*packNC)
+		return &b
+	},
+}
+
+// Sgemm computes C = A·B + C for row-major matrices, the BLAS operation the
+// paper's layer-forward functions are built on (the "+ C" term carries the
+// pre-copied bias matrix, Sec. 5.4). Dimensions: A is m×k, B is k×n, C is
+// m×n. It panics on dimension mismatch — shapes are established once in the
+// ModelJoin build phase, so a mismatch is a programming error.
+//
+// Large multiplies run cache-blocked: B is packed panel by panel into an
+// L2-sized contiguous buffer (reused via a pool) and the 4-row micro-kernel
+// streams each panel once per four C rows. Small multiplies keep the direct
+// streaming kernel, whose B already fits in cache.
+func Sgemm(a, b, c Mat) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("blas: sgemm dimension mismatch: (%dx%d)·(%dx%d) -> (%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := b.Cols
+	blocked := b.Rows*n >= packMinBElems
+	parallelRows(a.Rows, a.Rows*a.Cols*n, func(lo, hi int) {
+		if blocked {
+			sgemmRangeBlocked(a, b, c, lo, hi)
+		} else {
+			sgemmRangeSimple(a, b, c, lo, hi)
+		}
+	})
+}
+
+// sgemmRangeSimple is the direct streaming kernel for rows [lo, hi): each
+// streamed B row feeds four accumulator rows, quartering B traffic — the
+// matrices in inference gemms are larger than L1 and this loop is memory
+// bound.
+func sgemmRangeSimple(a, b, c Mat, lo, hi int) {
+	n := b.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		c0 := c.Data[(i+0)*n : (i+1)*n]
+		c1 := c.Data[(i+1)*n : (i+2)*n]
+		c2 := c.Data[(i+2)*n : (i+3)*n]
+		c3 := c.Data[(i+3)*n : (i+4)*n]
+		a0 := a.Data[(i+0)*a.Cols : (i+1)*a.Cols]
+		a1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
+		a2 := a.Data[(i+2)*a.Cols : (i+3)*a.Cols]
+		a3 := a.Data[(i+3)*a.Cols : (i+4)*a.Cols]
+		for k := 0; k < a.Cols; k++ {
+			v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			bk := b.Data[k*n : (k+1)*n]
+			for j, bkj := range bk {
+				c0[j] += v0 * bkj
+				c1[j] += v1 * bkj
+				c2[j] += v2 * bkj
+				c3[j] += v3 * bkj
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*n : (k+1)*n]
+			for j, bkj := range bk {
+				ci[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// sgemmRangeBlocked is the cache-blocked kernel for rows [lo, hi): it walks
+// B in packKC×packNC panels, packs each panel contiguously, and runs the
+// 4-row micro-kernel over the packed copy. Each worker packs its own panels
+// from a pooled buffer, so workers share nothing and the pack cost (one B
+// traversal) is amortized over (hi-lo) C rows.
+func sgemmRangeBlocked(a, b, c Mat, lo, hi int) {
+	n := b.Cols
+	k := b.Rows
+	bufp := packBufs.Get().(*[]float32)
+	pk := *bufp
+	defer packBufs.Put(bufp)
+
+	for kc := 0; kc < k; kc += packKC {
+		kLen := min(packKC, k-kc)
+		for nc := 0; nc < n; nc += packNC {
+			nLen := min(packNC, n-nc)
+			// Pack B[kc:kc+kLen, nc:nc+nLen] row-major with stride nLen.
+			for kk := 0; kk < kLen; kk++ {
+				copy(pk[kk*nLen:(kk+1)*nLen], b.Data[(kc+kk)*n+nc:(kc+kk)*n+nc+nLen])
+			}
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				c0 := c.Data[(i+0)*n+nc : (i+0)*n+nc+nLen]
+				c1 := c.Data[(i+1)*n+nc : (i+1)*n+nc+nLen]
+				c2 := c.Data[(i+2)*n+nc : (i+2)*n+nc+nLen]
+				c3 := c.Data[(i+3)*n+nc : (i+3)*n+nc+nLen]
+				a0 := a.Data[(i+0)*a.Cols+kc : (i+0)*a.Cols+kc+kLen]
+				a1 := a.Data[(i+1)*a.Cols+kc : (i+1)*a.Cols+kc+kLen]
+				a2 := a.Data[(i+2)*a.Cols+kc : (i+2)*a.Cols+kc+kLen]
+				a3 := a.Data[(i+3)*a.Cols+kc : (i+3)*a.Cols+kc+kLen]
+				for kk := 0; kk < kLen; kk++ {
+					v0, v1, v2, v3 := a0[kk], a1[kk], a2[kk], a3[kk]
+					if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+						continue
+					}
+					bk := pk[kk*nLen : (kk+1)*nLen]
+					for j, bkj := range bk {
+						c0[j] += v0 * bkj
+						c1[j] += v1 * bkj
+						c2[j] += v2 * bkj
+						c3[j] += v3 * bkj
+					}
+				}
+			}
+			for ; i < hi; i++ {
+				ci := c.Data[i*n+nc : i*n+nc+nLen]
+				ai := a.Data[i*a.Cols+kc : i*a.Cols+kc+kLen]
+				for kk, aik := range ai {
+					if aik == 0 {
+						continue
+					}
+					bk := pk[kk*nLen : (kk+1)*nLen]
+					for j, bkj := range bk {
+						ci[j] += aik * bkj
+					}
+				}
+			}
+		}
+	}
+}

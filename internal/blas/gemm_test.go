@@ -1,0 +1,69 @@
+package blas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSgemmBlockedMatchesNaive exercises the cache-blocked packed path with
+// shapes that straddle the packKC/packNC panel boundaries (the simple-path
+// shapes live in blas_test.go).
+func TestSgemmBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := [][3]int{
+		{8, packKC, packNC},          // exactly one panel
+		{5, packKC + 3, packNC - 1},  // K spills into a second panel
+		{64, packKC - 1, packNC + 5}, // N spills into a second panel
+		{33, 2*packKC + 7, 2*packNC + 3},
+		{1024, 300, 200}, // inference-shaped: tall A, moderate B
+	}
+	for _, s := range shapes {
+		a := randMat(rng, s[0], s[1])
+		b := randMat(rng, s[1], s[2])
+		c := randMat(rng, s[0], s[2])
+		want := c.Clone()
+		Sgemm(a, b, c)
+		naiveGemm(a, b, want)
+		if !c.Equal(want, 1e-3) {
+			t.Errorf("blocked Sgemm(%v) diverges from naive reference", s)
+		}
+	}
+}
+
+// TestParallelRowsCoversAllRows checks the pooled splitter executes every
+// row exactly once across chunk boundaries and pool-saturation fallbacks.
+func TestParallelRowsCoversAllRows(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 1024, 4099} {
+		hits := make([]int32, n)
+		parallelRows(n, 1<<30, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: row %d executed %d times", n, i, h)
+			}
+		}
+	}
+}
+
+// BenchmarkSgemm measures the gemm kernel at inference-relevant shapes:
+// m = engine vector size, square weight matrices of the paper's dense widths.
+func BenchmarkSgemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dim := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("1024x%dx%d", dim, dim), func(b *testing.B) {
+			a := randMat(rng, 1024, dim)
+			w := randMat(rng, dim, dim)
+			c := NewMat(1024, dim)
+			b.SetBytes(2 * int64(dim) * int64(dim) * 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Sgemm(a, w, c)
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The kernel worker pool. The serving hot path calls BLAS kernels on every
+// batch of every query; spawning and joining a fresh set of goroutines per
+// kernel (the previous design) puts a scheduler round-trip on each call.
+// Instead a fixed set of workers is started once, on the first parallel
+// kernel, and row-range tasks are handed to them over a channel — the
+// analogue of MKL's persistent thread team.
+//
+// The pool never blocks a caller: if the task channel is full (all workers
+// busy, e.g. when the engine already runs partition-parallel plans around
+// the BLAS calls), the caller executes the chunk inline. That also makes
+// nested parallelism deadlock-free by construction.
+
+// rowTask is one contiguous row range of a parallel kernel.
+type rowTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan rowTask
+)
+
+// startPool launches the worker team: GOMAXPROCS-1 workers, because the
+// caller always works on a chunk itself while the team runs the rest.
+func startPool() {
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers < 1 {
+		workers = 1
+	}
+	poolTasks = make(chan rowTask, 8*workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelThreshold is the amount of scalar work below which kernels stay
+// single-threaded; fan-out only pays off for larger inputs.
+const parallelThreshold = 1 << 22
+
+// parallelRows splits rows [0, n) across the worker pool and waits for
+// completion. The worker count scales with the amount of work so small
+// kernels (which are common when the engine already runs partition-parallel
+// plans around the BLAS calls) stay single-threaded instead of
+// oversubscribing cores. The calling goroutine always executes the first
+// chunk itself.
+func parallelRows(n int, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if byWork := work / parallelThreshold; byWork < workers {
+		workers = byWork
+	}
+	if workers > n {
+		workers = n
+	}
+	if n < 2 || workers < 2 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	poolOnce.Do(startPool)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		select {
+		case poolTasks <- rowTask{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
+			// Pool saturated: run inline rather than queueing behind other
+			// kernels (and rather than ever blocking here).
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

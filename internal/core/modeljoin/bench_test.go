@@ -1,0 +1,63 @@
+package modeljoin
+
+import (
+	"fmt"
+	"testing"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/device"
+	"indbml/internal/nn"
+)
+
+// BenchmarkModelJoinBuild measures the build phase in isolation: parsing the
+// relational model table into device-resident weight matrices (Sec. 5.2).
+// This is exactly the work a hit in the engine's cross-query artifact cache
+// skips, so these numbers bound the per-query saving of the cache.
+func BenchmarkModelJoinBuild(b *testing.B) {
+	dev := device.NewCPU()
+	for _, spec := range []struct {
+		width, depth, parts int
+		serial              bool
+	}{
+		{32, 2, 4, false},
+		{256, 4, 1, false},
+		{256, 4, 4, false},
+		{256, 4, 4, true},
+	} {
+		name := fmt.Sprintf("dense%dx%d/parts%d", spec.width, spec.depth, spec.parts)
+		if spec.serial {
+			name += "/serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			model := nn.NewDenseModel("m", 4, spec.width, spec.depth, 2, 11)
+			tbl, meta, err := relmodel.Export(model, relmodel.ExportOptions{Partitions: spec.parts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Config{SerialBuild: spec.serial}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sm := &SharedModel{Table: tbl, Meta: meta, Dev: dev, Cfg: cfg}
+				if _, err := sm.Build(); err != nil {
+					b.Fatal(err)
+				}
+				sm.Release()
+			}
+		})
+	}
+	b.Run("lstm32/parts4", func(b *testing.B) {
+		model := nn.NewLSTMModel("lm", 3, 32, 9)
+		tbl, meta, err := relmodel.Export(model, relmodel.ExportOptions{Partitions: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sm := &SharedModel{Table: tbl, Meta: meta, Dev: dev, Cfg: Config{}}
+			if _, err := sm.Build(); err != nil {
+				b.Fatal(err)
+			}
+			sm.Release()
+		}
+	})
+}

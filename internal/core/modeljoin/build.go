@@ -67,12 +67,22 @@ type builtModel struct {
 	dev    device.Device
 	meta   *relmodel.Meta
 	layers []deviceLayer
+
+	// scratchPool recycles inference working sets across operator instances
+	// and across queries (the model itself outlives a query when it sits in
+	// the engine's artifact cache). Bounded; see putScratch.
+	scratchMu   sync.Mutex
+	scratchPool []*inferScratch
+	freed       bool
 }
 
-// SharedModel coordinates the one-time cooperative build per query: many
-// partitioned ModelJoin instances reference the same SharedModel, and the
-// first Open triggers the parallel build (goroutine-per-model-partition
-// with a closing barrier).
+// SharedModel coordinates the one-time cooperative build: many partitioned
+// ModelJoin instances reference the same SharedModel, and the first Open
+// triggers the parallel build (goroutine-per-model-partition with a closing
+// barrier). When held in the engine's cross-query artifact cache a
+// SharedModel outlives individual queries: the pin count tracks operators
+// using it, and Release (cache eviction) defers freeing device memory until
+// the last user closes.
 type SharedModel struct {
 	Table *storage.Table
 	Meta  *relmodel.Meta
@@ -82,6 +92,10 @@ type SharedModel struct {
 	once  sync.Once
 	built *builtModel
 	err   error
+
+	mu      sync.Mutex
+	pins    int
+	evicted bool
 }
 
 // Build returns the built model, constructing it on first use.

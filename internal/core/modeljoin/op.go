@@ -26,9 +26,11 @@ type Operator struct {
 	schema *types.Schema
 	model  *builtModel
 
-	// Inference scratch, allocated at Open for the engine's vector size.
-	staging []float32  // host gather buffer
-	bufs    []blas.Mat // device activations per layer boundary
+	// Inference scratch, checked out of the built model's pool at Open:
+	// host gather buffer, device activations per layer boundary, LSTM state.
+	scratch *inferScratch
+	staging []float32  // = scratch.staging
+	bufs    []blas.Mat // = scratch.bufs
 	lstm    *lstmScratch
 }
 
@@ -79,8 +81,8 @@ func New(child exec.Operator, shared *SharedModel, inputCols []int) (*Operator, 
 func (o *Operator) Schema() *types.Schema { return o.schema }
 
 // Open implements exec.Operator: it runs (or joins) the build phase and
-// allocates the inference scratch memory (Sec. 5.1: open() allocates weight
-// and working memory).
+// checks an inference working set out of the model's scratch pool (Sec. 5.1:
+// open() allocates weight and working memory).
 func (o *Operator) Open() error {
 	if err := o.Child.Open(); err != nil {
 		return err
@@ -90,28 +92,11 @@ func (o *Operator) Open() error {
 		return err
 	}
 	o.model = m
-	dev := m.dev
-
-	first := m.layers[0]
-	if first.kind == nn.KindLSTM {
-		o.lstm = &lstmScratch{
-			x:   dev.NewMat(first.timeSteps, vector.Size),
-			h:   dev.NewMat(vector.Size, first.units),
-			c:   dev.NewMat(vector.Size, first.units),
-			tmp: dev.NewMat(vector.Size, first.units),
-		}
-		for g := 0; g < 4; g++ {
-			o.lstm.z[g] = dev.NewMat(vector.Size, first.units)
-		}
-		o.staging = make([]float32, first.timeSteps*vector.Size)
-		o.bufs = append(o.bufs, blas.Mat{}) // layer 0 output is the LSTM h state
-	} else {
-		o.staging = make([]float32, first.inDim*vector.Size)
-		o.bufs = append(o.bufs, dev.NewMat(vector.Size, first.inDim))
-	}
-	for _, l := range m.layers {
-		o.bufs = append(o.bufs, dev.NewMat(vector.Size, l.units))
-	}
+	o.Shared.pin()
+	o.scratch = m.getScratch()
+	o.staging = o.scratch.staging
+	o.bufs = o.scratch.bufs
+	o.lstm = o.scratch.lstm
 	return nil
 }
 
@@ -334,25 +319,14 @@ func gatherRow(v *vector.Vector, dst []float32, n int) {
 	}
 }
 
-// Close implements exec.Operator, releasing device scratch memory.
+// Close implements exec.Operator, returning the scratch working set to the
+// model's pool and dropping the pin that keeps the model's device memory
+// alive across cache eviction.
 func (o *Operator) Close() error {
 	if o.model != nil {
-		dev := o.model.dev
-		for _, b := range o.bufs {
-			if b.Data != nil {
-				dev.Free(b)
-			}
-		}
-		if o.lstm != nil {
-			dev.Free(o.lstm.x)
-			dev.Free(o.lstm.h)
-			dev.Free(o.lstm.c)
-			dev.Free(o.lstm.tmp)
-			for g := 0; g < 4; g++ {
-				dev.Free(o.lstm.z[g])
-			}
-		}
-		o.bufs, o.lstm, o.model = nil, nil, nil
+		o.model.putScratch(o.scratch)
+		o.Shared.unpin()
+		o.scratch, o.staging, o.bufs, o.lstm, o.model = nil, nil, nil, nil, nil
 	}
 	return o.Child.Close()
 }

@@ -1,0 +1,164 @@
+package modeljoin
+
+import (
+	"runtime"
+
+	"indbml/internal/blas"
+	"indbml/internal/engine/vector"
+	"indbml/internal/nn"
+)
+
+// inferScratch is the per-operator inference working set (host gather buffer,
+// device activation buffers, LSTM state). Allocating and freeing it per query
+// dominated short-query latency once the build phase became cacheable, so
+// builtModel keeps a bounded free list: Open pops a scratch, Close pushes it
+// back, and only pool overflow or model eviction actually frees device memory.
+type inferScratch struct {
+	staging []float32
+	bufs    []blas.Mat
+	lstm    *lstmScratch
+}
+
+// newScratch allocates a working set sized for the engine's vector.Size.
+func (m *builtModel) newScratch() *inferScratch {
+	dev := m.dev
+	s := &inferScratch{}
+	first := m.layers[0]
+	if first.kind == nn.KindLSTM {
+		s.lstm = &lstmScratch{
+			x:   dev.NewMat(first.timeSteps, vector.Size),
+			h:   dev.NewMat(vector.Size, first.units),
+			c:   dev.NewMat(vector.Size, first.units),
+			tmp: dev.NewMat(vector.Size, first.units),
+		}
+		for g := 0; g < 4; g++ {
+			s.lstm.z[g] = dev.NewMat(vector.Size, first.units)
+		}
+		s.staging = make([]float32, first.timeSteps*vector.Size)
+		s.bufs = append(s.bufs, blas.Mat{}) // layer 0 output is the LSTM h state
+	} else {
+		s.staging = make([]float32, first.inDim*vector.Size)
+		s.bufs = append(s.bufs, dev.NewMat(vector.Size, first.inDim))
+	}
+	for _, l := range m.layers {
+		s.bufs = append(s.bufs, dev.NewMat(vector.Size, l.units))
+	}
+	return s
+}
+
+// free releases the scratch's device memory.
+func (s *inferScratch) free(dev interface{ Free(blas.Mat) }) {
+	for _, b := range s.bufs {
+		if b.Data != nil {
+			dev.Free(b)
+		}
+	}
+	if s.lstm != nil {
+		dev.Free(s.lstm.x)
+		dev.Free(s.lstm.h)
+		dev.Free(s.lstm.c)
+		dev.Free(s.lstm.tmp)
+		for g := 0; g < 4; g++ {
+			dev.Free(s.lstm.z[g])
+		}
+	}
+	s.bufs, s.lstm = nil, nil
+}
+
+// getScratch pops a pooled working set or allocates a fresh one.
+func (m *builtModel) getScratch() *inferScratch {
+	m.scratchMu.Lock()
+	if n := len(m.scratchPool); n > 0 {
+		s := m.scratchPool[n-1]
+		m.scratchPool = m.scratchPool[:n-1]
+		m.scratchMu.Unlock()
+		return s
+	}
+	m.scratchMu.Unlock()
+	return m.newScratch()
+}
+
+// putScratch returns a working set to the pool. Past the bound (enough for
+// full partition parallelism with headroom), or after the model was freed, it
+// releases the device memory instead of pooling.
+func (m *builtModel) putScratch(s *inferScratch) {
+	limit := 2 * runtime.GOMAXPROCS(0)
+	m.scratchMu.Lock()
+	if !m.freed && len(m.scratchPool) < limit {
+		m.scratchPool = append(m.scratchPool, s)
+		m.scratchMu.Unlock()
+		return
+	}
+	m.scratchMu.Unlock()
+	s.free(m.dev)
+}
+
+// free releases all device memory held by the model: pooled scratch and the
+// layer weight/bias matrices. Called once, when the model leaves the artifact
+// cache and the last operator using it has closed.
+func (m *builtModel) free() {
+	m.scratchMu.Lock()
+	pool := m.scratchPool
+	m.scratchPool, m.freed = nil, true
+	m.scratchMu.Unlock()
+	for _, s := range pool {
+		s.free(m.dev)
+	}
+	dev := m.dev
+	for _, l := range m.layers {
+		if l.w.Data != nil {
+			dev.Free(l.w)
+		}
+		if l.biasMat.Data != nil {
+			dev.Free(l.biasMat)
+		}
+		for g := 0; g < 4; g++ {
+			if l.wg[g].Data != nil {
+				dev.Free(l.wg[g])
+			}
+			if l.ug[g].Data != nil {
+				dev.Free(l.ug[g])
+			}
+			if l.gBiasMat[g].Data != nil {
+				dev.Free(l.gBiasMat[g])
+			}
+		}
+	}
+	m.layers = nil
+}
+
+// pin marks one operator as actively using the shared model's device state.
+func (s *SharedModel) pin() {
+	s.mu.Lock()
+	s.pins++
+	s.mu.Unlock()
+}
+
+// unpin releases one operator's hold; the last unpin after an eviction frees
+// the device memory.
+func (s *SharedModel) unpin() {
+	s.mu.Lock()
+	s.pins--
+	doFree := s.evicted && s.pins == 0 && s.built != nil
+	s.mu.Unlock()
+	if doFree {
+		s.built.free()
+	}
+}
+
+// Release marks the shared model as evicted from the artifact cache. Device
+// memory is reclaimed immediately when no operator holds the model, otherwise
+// deferred to the last closing operator. Safe to call more than once.
+func (s *SharedModel) Release() {
+	s.mu.Lock()
+	if s.evicted {
+		s.mu.Unlock()
+		return
+	}
+	s.evicted = true
+	doFree := s.pins == 0 && s.built != nil
+	s.mu.Unlock()
+	if doFree {
+		s.built.free()
+	}
+}

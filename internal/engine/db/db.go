@@ -34,6 +34,12 @@ type Options struct {
 	GPU device.GPUConfig
 	// ModelJoinConfig tunes the native operator (ablations).
 	ModelJoinConfig modeljoin.Config
+	// ModelCacheEntries bounds the cross-query model artifact cache: built
+	// model matrices are kept across queries, keyed on (model, table
+	// version, device, config), so repeat MODEL JOINs skip the build phase.
+	// 0 selects the default (32); a negative value disables the cache
+	// (every query rebuilds, the pre-cache behavior).
+	ModelCacheEntries int
 	// Planner ablation flags; see plan.Planner.
 	DisableSegmentedAgg bool
 	DisableZoneMaps     bool
@@ -49,6 +55,9 @@ type Database struct {
 	opts Options
 	cpu  *device.CPU
 	gpu  *device.GPU
+
+	// modelCache is the cross-query artifact cache; nil when disabled.
+	modelCache *modelCache
 }
 
 // Open creates an empty database.
@@ -60,13 +69,30 @@ func Open(opts Options) *Database {
 	if gpuCfg.PCIeBandwidth == 0 {
 		gpuCfg = device.DefaultGPUConfig()
 	}
-	return &Database{
+	d := &Database{
 		tables: make(map[string]*storage.Table),
 		models: make(map[string]*relmodel.Meta),
 		opts:   opts,
 		cpu:    device.NewCPU(),
 		gpu:    device.NewGPU(gpuCfg),
 	}
+	if opts.ModelCacheEntries >= 0 {
+		n := opts.ModelCacheEntries
+		if n == 0 {
+			n = 32
+		}
+		d.modelCache = newModelCache(n)
+	}
+	return d
+}
+
+// ModelCacheStats returns the artifact cache counters (zero value when the
+// cache is disabled).
+func (d *Database) ModelCacheStats() ModelCacheStats {
+	if d.modelCache == nil {
+		return ModelCacheStats{}
+	}
+	return d.modelCache.stats()
 }
 
 // CPU returns the host compute device.
@@ -78,9 +104,13 @@ func (d *Database) GPU() *device.GPU { return d.gpu }
 // RegisterTable adds a pre-built table to the catalog, replacing any
 // existing table of the same name.
 func (d *Database) RegisterTable(t *storage.Table) {
+	key := strings.ToLower(t.Name)
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.tables[strings.ToLower(t.Name)] = t
+	d.tables[key] = t
+	d.mu.Unlock()
+	if d.modelCache != nil {
+		d.modelCache.invalidateModel(key)
+	}
 }
 
 // Table resolves a table by name.
@@ -101,11 +131,14 @@ func (d *Database) RegisterModel(m *nn.Model, opts relmodel.ExportOptions) (*rel
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	key := strings.ToLower(tbl.Name)
+	d.mu.Lock()
 	d.tables[key] = tbl
 	d.models[key] = meta
+	d.mu.Unlock()
+	if d.modelCache != nil {
+		d.modelCache.invalidateModel(key)
+	}
 	return meta, nil
 }
 
@@ -120,16 +153,21 @@ func (d *Database) ModelMeta(name string) (*relmodel.Meta, error) {
 	return meta, nil
 }
 
-// DropTable removes a table (and its model registration if any).
+// DropTable removes a table (and its model registration if any), evicting
+// its cached model artifacts.
 func (d *Database) DropTable(name string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	key := strings.ToLower(name)
+	d.mu.Lock()
 	if _, ok := d.tables[key]; !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("db: table %q does not exist", name)
 	}
 	delete(d.tables, key)
 	delete(d.models, key)
+	d.mu.Unlock()
+	if d.modelCache != nil {
+		d.modelCache.invalidateModel(key)
+	}
 	return nil
 }
 
@@ -187,14 +225,35 @@ func (c *queryCatalog) NewModelJoin(model string, child exec.Operator, inputCols
 	default:
 		return nil, fmt.Errorf("db: unknown MODEL JOIN device %q (want 'cpu' or 'gpu')", dev)
 	}
-	key := strings.ToLower(model) + "|" + dev
-	c.mu.Lock()
-	sm, ok := c.shared[key]
-	if !ok {
-		sm = &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: c.db.opts.ModelJoinConfig}
-		c.shared[key] = sm
+	cfg := c.db.opts.ModelJoinConfig
+	name := strings.ToLower(model)
+	var sm *modeljoin.SharedModel
+	if mc := c.db.modelCache; mc != nil {
+		// Cross-query artifact cache: keyed on the table's mutation version,
+		// so any DML on the model table implicitly invalidates the entry. A
+		// hit reuses the already-built weight matrices and skips the build
+		// phase; partition plan instances of one query land on the same key.
+		sm = mc.get(modelCacheKey{
+			model:   name,
+			tbl:     tbl,
+			version: tbl.Version(),
+			device:  dev,
+			cfg:     cfg,
+		}, func() *modeljoin.SharedModel {
+			return &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: cfg}
+		})
+	} else {
+		// Cache disabled: share one build among this query's partition plan
+		// instances only (the paper's per-query shared build, Sec. 5.2).
+		key := name + "|" + dev
+		c.mu.Lock()
+		sm = c.shared[key]
+		if sm == nil {
+			sm = &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: cfg}
+			c.shared[key] = sm
+		}
+		c.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return modeljoin.New(child, sm, inputCols)
 }
 
@@ -264,7 +323,8 @@ func (d *Database) Explain(text string) (string, error) {
 }
 
 // Exec runs a DDL/DML statement (CREATE TABLE, CREATE MODEL TABLE, INSERT,
-// DROP TABLE). EXPLAIN and SELECT are rejected — use Query/Explain.
+// DELETE, UPDATE, DROP TABLE). EXPLAIN and SELECT are rejected — use
+// Query/Explain.
 func (d *Database) Exec(text string) error {
 	return d.ExecContext(context.Background(), text)
 }
@@ -285,6 +345,10 @@ func (d *Database) ExecContext(ctx context.Context, text string) error {
 		return d.execCreate(s)
 	case *sql.InsertStmt:
 		return d.execInsert(s)
+	case *sql.DeleteStmt:
+		return d.execDelete(s)
+	case *sql.UpdateStmt:
+		return d.execUpdate(s)
 	case *sql.DropTableStmt:
 		return d.DropTable(s.Name)
 	default:

@@ -1,0 +1,111 @@
+package db_test
+
+import (
+	"testing"
+
+	"indbml/internal/engine/db"
+)
+
+func setupDMLTable(t *testing.T, parts int) *db.Database {
+	t.Helper()
+	d := db.Open(db.Options{DefaultPartitions: parts})
+	mustExec := func(q string) {
+		t.Helper()
+		if err := d.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE emp (id BIGINT, dept INTEGER, salary DOUBLE, name VARCHAR)")
+	mustExec("INSERT INTO emp VALUES (1, 10, 100.0, 'ann'), (2, 10, 200.0, 'bob'), (3, 20, 300.0, 'cal'), (4, 20, 50.5, 'dee')")
+	return d
+}
+
+func queryInt64(t *testing.T, d *db.Database, q string) int64 {
+	t.Helper()
+	res, err := d.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("%s: got %d rows, want 1", q, res.Len())
+	}
+	return res.Vecs[0].Int64s()[0]
+}
+
+func TestDelete(t *testing.T) {
+	for _, parts := range []int{1, 3} {
+		d := setupDMLTable(t, parts)
+		if err := d.Exec("DELETE FROM emp WHERE salary > 150"); err != nil {
+			t.Fatal(err)
+		}
+		if n := queryInt64(t, d, "SELECT COUNT(*) FROM emp"); n != 2 {
+			t.Errorf("parts=%d: %d rows after DELETE, want 2", parts, n)
+		}
+		res, err := d.Query("SELECT name FROM emp ORDER BY name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 2 || res.Vecs[0].Strings()[0] != "ann" || res.Vecs[0].Strings()[1] != "dee" {
+			t.Errorf("parts=%d: wrong survivors: %s", parts, res)
+		}
+		// Unconditional DELETE empties the table.
+		if err := d.Exec("DELETE FROM emp"); err != nil {
+			t.Fatal(err)
+		}
+		if n := queryInt64(t, d, "SELECT COUNT(*) FROM emp"); n != 0 {
+			t.Errorf("parts=%d: %d rows after DELETE all, want 0", parts, n)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	for _, parts := range []int{1, 3} {
+		d := setupDMLTable(t, parts)
+		// SET expressions see pre-update column values.
+		if err := d.Exec("UPDATE emp SET salary = salary * 2, dept = 30 WHERE dept = 10"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Query("SELECT name, salary, dept FROM emp WHERE dept = 30 ORDER BY name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 2 {
+			t.Fatalf("parts=%d: %d rows updated, want 2", parts, res.Len())
+		}
+		if got := res.Vecs[1].Float64s()[0]; got != 200 {
+			t.Errorf("parts=%d: ann salary = %v, want 200", parts, got)
+		}
+		if got := res.Vecs[1].Float64s()[1]; got != 400 {
+			t.Errorf("parts=%d: bob salary = %v, want 400", parts, got)
+		}
+		// Untouched rows keep their values.
+		if n := queryInt64(t, d, "SELECT COUNT(*) FROM emp WHERE dept = 20"); n != 2 {
+			t.Errorf("parts=%d: dept 20 disturbed", parts)
+		}
+		// Unconditional UPDATE touches every row.
+		if err := d.Exec("UPDATE emp SET salary = 1"); err != nil {
+			t.Fatal(err)
+		}
+		if n := queryInt64(t, d, "SELECT COUNT(*) FROM emp WHERE salary = 1"); n != 4 {
+			t.Errorf("parts=%d: unconditional UPDATE missed rows", parts)
+		}
+	}
+}
+
+func TestDMLErrors(t *testing.T) {
+	d := setupDMLTable(t, 2)
+	for _, q := range []string{
+		"DELETE FROM nosuch",
+		"DELETE FROM emp WHERE salary",           // non-boolean predicate
+		"UPDATE emp SET nosuch = 1",              // unknown column
+		"UPDATE emp SET salary = 0 WHERE nosuch", // unknown column in WHERE
+	} {
+		if err := d.Exec(q); err == nil {
+			t.Errorf("%s: expected error", q)
+		}
+	}
+	// Failed statements must not have mutated anything.
+	if n := queryInt64(t, d, "SELECT COUNT(*) FROM emp"); n != 4 {
+		t.Errorf("table mutated by failing statements: %d rows", n)
+	}
+}

@@ -1,0 +1,114 @@
+package db
+
+import (
+	"container/list"
+	"sync"
+
+	"indbml/internal/core/modeljoin"
+	"indbml/internal/engine/storage"
+)
+
+// modelCacheKey identifies one built model artifact. The table pointer and
+// version make invalidation implicit: any DML bumps the version, and dropping
+// or re-registering a table yields a different *storage.Table, so a stale
+// entry can never be hit — it just ages out (or is proactively evicted when
+// a newer version of the same model is built).
+type modelCacheKey struct {
+	model   string // lower-cased model-table name
+	tbl     *storage.Table
+	version uint64
+	device  string // "cpu" or "gpu"
+	cfg     modeljoin.Config
+}
+
+type modelCacheEnt struct {
+	key modelCacheKey
+	sm  *modeljoin.SharedModel
+}
+
+// ModelCacheStats is a snapshot of the artifact cache counters.
+type ModelCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// modelCache is the cross-query model artifact cache (LRU, bounded). A hit
+// hands out a SharedModel whose build already ran, so the query skips the
+// paper's build phase entirely and goes straight to inference.
+type modelCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of *modelCacheEnt, front = most recent
+	byKey map[modelCacheKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+func newModelCache(capEntries int) *modelCache {
+	return &modelCache{
+		cap:   capEntries,
+		lru:   list.New(),
+		byKey: make(map[modelCacheKey]*list.Element),
+	}
+}
+
+// get returns the cached SharedModel for key, or installs build()'s result.
+// On a miss it also evicts entries for stale versions of the same model on
+// the same device/config — they can never be hit again.
+func (c *modelCache) get(key modelCacheKey, build func() *modeljoin.SharedModel) *modeljoin.SharedModel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*modelCacheEnt).sm
+	}
+	c.misses++
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*modelCacheEnt)
+		if e.key.model == key.model && e.key.device == key.device && e.key.cfg == key.cfg && e.key != key {
+			c.removeLocked(el)
+		}
+		el = prev
+	}
+	sm := build()
+	c.byKey[key] = c.lru.PushFront(&modelCacheEnt{key: key, sm: sm})
+	for c.lru.Len() > c.cap {
+		c.removeLocked(c.lru.Back())
+	}
+	return sm
+}
+
+// removeLocked evicts one entry and releases its device memory (deferred to
+// the last in-flight user if the model is pinned).
+func (c *modelCache) removeLocked(el *list.Element) {
+	e := c.lru.Remove(el).(*modelCacheEnt)
+	delete(c.byKey, e.key)
+	c.evictions++
+	e.sm.Release()
+}
+
+// invalidateModel evicts every entry for the named model (any version,
+// device, config). Used on DROP TABLE and model re-registration so device
+// memory is reclaimed promptly instead of waiting for LRU pressure.
+func (c *modelCache) invalidateModel(model string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		if el.Value.(*modelCacheEnt).key.model == model {
+			c.removeLocked(el)
+		}
+		el = prev
+	}
+}
+
+// stats returns a counter snapshot.
+func (c *modelCache) stats() ModelCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ModelCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.lru.Len()}
+}

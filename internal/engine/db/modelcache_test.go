@@ -1,0 +1,219 @@
+package db_test
+
+import (
+	"sync"
+	"testing"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/nn"
+)
+
+// newModelDB builds a database with a fact table (single partition so each
+// query issues exactly one NewModelJoin call, keeping counters predictable)
+// and a registered dense model.
+func newModelDB(t *testing.T, opts db.Options, modelName string) (*db.Database, [][]float32, *nn.Model) {
+	t.Helper()
+	d := db.Open(opts)
+	data := makeFactTable(t, d, "fact", 300, 4, 1, 61)
+	model := nn.NewDenseModel(modelName, 4, 8, 2, 1, 13)
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return d, data, model
+}
+
+const mcQuery = "SELECT id, prediction FROM fact MODEL JOIN mc"
+
+func TestModelCacheHitOnRepeat(t *testing.T) {
+	d, data, model := newModelDB(t, db.Options{}, "mc")
+	ref := model.PredictBatch(data)
+
+	res, err := d.Query(mcQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPredictions(t, res, ref, len(data), 1)
+	st := d.ModelCacheStats()
+	if st.Misses != 1 || st.Hits != 0 || st.Entries != 1 {
+		t.Fatalf("after first query: %+v, want 1 miss, 0 hits, 1 entry", st)
+	}
+
+	for i := 0; i < 3; i++ {
+		if res, err = d.Query(mcQuery); err != nil {
+			t.Fatal(err)
+		}
+		checkPredictions(t, res, ref, len(data), 1)
+	}
+	st = d.ModelCacheStats()
+	if st.Misses != 1 || st.Hits != 3 {
+		t.Errorf("after repeats: %+v, want 1 miss, 3 hits (build skipped)", st)
+	}
+
+	// Different device = different artifact: a gpu query must miss.
+	if _, err := d.Query(mcQuery + " USING DEVICE 'gpu'"); err != nil {
+		t.Fatal(err)
+	}
+	if st = d.ModelCacheStats(); st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("after gpu query: %+v, want 2 misses, 2 entries", st)
+	}
+}
+
+// TestModelCacheInvalidation is the tentpole's correctness property: any DML
+// on the model table bumps its version, so the next MODEL JOIN rebuilds
+// instead of serving stale matrices.
+func TestModelCacheInvalidation(t *testing.T) {
+	d, data, model := newModelDB(t, db.Options{}, "mc")
+	ref := model.PredictBatch(data)
+
+	res, err := d.Query(mcQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPredictions(t, res, ref, len(data), 1)
+
+	// INSERT a layer-0 row: ignored by the build (input edges carry no
+	// weights), but the mutation must force a rebuild with equal results.
+	if err := d.Exec("INSERT INTO mc (layer_in, node_in, layer, node) VALUES (0, 0, 0, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err = d.Query(mcQuery); err != nil {
+		t.Fatal(err)
+	}
+	checkPredictions(t, res, ref, len(data), 1)
+	st := d.ModelCacheStats()
+	if st.Misses != 2 {
+		t.Errorf("INSERT did not invalidate: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("stale entry not evicted on rebuild: %+v", st)
+	}
+
+	// DELETE the junk row: another rebuild, same predictions.
+	if err := d.Exec("DELETE FROM mc WHERE layer = 0 AND layer_in = 0 AND node = 0 AND node_in = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err = d.Query(mcQuery); err != nil {
+		t.Fatal(err)
+	}
+	checkPredictions(t, res, ref, len(data), 1)
+	if st = d.ModelCacheStats(); st.Misses != 3 {
+		t.Errorf("DELETE did not invalidate: %+v", st)
+	}
+
+	// UPDATE zeroing the dense weights: the rebuild must pick up the new
+	// contents — predictions change for essentially every row.
+	if err := d.Exec("UPDATE mc SET w_i = 0 WHERE layer > 0"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err = d.Query(mcQuery); err != nil {
+		t.Fatal(err)
+	}
+	if st = d.ModelCacheStats(); st.Misses != 4 {
+		t.Errorf("UPDATE did not invalidate: %+v", st)
+	}
+	pi, _ := res.Schema.Lookup("prediction")
+	changed := 0
+	for r := 0; r < res.Len(); r++ {
+		id := res.Vecs[0].Int64s()[r]
+		if !closeEnough(res.Vecs[pi].Float32s()[r], ref[id][0]) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("UPDATE of model weights served stale predictions")
+	}
+
+	// DROP evicts the model's artifacts.
+	before := d.ModelCacheStats().Evictions
+	if err := d.Exec("DROP TABLE mc"); err != nil {
+		t.Fatal(err)
+	}
+	if st = d.ModelCacheStats(); st.Evictions <= before || st.Entries != 0 {
+		t.Errorf("DROP did not evict cached artifacts: %+v", st)
+	}
+}
+
+func TestModelCacheLRUBound(t *testing.T) {
+	d := db.Open(db.Options{ModelCacheEntries: 1})
+	data := makeFactTable(t, d, "fact", 200, 4, 1, 71)
+	for _, name := range []string{"ma", "mb"} {
+		if _, err := d.RegisterModel(nn.NewDenseModel(name, 4, 8, 1, 1, 3), relmodel.ExportOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = data
+	q := func(m string) {
+		t.Helper()
+		if _, err := d.Query("SELECT id, prediction FROM fact MODEL JOIN " + m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q("ma")
+	q("mb") // evicts ma (capacity 1)
+	st := d.ModelCacheStats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v, want 1 entry, 1 eviction", st)
+	}
+	q("ma") // miss again
+	if st = d.ModelCacheStats(); st.Misses != 3 || st.Hits != 0 {
+		t.Errorf("LRU bound not enforced: %+v", st)
+	}
+}
+
+func TestModelCacheDisabled(t *testing.T) {
+	d, data, model := newModelDB(t, db.Options{ModelCacheEntries: -1}, "mc")
+	ref := model.PredictBatch(data)
+	for i := 0; i < 2; i++ {
+		res, err := d.Query(mcQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPredictions(t, res, ref, len(data), 1)
+	}
+	if st := d.ModelCacheStats(); st != (db.ModelCacheStats{}) {
+		t.Errorf("disabled cache has non-zero stats: %+v", st)
+	}
+}
+
+// TestModelCacheConcurrentInvalidation races MODEL JOIN queries against DML
+// on the model table. Every query must succeed and return a full result set
+// (pre- or post-mutation model, both valid); run under -race this checks the
+// invalidation path is clean.
+func TestModelCacheConcurrentInvalidation(t *testing.T) {
+	d, data, _ := newModelDB(t, db.Options{}, "mc")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				res, err := d.Query(mcQuery)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Len() != len(data) {
+					t.Errorf("query returned %d rows, want %d", res.Len(), len(data))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if err := d.Exec("INSERT INTO mc (layer_in, node_in, layer, node) VALUES (0, 0, 0, 0)"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.Exec("DELETE FROM mc WHERE layer = 0 AND node_in = 0 AND node = 0"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

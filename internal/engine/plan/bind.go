@@ -119,6 +119,23 @@ func (pl *Planner) BindConstExpr(e sql.Expr) (expr.Expr, error) {
 	return expr.Fold(bound), nil
 }
 
+// BindSchemaExpr binds an expression against a table schema: column
+// references resolve to ordinals in schema order, optionally qualified by
+// the table name. DELETE/UPDATE use it for WHERE predicates and SET
+// assignments, which see the full row of the target table.
+func (pl *Planner) BindSchemaExpr(e sql.Expr, table string, schema *types.Schema) (expr.Expr, error) {
+	sc := &scope{}
+	for i := 0; i < schema.Len(); i++ {
+		c := schema.Col(i)
+		sc.cols = append(sc.cols, scopeCol{qual: strings.ToLower(table), name: strings.ToLower(c.Name), typ: c.Type})
+	}
+	bound, err := bindExpr(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Fold(bound), nil
+}
+
 // bindExpr converts an AST expression into a bound, vectorized expression.
 // Aggregate function calls are rejected; the select binder intercepts them
 // before calling this.

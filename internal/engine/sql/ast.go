@@ -117,6 +117,26 @@ type InsertStmt struct {
 
 func (*InsertStmt) stmt() {}
 
+// DeleteStmt removes rows matching Where (all rows when nil).
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// UpdateStmt assigns Exprs[i] to column Cols[i] for rows matching Where
+// (all rows when nil). Assignment expressions may reference any column of
+// the table (pre-update values).
+type UpdateStmt struct {
+	Table string
+	Cols  []string
+	Exprs []Expr
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
 // DropTableStmt drops a table.
 type DropTableStmt struct{ Name string }
 

@@ -44,7 +44,7 @@ var keywords = map[string]bool{
 	"PARTITIONS": true, "SORTED": true, "CAST": true, "UNION": true,
 	"ALL": true, "DISTINCT": true, "BETWEEN": true, "IN": true, "IS": true,
 	"DROP": true, "EXPLAIN": true, "DEVICE": true, "PREDICT": true,
-	"HAVING": true,
+	"HAVING": true, "DELETE": true, "UPDATE": true, "SET": true,
 }
 
 // Lex tokenizes a SQL string. It returns an error on unterminated strings

@@ -95,6 +95,10 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return p.parseInsert()
 	case p.at(TokKeyword, "DROP"):
 		return p.parseDrop()
+	case p.at(TokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(TokKeyword, "UPDATE"):
+		return p.parseUpdate()
 	case p.at(TokKeyword, "EXPLAIN"):
 		p.next()
 		sel, err := p.parseSelect()
@@ -778,6 +782,64 @@ func (p *Parser) parseInsert() (Stmt, error) {
 		if !p.accept(TokOp, ",") {
 			break
 		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (Stmt, error) {
+	p.next() // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: name}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseUpdate() (Stmt, error) {
+	p.next() // UPDATE
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: name}
+	for {
+		col, err := p.expectIdentLike()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Cols = append(stmt.Cols, col)
+		stmt.Exprs = append(stmt.Exprs, e)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
 	}
 	return stmt, nil
 }

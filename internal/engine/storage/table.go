@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
+	"sync/atomic"
 
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
@@ -42,15 +44,24 @@ type Options struct {
 	UniqueKey int
 }
 
-// Table is a partitioned, compressed column-store table. Tables are built
-// with an Appender and are immutable (and safe for concurrent scans) once
-// the appender is closed — the engine is an analytical store, like the
-// paper's target system.
+// Table is a partitioned, compressed column-store table. Loads go through
+// an Appender; scans are concurrent and see a consistent snapshot of the
+// blocks present when the scanner was created (blocks are immutable once
+// built, and mutations only append or atomically swap block lists), so DML
+// and queries never race.
+//
+// Every mutation — append, partition replacement — bumps a monotonic
+// version counter. The engine keys its cross-query model-artifact cache on
+// this version: a model table whose version is unchanged serves cached
+// weight matrices, and any write invalidates them implicitly.
 type Table struct {
 	Name   string
 	Schema *types.Schema
 	opts   Options
-	parts  []*partition
+
+	mu      sync.RWMutex // guards parts contents (chunks, staging, rows)
+	parts   []*partition
+	version atomic.Uint64
 }
 
 type partition struct {
@@ -76,6 +87,11 @@ func NewTable(name string, schema *types.Schema, opts Options) *Table {
 	}
 	return t
 }
+
+// Version returns the table's mutation counter. It starts at 0 for an empty
+// table and increases on every append or partition replacement; equal
+// versions imply identical contents (the converse need not hold).
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // SetSortedBy declares the column rows are sorted by within partitions.
 func (t *Table) SetSortedBy(col int) { t.opts.Sorted, t.opts.SortedBy = true, col }
@@ -104,6 +120,8 @@ func (t *Table) Partitions() int { return len(t.parts) }
 
 // RowCount returns the total number of rows.
 func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := 0
 	for _, p := range t.parts {
 		n += p.rows
@@ -112,10 +130,16 @@ func (t *Table) RowCount() int {
 }
 
 // PartitionRows returns the number of rows in partition i.
-func (t *Table) PartitionRows(i int) int { return t.parts[i].rows }
+func (t *Table) PartitionRows(i int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.parts[i].rows
+}
 
 // MemSize returns the approximate compressed footprint in bytes.
 func (t *Table) MemSize() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var s int64
 	for _, p := range t.parts {
 		for _, chunk := range p.chunks {
@@ -171,6 +195,7 @@ func (a *Appender) AppendRowToPartition(pi int, row ...types.Datum) error {
 }
 
 func (a *Appender) appendTo(pi int, row []types.Datum) error {
+	a.t.mu.Lock()
 	p := a.t.parts[pi]
 	for c, d := range row {
 		p.staging[c].AppendDatum(d)
@@ -179,6 +204,8 @@ func (a *Appender) appendTo(pi int, row []types.Datum) error {
 	if p.staging[0].Len() >= BlockSize {
 		p.flush(a.t.Schema.Len())
 	}
+	a.t.mu.Unlock()
+	a.t.version.Add(1)
 	return nil
 }
 
@@ -194,6 +221,8 @@ func (a *Appender) AppendBatch(b *vector.Batch) error {
 
 // Close flushes remaining staged rows; the table is then ready for scans.
 func (a *Appender) Close() {
+	a.t.mu.Lock()
+	defer a.t.mu.Unlock()
 	for _, p := range a.t.parts {
 		if p.staging[0] != nil && p.staging[0].Len() > 0 {
 			p.flush(a.t.Schema.Len())
@@ -231,9 +260,13 @@ type RangeFilter struct {
 // Scanner iterates one partition of a table, producing batches of at most
 // vector.Size rows. Blocks failing any RangeFilter's zone-map check are
 // pruned without decompression.
+//
+// A scanner reads the snapshot of compressed blocks present at creation:
+// blocks are immutable, so concurrent appends or partition replacements
+// neither tear rows nor surface to an in-flight scan.
 type Scanner struct {
 	t       *Table
-	p       *partition
+	chunks  [][]*block // [column][block] snapshot
 	proj    []int
 	filters []RangeFilter
 	schema  *types.Schema
@@ -269,7 +302,18 @@ func (t *Table) NewScanner(pi int, proj []int, filters []RangeFilter) (*Scanner,
 			return nil, fmt.Errorf("storage: filter column %d out of range for table %s", f.Col, t.Name)
 		}
 	}
-	return &Scanner{t: t, p: t.parts[pi], proj: proj, filters: filters, schema: types.NewSchema(cols...)}, nil
+	// Snapshot the partition's block lists under the read lock. Copying the
+	// slice headers is enough: blocks are immutable, concurrent flushes only
+	// append past the snapshot length, and ReplacePartition swaps whole
+	// lists without touching the old ones.
+	t.mu.RLock()
+	p := t.parts[pi]
+	chunks := make([][]*block, len(p.chunks))
+	for c := range p.chunks {
+		chunks[c] = p.chunks[c][:len(p.chunks[c]):len(p.chunks[c])]
+	}
+	t.mu.RUnlock()
+	return &Scanner{t: t, chunks: chunks, proj: proj, filters: filters, schema: types.NewSchema(cols...)}, nil
 }
 
 // Schema returns the scanner's output schema (the projection).
@@ -280,10 +324,10 @@ func (s *Scanner) Schema() *types.Schema { return s.schema }
 func (s *Scanner) Next(dst *vector.Batch) bool {
 	dst.Reset()
 	for dst.Len() == 0 {
-		if len(s.p.chunks) == 0 || len(s.p.chunks[0]) == 0 {
+		if len(s.chunks) == 0 || len(s.chunks[0]) == 0 {
 			return false
 		}
-		if s.blockIdx >= len(s.p.chunks[0]) {
+		if s.blockIdx >= len(s.chunks[0]) {
 			return false
 		}
 		if s.rowInBlk == 0 && s.pruned(s.blockIdx) {
@@ -291,13 +335,13 @@ func (s *Scanner) Next(dst *vector.Batch) bool {
 			s.blockIdx++
 			continue
 		}
-		blkLen := s.p.chunks[0][s.blockIdx].n
+		blkLen := s.chunks[0][s.blockIdx].n
 		take := blkLen - s.rowInBlk
 		if take > vector.Size {
 			take = vector.Size
 		}
 		for vi, c := range s.proj {
-			s.p.chunks[c][s.blockIdx].decodeInto(dst.Vecs[vi], s.rowInBlk, s.rowInBlk+take)
+			s.chunks[c][s.blockIdx].decodeInto(dst.Vecs[vi], s.rowInBlk, s.rowInBlk+take)
 		}
 		dst.SetLen(take)
 		s.rowInBlk += take
@@ -311,9 +355,50 @@ func (s *Scanner) Next(dst *vector.Batch) bool {
 
 func (s *Scanner) pruned(blockIdx int) bool {
 	for _, f := range s.filters {
-		if !s.p.chunks[f.Col][blockIdx].overlaps(f.Lo, f.Hi) {
+		if !s.chunks[f.Col][blockIdx].overlaps(f.Lo, f.Hi) {
 			return true
 		}
 	}
 	return false
+}
+
+// ReplacePartition atomically swaps the contents of partition pi for the
+// given rows and bumps the table version. It is the storage primitive under
+// DELETE and UPDATE: the executor scans a snapshot, computes the surviving
+// (possibly modified) rows, and swaps them in. In-flight scanners keep
+// reading the snapshot they opened.
+func (t *Table) ReplacePartition(pi int, rows [][]types.Datum) error {
+	t.mu.RLock()
+	inRange := pi >= 0 && pi < len(t.parts)
+	t.mu.RUnlock()
+	if !inRange {
+		return fmt.Errorf("storage: partition %d out of range for table %s", pi, t.Name)
+	}
+	// Build the replacement partition outside the lock.
+	ncols := t.Schema.Len()
+	p := &partition{chunks: make([][]*block, ncols)}
+	p.staging = make([]*vector.Vector, ncols)
+	for c := 0; c < ncols; c++ {
+		p.staging[c] = vector.New(t.Schema.Col(c).Type, 0)
+	}
+	for _, row := range rows {
+		if len(row) != ncols {
+			return fmt.Errorf("storage: replacement row has %d values, table %s has %d columns", len(row), t.Name, ncols)
+		}
+		for c, d := range row {
+			p.staging[c].AppendDatum(d)
+		}
+		p.rows++
+		if p.staging[0].Len() >= BlockSize {
+			p.flush(ncols)
+		}
+	}
+	if p.staging[0].Len() > 0 {
+		p.flush(ncols)
+	}
+	t.mu.Lock()
+	t.parts[pi] = p
+	t.mu.Unlock()
+	t.version.Add(1)
+	return nil
 }

@@ -223,6 +223,8 @@ func (s *Server) StatusText() string {
 	sn.Slots = int64(s.cfg.QuerySlots)
 	sn.SlotsInUse = int64(len(s.slots))
 	sn.QueueDepth = int64(s.cfg.QueueDepth)
+	mc := s.db.ModelCacheStats()
+	sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries = mc.Hits, mc.Misses, mc.Evictions, mc.Entries
 	return sn.String()
 }
 

@@ -54,6 +54,10 @@ type Snapshot struct {
 	RowsServed                            int64
 	Latency                               [5]int64
 	Slots, SlotsInUse, QueueDepth         int64
+
+	// Model artifact cache counters, copied from the engine at render time.
+	CacheHits, CacheMisses, CacheEvictions uint64
+	CacheEntries                           int
 }
 
 // Snapshot copies the counters.
@@ -81,6 +85,8 @@ func (sn Snapshot) String() string {
 	fmt.Fprintf(&sb, "queries: running=%d queued=%d completed=%d canceled=%d failed=%d rejected=%d\n",
 		sn.Running, sn.Queued, sn.Completed, sn.Canceled, sn.Failed, sn.Rejected)
 	fmt.Fprintf(&sb, "slots: total=%d in_use=%d queue_depth=%d\n", sn.Slots, sn.SlotsInUse, sn.QueueDepth)
+	fmt.Fprintf(&sb, "model_cache: hits=%d misses=%d evictions=%d entries=%d\n",
+		sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries)
 	fmt.Fprintf(&sb, "rows_served: %d\n", sn.RowsServed)
 	sb.WriteString("latency:")
 	for i, b := range latencyBounds {

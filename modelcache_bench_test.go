@@ -1,0 +1,102 @@
+package indbml
+
+// Benchmarks for the cross-query model artifact cache: the same MODEL JOIN
+// repeated against one database, with the cache disabled (every query pays
+// the build phase) and enabled (every query after the first skips it). The
+// outer benchmark writes the measured cells to BENCH_modeljoin.json so
+// `make bench` leaves a machine-readable artifact behind.
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"indbml/internal/engine/db"
+	"indbml/internal/workload"
+)
+
+type modelJoinBenchCell struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+}
+
+type modelJoinBenchReport struct {
+	Benchmark  string               `json:"benchmark"`
+	Tuples     int                  `json:"tuples"`
+	Partitions int                  `json:"partitions"`
+	Model      string               `json:"model"`
+	Cells      []modelJoinBenchCell `json:"cells"`
+	// SpeedupCachedVsCold is cold ns/op divided by cached ns/op.
+	SpeedupCachedVsCold float64 `json:"speedup_cached_vs_cold,omitempty"`
+}
+
+// cacheBenchTuples is deliberately small: the cache matters for the serving
+// pattern of many short queries against a large model, where the build phase
+// is a sizable share of each cold query.
+const cacheBenchTuples = 2_000
+
+func BenchmarkModelJoinColdVsCached(b *testing.B) {
+	fact, _ := workload.IrisTable("iris_cache_fact", cacheBenchTuples, benchPartitions)
+	report := modelJoinBenchReport{
+		Benchmark:  "modeljoin_cold_vs_cached",
+		Tuples:     cacheBenchTuples,
+		Partitions: benchPartitions,
+		Model:      "dense 256x4",
+	}
+	record := func(c modelJoinBenchCell) {
+		// The harness reruns a sub-benchmark while calibrating b.N; keep
+		// only the final (largest-N) run of each cell.
+		for i := range report.Cells {
+			if report.Cells[i].Name == c.Name {
+				report.Cells[i] = c
+				return
+			}
+		}
+		report.Cells = append(report.Cells, c)
+	}
+	run := func(name string, opts db.Options) {
+		b.Run(name, func(b *testing.B) {
+			model := workload.DenseModel(256, 4)
+			model.Name = "bench_model"
+			d := newDB(b, fact, model, opts)
+			q := "SELECT id, prediction FROM iris_cache_fact MODEL JOIN bench_model PREDICT (" +
+				strings.Join(workload.IrisFeatureNames, ", ") + ")"
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, d, q, cacheBenchTuples)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			st := d.ModelCacheStats()
+			b.ReportMetric(float64(st.Hits)/float64(b.N), "cache-hits/op")
+			record(modelJoinBenchCell{
+				Name:        name,
+				Iterations:  b.N,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(b.N),
+				CacheHits:   st.Hits,
+				CacheMisses: st.Misses,
+			})
+		})
+	}
+	run("cold", db.Options{ModelCacheEntries: -1})
+	run("cached", db.Options{})
+	if len(report.Cells) == 2 && report.Cells[1].NsPerOp > 0 {
+		report.SpeedupCachedVsCold = report.Cells[0].NsPerOp / report.Cells[1].NsPerOp
+	}
+	if len(report.Cells) > 0 {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_modeljoin.json", append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote BENCH_modeljoin.json (speedup cached vs cold: %.2fx)", report.SpeedupCachedVsCold)
+	}
+}
