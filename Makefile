@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench examples experiments experiments-paper clean
+.PHONY: all build test race vet bench trace-smoke examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -27,6 +27,18 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem . ./internal/blas ./internal/core/modeljoin
 
+# End-to-end observability smoke: run EXPLAIN ANALYZE on the demo MODEL
+# JOIN through the real shell and check the annotated plan carries rows and
+# the cache verdict.
+trace-smoke:
+	printf '\\demo\nEXPLAIN ANALYZE SELECT class, COUNT(*) AS n FROM iris MODEL JOIN iris_model PREDICT (sepal_length, sepal_width, petal_length, petal_width) GROUP BY class ORDER BY class;\n\\q\n' \
+		| $(GO) run ./cmd/vectordb | tee trace_smoke.txt
+	grep -q 'ModelJoin' trace_smoke.txt
+	grep -q 'rows=150' trace_smoke.txt
+	grep -q 'cache=' trace_smoke.txt
+	grep -q 'Total:' trace_smoke.txt
+	rm -f trace_smoke.txt
+
 examples: build
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/iris
@@ -42,4 +54,4 @@ experiments-paper:
 	$(GO) run ./cmd/mjbench -experiment all -scale paper -csv results_paper.csv
 
 clean:
-	rm -f results_*.csv forecaster.json test_output.txt bench_output.txt BENCH_modeljoin.json
+	rm -f results_*.csv forecaster.json test_output.txt bench_output.txt BENCH_modeljoin.json trace_smoke.txt

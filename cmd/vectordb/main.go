@@ -12,6 +12,8 @@
 //	\tables                                list tables and models (embedded mode)
 //	\demo                                  load a small iris demo setup (embedded mode)
 //	\status                                server stats snapshot (-connect mode)
+//	\metrics                               metrics page (shell-local or server registry)
+//	\trace on|off                          run every SELECT as EXPLAIN ANALYZE
 //	\q                                     quit
 //
 // Example session:
@@ -24,15 +26,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"indbml/internal/core/relmodel"
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/vector"
+	"indbml/internal/metrics"
 	"indbml/internal/nn"
 	"indbml/internal/server/client"
 	"indbml/internal/workload"
@@ -61,7 +66,7 @@ func main() {
 		s = &remoteSession{c: c}
 	} else {
 		fmt.Println("vectordb — in-database ML playground (\\q quits, \\demo loads sample data)")
-		s = &localSession{d: db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4})}
+		s = newLocalSession(db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4}))
 	}
 	defer s.close()
 	repl(s)
@@ -119,14 +124,46 @@ func repl(s session) {
 // ---- embedded engine session ----
 
 type localSession struct {
-	d *db.Database
+	d       *db.Database
+	traceOn bool
+
+	// The embedded shell keeps its own small registry so \metrics works
+	// without a server: statement latency plus model-cache effectiveness.
+	reg     *metrics.Registry
+	latency *metrics.Histogram
+}
+
+func newLocalSession(d *db.Database) *localSession {
+	reg := metrics.NewRegistry()
+	s := &localSession{
+		d:   d,
+		reg: reg,
+		latency: reg.NewHistogram("vectordb_statement_seconds",
+			"Statement wall time in the embedded shell.", metrics.DefaultLatencyBounds),
+	}
+	reg.NewGaugeFunc("vectordb_model_cache_hits_total", "Model artifact cache hits.",
+		func() float64 { return float64(d.ModelCacheStats().Hits) })
+	reg.NewGaugeFunc("vectordb_model_cache_misses_total", "Model artifact cache misses.",
+		func() float64 { return float64(d.ModelCacheStats().Misses) })
+	reg.NewGaugeFunc("vectordb_model_cache_entries", "Model artifact cache resident entries.",
+		func() float64 { return float64(d.ModelCacheStats().Entries) })
+	return s
 }
 
 func (s *localSession) close() {}
 
 func (s *localSession) runSQL(text string) {
+	start := time.Now()
+	defer func() { s.latency.ObserveDuration(time.Since(start)) }()
 	upper := strings.ToUpper(strings.TrimSpace(text))
 	switch {
+	case strings.HasPrefix(upper, "EXPLAIN ANALYZE"):
+		out, err := s.d.ExplainAnalyzeContext(context.Background(), strings.TrimSpace(text[len("EXPLAIN ANALYZE"):]))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(out)
 	case strings.HasPrefix(upper, "EXPLAIN"):
 		plan, err := s.d.Explain(strings.TrimSpace(text[len("EXPLAIN"):]))
 		if err != nil {
@@ -135,6 +172,16 @@ func (s *localSession) runSQL(text string) {
 		}
 		fmt.Print(plan)
 	case strings.HasPrefix(upper, "SELECT"):
+		if s.traceOn {
+			res, qt, err := s.d.QueryAnalyzeContext(context.Background(), text)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			printResult(res)
+			fmt.Print(qt.Render())
+			return
+		}
 		res, err := s.d.Query(text)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -210,10 +257,36 @@ func (s *localSession) meta(line string) bool {
 		st := d.ModelCacheStats()
 		fmt.Printf("model cache: hits=%d misses=%d evictions=%d entries=%d\n",
 			st.Hits, st.Misses, st.Evictions, st.Entries)
+	case "\\metrics":
+		fmt.Print(s.reg.Text())
+	case "\\trace":
+		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache")
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\metrics \\trace")
 	}
 	return true
+}
+
+// parseTraceArg handles "\trace on|off", reporting the resulting state; a
+// bare "\trace" just shows it.
+func parseTraceArg(fields []string, cur bool) bool {
+	if len(fields) >= 2 {
+		switch strings.ToLower(fields[1]) {
+		case "on":
+			cur = true
+		case "off":
+			cur = false
+		default:
+			fmt.Println("usage: \\trace on|off")
+			return cur
+		}
+	}
+	if cur {
+		fmt.Println("trace is on: SELECTs run as EXPLAIN ANALYZE")
+	} else {
+		fmt.Println("trace is off")
+	}
+	return cur
 }
 
 func printResult(b *vector.Batch) {
@@ -272,7 +345,8 @@ func catalogSummary(d *db.Database) string {
 // ---- remote daemon session ----
 
 type remoteSession struct {
-	c *client.Client
+	c       *client.Client
+	traceOn bool
 }
 
 func (s *remoteSession) close() { s.c.Close() }
@@ -280,7 +354,7 @@ func (s *remoteSession) close() { s.c.Close() }
 func (s *remoteSession) runSQL(text string) {
 	upper := strings.ToUpper(strings.TrimSpace(text))
 	switch {
-	case strings.HasPrefix(upper, "EXPLAIN"), upper == "STATUS":
+	case strings.HasPrefix(upper, "EXPLAIN"), upper == "STATUS", upper == "METRICS":
 		out, err := s.c.Command(text)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -291,6 +365,17 @@ func (s *remoteSession) runSQL(text string) {
 			fmt.Println()
 		}
 	case strings.HasPrefix(upper, "SELECT"):
+		if s.traceOn {
+			// The wire protocol returns EXPLAIN ANALYZE as one text
+			// payload: the annotated plan, executed server-side.
+			out, err := s.c.Command("EXPLAIN ANALYZE " + text)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Print(out)
+			return
+		}
 		rows, err := s.c.Query(text)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -307,7 +392,8 @@ func (s *remoteSession) runSQL(text string) {
 }
 
 func (s *remoteSession) meta(line string) bool {
-	switch strings.Fields(line)[0] {
+	fields := strings.Fields(line)
+	switch fields[0] {
 	case "\\q", "\\quit", "\\exit":
 		return false
 	case "\\status":
@@ -317,8 +403,17 @@ func (s *remoteSession) meta(line string) bool {
 			return true
 		}
 		fmt.Println(out)
+	case "\\metrics":
+		out, err := s.c.Metrics()
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(out)
+	case "\\trace":
+		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available in -connect mode: \\q \\status")
+		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\metrics \\trace")
 	}
 	return true
 }

@@ -12,7 +12,10 @@ package main
 import (
 	"context"
 	"flag"
+	"io"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +38,10 @@ func main() {
 	modelCache := flag.Int("model-cache", 0, "model artifact cache entries (0 = default 32, negative = disabled)")
 	demo := flag.Bool("demo", false, "load the iris/sinus demo workload at startup")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight queries are canceled")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address (empty = disabled)")
+	withPprof := flag.Bool("pprof", false, "also serve /debug/pprof/ on -metrics-addr")
+	slowLogPath := flag.String("slow-query-log", "", "append slow-query JSON lines to this file ('-' = stderr, empty = disabled)")
+	slowThreshold := flag.Duration("slow-query-threshold", 500*time.Millisecond, "log statements slower than this (errors and cancellations are always logged)")
 	flag.Parse()
 
 	d := db.Open(db.Options{DefaultPartitions: *partitions, Parallelism: *parallelism, ModelCacheEntries: *modelCache})
@@ -45,13 +52,47 @@ func main() {
 		log.Printf("demo workload loaded: %v", workload.DemoTables)
 	}
 
+	var slowLog io.Writer
+	switch *slowLogPath {
+	case "":
+	case "-":
+		slowLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("vectordbd: opening slow-query log: %v", err)
+		}
+		defer f.Close()
+		slowLog = f
+	}
+
 	s := server.New(d, server.Config{
-		QuerySlots:       *slots,
-		QueueDepth:       *queue,
-		QueueWait:        *queueWait,
-		IdleTimeout:      *idle,
-		MaxQueryDuration: *maxQuery,
+		QuerySlots:         *slots,
+		QueueDepth:         *queue,
+		QueueWait:          *queueWait,
+		IdleTimeout:        *idle,
+		MaxQueryDuration:   *maxQuery,
+		SlowQueryLog:       slowLog,
+		SlowQueryThreshold: *slowThreshold,
 	})
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.Metrics().Handler())
+		if *withPprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("vectordbd: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics (pprof: %v)", *metricsAddr, *withPprof)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe(*addr) }()

@@ -14,6 +14,7 @@ package modeljoin
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"indbml/internal/blas"
 	"indbml/internal/core/relmodel"
@@ -89,9 +90,10 @@ type SharedModel struct {
 	Dev   device.Device
 	Cfg   Config
 
-	once  sync.Once
-	built *builtModel
-	err   error
+	once     sync.Once
+	built    *builtModel
+	err      error
+	buildDur time.Duration // written inside once.Do, read only after Build returns
 
 	mu      sync.Mutex
 	pins    int
@@ -100,9 +102,18 @@ type SharedModel struct {
 
 // Build returns the built model, constructing it on first use.
 func (s *SharedModel) Build() (*builtModel, error) {
-	s.once.Do(func() { s.built, s.err = buildModel(s.Table, s.Meta, s.Dev, s.Cfg) })
+	s.once.Do(func() {
+		start := time.Now()
+		s.built, s.err = buildModel(s.Table, s.Meta, s.Dev, s.Cfg)
+		s.buildDur = time.Since(start)
+	})
 	return s.built, s.err
 }
+
+// BuildDuration reports how long the one-time build phase took. Valid
+// after Build has returned (once.Do orders the write before every
+// caller's read); zero if the build has not run.
+func (s *SharedModel) BuildDuration() time.Duration { return s.buildDur }
 
 // hostLayer is the staging area weights are parsed into before the single
 // device upload.

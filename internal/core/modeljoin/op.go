@@ -2,12 +2,15 @@ package modeljoin
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"indbml/internal/blas"
 	"indbml/internal/engine/exec"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
 	"indbml/internal/nn"
+	"indbml/internal/trace"
 )
 
 // Operator is the native ModelJoin query operator (Fig. 5). It follows the
@@ -32,7 +35,27 @@ type Operator struct {
 	staging []float32  // = scratch.staging
 	bufs    []blas.Mat // = scratch.bufs
 	lstm    *lstmScratch
+
+	// Tracing. The plan builder hands the operator its span (shared with
+	// the sibling partition instances) via SetSpan before Open; Open then
+	// resolves the phase counters once, so the inference loop pays a single
+	// atomic add per timed event and nothing at all when untraced.
+	span       *trace.Span
+	cacheHit   bool // per-query artifact-cache verdict (see NoteCacheLookup)
+	cacheSeen  bool
+	ctrInfer   *atomic.Int64 // infer_ns: full forward-pass time
+	ctrSgemm   *atomic.Int64 // sgemm_ns: device matrix-multiply time (subset of infer)
+	ctrFlops   *atomic.Int64 // sgemm_flops
+	ctrMarshal *atomic.Int64 // marshal_ns: column gather/scatter conversion time
 }
+
+// SetSpan implements trace.SpanCarrier.
+func (o *Operator) SetSpan(sp *trace.Span) { o.span = sp }
+
+// NoteCacheLookup records whether this query found the model in the
+// cross-query artifact cache (hit) or had to insert it (miss). Called by
+// the catalog when it resolves the SharedModel, before SetSpan/Open.
+func (o *Operator) NoteCacheLookup(hit bool) { o.cacheHit, o.cacheSeen = hit, true }
 
 // lstmScratch holds the per-operator LSTM working set of Listing 5.
 type lstmScratch struct {
@@ -97,6 +120,25 @@ func (o *Operator) Open() error {
 	o.staging = o.scratch.staging
 	o.bufs = o.scratch.bufs
 	o.lstm = o.scratch.lstm
+	if o.span != nil {
+		if o.cacheSeen {
+			if o.cacheHit {
+				o.span.SetLabel("cache", "hit")
+			} else {
+				o.span.SetLabel("cache", "miss")
+			}
+		}
+		// The build ran at most once per SharedModel; on an artifact-cache
+		// hit this query never paid it, so report build=0. Store (not Add):
+		// every partition instance reports the same shared duration.
+		if !o.cacheSeen || !o.cacheHit {
+			o.span.Counter("build_ns").Store(int64(o.Shared.BuildDuration()))
+		}
+		o.ctrInfer = o.span.Counter("infer_ns")
+		o.ctrSgemm = o.span.Counter("sgemm_ns")
+		o.ctrFlops = o.span.Counter("sgemm_flops")
+		o.ctrMarshal = o.span.Counter("marshal_ns")
+	}
 	return nil
 }
 
@@ -107,9 +149,16 @@ func (o *Operator) Next() (*vector.Batch, error) {
 		return nil, err
 	}
 	n := in.Len()
+	var inferStart time.Time
+	if o.ctrInfer != nil {
+		inferStart = time.Now()
+	}
 	preds, err := o.infer(in, n)
 	if err != nil {
 		return nil, err
+	}
+	if o.ctrInfer != nil {
+		o.ctrInfer.Add(int64(time.Since(inferStart)))
 	}
 
 	out := vector.NewBatch(o.schema, n)
@@ -118,6 +167,10 @@ func (o *Operator) Next() (*vector.Batch, error) {
 	}
 	// Scatter the prediction matrix back into column vectors (the second
 	// conversion of Sec. 5.3).
+	var scatterStart time.Time
+	if o.ctrMarshal != nil {
+		scatterStart = time.Now()
+	}
 	p := o.model.meta.OutputDim()
 	for j := 0; j < p; j++ {
 		v := out.Vecs[in.Schema.Len()+j]
@@ -127,8 +180,24 @@ func (o *Operator) Next() (*vector.Batch, error) {
 			dst[r] = preds.At(r, j)
 		}
 	}
+	if o.ctrMarshal != nil {
+		o.ctrMarshal.Add(int64(time.Since(scatterStart)))
+	}
 	out.SetLen(n)
 	return out, nil
+}
+
+// gemm runs one device matrix multiply, attributing its wall time and
+// FLOP count to the trace when enabled.
+func (o *Operator) gemm(a, b, c blas.Mat) {
+	if o.ctrSgemm == nil {
+		o.model.dev.Gemm(a, b, c)
+		return
+	}
+	start := time.Now()
+	o.model.dev.Gemm(a, b, c)
+	o.ctrSgemm.Add(int64(time.Since(start)))
+	o.ctrFlops.Add(blas.FlopsGemm(a.Rows, a.Cols, b.Cols))
 }
 
 // infer runs the vectorized forward pass for one batch and returns a host
@@ -149,10 +218,17 @@ func (o *Operator) infer(in *vector.Batch, n int) (blas.Mat, error) {
 	} else {
 		// Gather the input columns into a row-major n×inDim staging matrix
 		// (Fig. 7, step 1), touching each column vector once.
+		var gatherStart time.Time
+		if o.ctrMarshal != nil {
+			gatherStart = time.Now()
+		}
 		inDim := m.layers[0].inDim
 		staging := o.staging[:n*inDim]
 		for j, c := range o.InputCols {
 			gatherColumn(in.Vecs[c], staging, j, inDim, n)
+		}
+		if o.ctrMarshal != nil {
+			o.ctrMarshal.Add(int64(time.Since(gatherStart)))
 		}
 		view := blas.Mat{Rows: n, Cols: inDim, Data: o.bufs[0].Data[:n*inDim]}
 		dev.Upload(view, staging)
@@ -178,14 +254,14 @@ func (o *Operator) denseForward(l *deviceLayer, in, out blas.Mat) {
 	dev := o.model.dev
 	if !o.Shared.Cfg.NoBiasMatrix {
 		dev.Copy(out.Data, l.biasMat.Data[:len(out.Data)])
-		dev.Gemm(in, l.w, out)
+		o.gemm(in, l.w, out)
 		return
 	}
 	// Ablation: zero the output, multiply, then add the bias row by row.
 	for i := range out.Data {
 		out.Data[i] = 0
 	}
-	dev.Gemm(in, l.w, out)
+	o.gemm(in, l.w, out)
 	for r := 0; r < out.Rows; r++ {
 		dev.VsAdd(out.Row(r), l.bias, out.Row(r))
 	}
@@ -202,9 +278,16 @@ func (o *Operator) lstmForward(in *vector.Batch, n int) (blas.Mat, error) {
 	s := o.lstm
 
 	// Upload the series transposed: row t holds x_t for all batch rows.
+	var gatherStart time.Time
+	if o.ctrMarshal != nil {
+		gatherStart = time.Now()
+	}
 	staging := o.staging[:l.timeSteps*n]
 	for t, c := range o.InputCols {
 		gatherRow(in.Vecs[c], staging[t*n:(t+1)*n], n)
+	}
+	if o.ctrMarshal != nil {
+		o.ctrMarshal.Add(int64(time.Since(gatherStart)))
 	}
 	xView := blas.Mat{Rows: l.timeSteps, Cols: n, Data: s.x.Data[:l.timeSteps*n]}
 	dev.Upload(xView, staging)
@@ -227,9 +310,9 @@ func (o *Operator) lstmForward(in *vector.Batch, n int) (blas.Mat, error) {
 			} else {
 				dev.Copy(z[g].Data, l.gBiasMat[g].Data[:n*l.units])
 			}
-			dev.Gemm(xt, l.wg[g], z[g]) // kernel contribution + z
+			o.gemm(xt, l.wg[g], z[g]) // kernel contribution + z
 			if round > 0 {
-				dev.Gemm(h, l.ug[g], z[g]) // recurrent contribution + z
+				o.gemm(h, l.ug[g], z[g]) // recurrent contribution + z
 			}
 		}
 		dev.Sigmoid(z[0].Data) // i

@@ -1,0 +1,184 @@
+package db_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/nn"
+	"indbml/internal/trace"
+)
+
+// newAnalyzeDB builds a partitioned fact table and a registered model, so
+// traced queries exercise the parallel (Exchange) path where partition
+// instances share spans.
+func newAnalyzeDB(t *testing.T) (*db.Database, int) {
+	t.Helper()
+	const rows = 600
+	d := db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4})
+	makeFactTable(t, d, "fact", rows, 4, 4, 17)
+	model := nn.NewDenseModel("am", 4, 8, 2, 1, 29)
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return d, rows
+}
+
+const analyzeQuery = "SELECT id, prediction FROM fact MODEL JOIN am"
+
+// TestExplainAnalyzeMatchesQuery is the acceptance-criterion e2e test: the
+// row count EXPLAIN ANALYZE reports at the plan root must equal the row
+// count the plain SELECT returns, and the ModelJoin span must expose the
+// cache verdict, the build-vs-inference split, and Sgemm accounting.
+func TestExplainAnalyzeMatchesQuery(t *testing.T) {
+	d, rows := newAnalyzeDB(t)
+
+	res, err := d.Query(analyzeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != rows {
+		t.Fatalf("SELECT returned %d rows, want %d", res.Len(), rows)
+	}
+
+	// Second run via the traced path: the artifact cache now holds the
+	// model, so the span must label it a hit with build time zero.
+	out, qt, err := d.QueryAnalyzeContext(context.Background(), analyzeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != rows {
+		t.Fatalf("traced SELECT returned %d rows, want %d", out.Len(), rows)
+	}
+	if qt.Root == nil {
+		t.Fatal("QueryTrace has no root span")
+	}
+	if got := qt.Root.Rows(); got != int64(rows) {
+		t.Errorf("root span reports %d rows, want %d", got, rows)
+	}
+	if qt.Total() <= 0 {
+		t.Error("statement total not recorded")
+	}
+
+	var mj *trace.Span
+	var visit func(s *trace.Span)
+	visit = func(s *trace.Span) {
+		if strings.HasPrefix(s.Name, "ModelJoin") {
+			mj = s
+		}
+		for _, c := range s.Children {
+			visit(c)
+		}
+	}
+	visit(qt.Root)
+	if mj == nil {
+		t.Fatalf("no ModelJoin span in trace:\n%s", qt.Render())
+	}
+	if mj.Rows() != int64(rows) {
+		t.Errorf("ModelJoin span reports %d rows, want %d", mj.Rows(), rows)
+	}
+	if got := mj.Label("cache"); got != "hit" {
+		t.Errorf("ModelJoin cache label = %q, want hit", got)
+	}
+	if v := mj.Counter("build_ns").Load(); v != 0 {
+		t.Errorf("cache hit reports build_ns=%d, want 0", v)
+	}
+	if v := mj.Counter("infer_ns").Load(); v <= 0 {
+		t.Error("ModelJoin span has no inference time")
+	}
+	if v := mj.Counter("sgemm_flops").Load(); v <= 0 {
+		t.Error("ModelJoin span has no Sgemm FLOPs")
+	}
+	// The per-operator busy time must reconcile with the statement total:
+	// the root physical operator is traced once, so its inclusive wall time
+	// cannot exceed the total.
+	if qt.Root.Wall() > qt.Total() {
+		t.Errorf("root span wall %s exceeds statement total %s", qt.Root.Wall(), qt.Total())
+	}
+
+	rendered := qt.Render()
+	for _, want := range []string{"ModelJoin", "rows=", "cache=hit", "build=", "infer=", "sgemm=", "Total:"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+// TestExplainAnalyzeColdBuild checks the miss side of the verdict: the
+// first query against a fresh database pays the build phase and reports
+// it.
+func TestExplainAnalyzeColdBuild(t *testing.T) {
+	d, rows := newAnalyzeDB(t)
+	out, err := d.ExplainAnalyzeContext(context.Background(), analyzeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cache=miss", "build=", "rows=" + itoa(rows)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cold EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainAnalyzeStatement checks the SQL route: EXPLAIN ANALYZE parses
+// as an ExplainStmt with Analyze set, and the db facade executes it.
+func TestExplainAnalyzeStatement(t *testing.T) {
+	d, _ := newAnalyzeDB(t)
+	out, err := d.ExplainAnalyzeContext(context.Background(),
+		"SELECT id, prediction FROM fact MODEL JOIN am ORDER BY id LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TopN") || !strings.Contains(out, "rows=10") {
+		t.Errorf("EXPLAIN ANALYZE of TopN query:\n%s", out)
+	}
+}
+
+// TestTracedQueriesConcurrentWithDML races traced MODEL JOIN queries
+// against DML on the model table; under -race this checks that shared
+// spans (one per logical node, mutated by all partition instances) and the
+// cache-verdict plumbing are clean.
+func TestTracedQueriesConcurrentWithDML(t *testing.T) {
+	d, rows := newAnalyzeDB(t)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				out, qt, err := d.QueryAnalyzeContext(context.Background(), analyzeQuery)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if out.Len() != rows {
+					t.Errorf("traced query returned %d rows, want %d", out.Len(), rows)
+					return
+				}
+				if qt.Root.Rows() != int64(rows) {
+					t.Errorf("root span rows %d, want %d", qt.Root.Rows(), rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := d.Exec("INSERT INTO am (layer_in, node_in, layer, node) VALUES (0, 0, 0, 0)"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.Exec("DELETE FROM am WHERE layer = 0 AND node_in = 0 AND node = 0"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

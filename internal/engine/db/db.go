@@ -21,6 +21,7 @@ import (
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
 	"indbml/internal/nn"
+	"indbml/internal/trace"
 )
 
 // Options configure a Database.
@@ -173,15 +174,24 @@ func (d *Database) DropTable(name string) error {
 
 // queryCatalog adapts the database to plan.Catalog for one query execution;
 // it shares one built model per (model, device) among all partition plan
-// instances (Sec. 5.2's shared model build).
+// instances (Sec. 5.2's shared model build). The global artifact cache is
+// consulted once per query per (model, device) — the memoized verdict is
+// both the query-level hit/miss reported by EXPLAIN ANALYZE and a lock-
+// traffic saving for wide parallel plans.
 type queryCatalog struct {
 	db     *Database
 	mu     sync.Mutex
-	shared map[string]*modeljoin.SharedModel
+	shared map[string]*sharedEntry
+}
+
+type sharedEntry struct {
+	sm        *modeljoin.SharedModel
+	hit       bool // global-cache verdict at the query's first lookup
+	fromCache bool // whether the global cache was consulted at all
 }
 
 func (d *Database) newQueryCatalog() *queryCatalog {
-	return &queryCatalog{db: d, shared: make(map[string]*modeljoin.SharedModel)}
+	return &queryCatalog{db: d, shared: make(map[string]*sharedEntry)}
 }
 
 // Table implements plan.Catalog.
@@ -227,34 +237,44 @@ func (c *queryCatalog) NewModelJoin(model string, child exec.Operator, inputCols
 	}
 	cfg := c.db.opts.ModelJoinConfig
 	name := strings.ToLower(model)
-	var sm *modeljoin.SharedModel
-	if mc := c.db.modelCache; mc != nil {
-		// Cross-query artifact cache: keyed on the table's mutation version,
-		// so any DML on the model table implicitly invalidates the entry. A
-		// hit reuses the already-built weight matrices and skips the build
-		// phase; partition plan instances of one query land on the same key.
-		sm = mc.get(modelCacheKey{
-			model:   name,
-			tbl:     tbl,
-			version: tbl.Version(),
-			device:  dev,
-			cfg:     cfg,
-		}, func() *modeljoin.SharedModel {
-			return &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: cfg}
-		})
-	} else {
-		// Cache disabled: share one build among this query's partition plan
-		// instances only (the paper's per-query shared build, Sec. 5.2).
-		key := name + "|" + dev
-		c.mu.Lock()
-		sm = c.shared[key]
-		if sm == nil {
-			sm = &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: cfg}
-			c.shared[key] = sm
+	key := name + "|" + dev
+	c.mu.Lock()
+	ent := c.shared[key]
+	if ent == nil {
+		ent = &sharedEntry{}
+		if mc := c.db.modelCache; mc != nil {
+			// Cross-query artifact cache: keyed on the table's mutation
+			// version, so any DML on the model table implicitly invalidates
+			// the entry. A hit reuses the already-built weight matrices and
+			// skips the build phase; all partition plan instances of this
+			// query share the memoized lookup.
+			ent.sm, ent.hit = mc.get(modelCacheKey{
+				model:   name,
+				tbl:     tbl,
+				version: tbl.Version(),
+				device:  dev,
+				cfg:     cfg,
+			}, func() *modeljoin.SharedModel {
+				return &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: cfg}
+			})
+			ent.fromCache = true
+		} else {
+			// Cache disabled: share one build among this query's partition
+			// plan instances only (the paper's per-query shared build,
+			// Sec. 5.2).
+			ent.sm = &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: cfg}
 		}
-		c.mu.Unlock()
+		c.shared[key] = ent
 	}
-	return modeljoin.New(child, sm, inputCols)
+	c.mu.Unlock()
+	op, err := modeljoin.New(child, ent.sm, inputCols)
+	if err != nil {
+		return nil, err
+	}
+	if ent.fromCache {
+		op.NoteCacheLookup(ent.hit)
+	}
+	return op, nil
 }
 
 func (d *Database) planner() *plan.Planner {
@@ -307,6 +327,54 @@ func (d *Database) QueryOpContext(ctx context.Context, text string) (exec.Operat
 		return p.Build()
 	}
 	return p.BuildContext(ctx)
+}
+
+// QueryOpTracedContext plans a SELECT and returns the physical operator
+// tree with per-operator tracing enabled, plus the QueryTrace the
+// operators record into. The caller runs the operator (Collect, Drain or
+// streaming) and then calls qt.Finish to close the statement clock; the
+// serving layer uses this for slow-query logging.
+func (d *Database) QueryOpTracedContext(ctx context.Context, text string) (exec.Operator, *trace.QueryTrace, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := d.planner().PlanSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	qt := trace.NewQueryTrace(text)
+	op, err := p.BuildTraced(ctx, qt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, qt, nil
+}
+
+// QueryAnalyzeContext executes a SELECT with tracing and returns both the
+// materialized result and the finished trace.
+func (d *Database) QueryAnalyzeContext(ctx context.Context, text string) (*vector.Batch, *trace.QueryTrace, error) {
+	op, qt, err := d.QueryOpTracedContext(ctx, text)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := exec.Collect(op)
+	qt.Finish(err)
+	if err != nil {
+		return nil, qt, err
+	}
+	return res, qt, nil
+}
+
+// ExplainAnalyzeContext executes a SELECT under tracing and renders the
+// annotated plan tree (per-operator wall time, row counts, phase counters)
+// plus the statement total — the EXPLAIN ANALYZE output.
+func (d *Database) ExplainAnalyzeContext(ctx context.Context, text string) (string, error) {
+	_, qt, err := d.QueryAnalyzeContext(ctx, text)
+	if err != nil {
+		return "", err
+	}
+	return qt.Render(), nil
 }
 
 // Explain returns the query plan rendering for a SELECT.

@@ -54,16 +54,17 @@ func newModelCache(capEntries int) *modelCache {
 	}
 }
 
-// get returns the cached SharedModel for key, or installs build()'s result.
-// On a miss it also evicts entries for stale versions of the same model on
-// the same device/config — they can never be hit again.
-func (c *modelCache) get(key modelCacheKey, build func() *modeljoin.SharedModel) *modeljoin.SharedModel {
+// get returns the cached SharedModel for key (hit=true), or installs
+// build()'s result (hit=false). On a miss it also evicts entries for stale
+// versions of the same model on the same device/config — they can never be
+// hit again.
+func (c *modelCache) get(key modelCacheKey, build func() *modeljoin.SharedModel) (sm *modeljoin.SharedModel, hit bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
-		return el.Value.(*modelCacheEnt).sm
+		return el.Value.(*modelCacheEnt).sm, true
 	}
 	c.misses++
 	for el := c.lru.Back(); el != nil; {
@@ -74,12 +75,12 @@ func (c *modelCache) get(key modelCacheKey, build func() *modeljoin.SharedModel)
 		}
 		el = prev
 	}
-	sm := build()
+	sm = build()
 	c.byKey[key] = c.lru.PushFront(&modelCacheEnt{key: key, sm: sm})
 	for c.lru.Len() > c.cap {
 		c.removeLocked(c.lru.Back())
 	}
-	return sm
+	return sm, false
 }
 
 // removeLocked evicts one entry and releases its device memory (deferred to

@@ -205,3 +205,16 @@ func (u *UnionAll) Close() error {
 	}
 	return firstErr
 }
+
+// PrunedBlocks sums zone-map pruning across children that report it, so a
+// traced scan over all partitions (a UnionAll of per-partition Scans)
+// still surfaces its pruned-block count.
+func (u *UnionAll) PrunedBlocks() int {
+	total := 0
+	for _, c := range u.Children {
+		if bp, ok := c.(interface{ PrunedBlocks() int }); ok {
+			total += bp.PrunedBlocks()
+		}
+	}
+	return total
+}

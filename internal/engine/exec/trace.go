@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"time"
+
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+	"indbml/internal/trace"
+)
+
+// Traced decorates an operator with span accounting: busy time across
+// Open/Next/Close, and rows/batches produced. It is only inserted into
+// plans built with tracing enabled (plan.BuildTraced), so the normal
+// execution path carries zero overhead.
+//
+// Several Traced instances may share one span: in a parallel plan each
+// partition instance of a logical node records into the same span, which
+// is why every span mutation is a single atomic add.
+type Traced struct {
+	Child Operator
+	Span  *trace.Span
+}
+
+// NewTraced wraps child so its activity is recorded into span.
+func NewTraced(child Operator, span *trace.Span) *Traced {
+	return &Traced{Child: child, Span: span}
+}
+
+// Schema implements Operator.
+func (t *Traced) Schema() *types.Schema { return t.Child.Schema() }
+
+// Open implements Operator.
+func (t *Traced) Open() error {
+	start := time.Now()
+	err := t.Child.Open()
+	t.Span.AddWall(time.Since(start))
+	return err
+}
+
+// Next implements Operator.
+func (t *Traced) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := t.Child.Next()
+	t.Span.AddWall(time.Since(start))
+	if b != nil {
+		t.Span.AddRows(int64(b.Len()))
+		t.Span.AddBatches(1)
+	}
+	return b, err
+}
+
+// Close implements Operator.
+func (t *Traced) Close() error {
+	start := time.Now()
+	err := t.Child.Close()
+	t.Span.AddWall(time.Since(start))
+	if bp, ok := t.Child.(interface{ PrunedBlocks() int }); ok {
+		t.Span.Counter("pruned_blocks").Add(int64(bp.PrunedBlocks()))
+	}
+	return err
+}

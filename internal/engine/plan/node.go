@@ -9,6 +9,7 @@ import (
 	"indbml/internal/engine/expr"
 	"indbml/internal/engine/storage"
 	"indbml/internal/engine/types"
+	"indbml/internal/trace"
 )
 
 // props are the physical properties the optimizer tracks bottom-up:
@@ -40,6 +41,30 @@ type buildCtx struct {
 	// plans); it is attached to every Scan so cancellation reaches the
 	// leaves of the operator tree.
 	qctx context.Context
+	// spans, when non-nil, maps logical nodes to their trace spans. The
+	// map is shared across partition plan instances, so the instances of
+	// one logical node record into one span (all span mutation is atomic).
+	spans map[node]*trace.Span
+}
+
+// build constructs n's physical operator and, when tracing is enabled,
+// hands span-aware operators their span and wraps the result in an
+// exec.Traced recorder. All child construction inside node build methods
+// goes through here, so an untraced plan contains no Traced wrappers at
+// all — the disabled-trace path pays nothing.
+func (ctx *buildCtx) build(n node) (exec.Operator, error) {
+	op, err := n.build(ctx)
+	if err != nil || ctx.spans == nil {
+		return op, err
+	}
+	sp := ctx.spans[n]
+	if sp == nil {
+		return op, nil
+	}
+	if c, ok := op.(trace.SpanCarrier); ok {
+		c.SetSpan(sp)
+	}
+	return exec.NewTraced(op, sp), nil
 }
 
 // node is a bound logical plan node.
@@ -148,7 +173,7 @@ func (f *filterNode) props() props     { return f.child.props() }
 func (f *filterNode) children() []node { return []node{f.child} }
 
 func (f *filterNode) build(ctx *buildCtx) (exec.Operator, error) {
-	c, err := f.child.build(ctx)
+	c, err := ctx.build(f.child)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +219,7 @@ func (p *projectNode) props() props {
 }
 
 func (p *projectNode) build(ctx *buildCtx) (exec.Operator, error) {
-	c, err := p.child.build(ctx)
+	c, err := ctx.build(p.child)
 	if err != nil {
 		return nil, err
 	}
@@ -252,11 +277,11 @@ func (j *joinNode) props() props {
 }
 
 func (j *joinNode) build(ctx *buildCtx) (exec.Operator, error) {
-	l, err := j.left.build(ctx)
+	l, err := ctx.build(j.left)
 	if err != nil {
 		return nil, err
 	}
-	r, err := j.right.build(ctx)
+	r, err := ctx.build(j.right)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +387,7 @@ func (a *aggNode) aligned(driver *storage.Table) bool {
 }
 
 func (a *aggNode) build(ctx *buildCtx) (exec.Operator, error) {
-	c, err := a.child.build(ctx)
+	c, err := ctx.build(a.child)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +440,7 @@ func (m *modelJoinNode) children() []node { return []node{m.child} }
 func (m *modelJoinNode) props() props { return m.child.props() }
 
 func (m *modelJoinNode) build(ctx *buildCtx) (exec.Operator, error) {
-	c, err := m.child.build(ctx)
+	c, err := ctx.build(m.child)
 	if err != nil {
 		return nil, err
 	}
@@ -472,7 +497,7 @@ func (s *sortNode) props() props {
 }
 
 func (s *sortNode) build(ctx *buildCtx) (exec.Operator, error) {
-	c, err := s.child.build(ctx)
+	c, err := ctx.build(s.child)
 	if err != nil {
 		return nil, err
 	}
@@ -505,7 +530,7 @@ func (l *limitNode) props() props     { return l.child.props() }
 func (l *limitNode) children() []node { return []node{l.child} }
 
 func (l *limitNode) build(ctx *buildCtx) (exec.Operator, error) {
-	c, err := l.child.build(ctx)
+	c, err := ctx.build(l.child)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"indbml/internal/engine/storage"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/trace"
 )
 
 // Planner binds SELECT statements against a catalog and produces executable
@@ -74,11 +75,72 @@ func (p *Plan) Build() (exec.Operator, error) { return p.BuildContext(nil) }
 // makes the next batch boundary return ctx.Err() instead of running the
 // query to completion. A nil ctx builds an uncancellable plan.
 func (p *Plan) BuildContext(ctx context.Context) (exec.Operator, error) {
+	return p.buildPhysical(ctx, nil)
+}
+
+// BuildTraced constructs the physical operator tree with every operator
+// wrapped in a span recorder (exec.Traced); the span tree — mirroring the
+// plan, one span per logical node shared by all partition instances — is
+// attached to qt.Root. The top physical operators (Exchange, TopN, Sort,
+// Limit) exist once per query and are traced once, so the root span's
+// busy time reconciles with the statement's total latency.
+func (p *Plan) BuildTraced(ctx context.Context, qt *trace.QueryTrace) (exec.Operator, error) {
+	return p.buildPhysical(ctx, qt)
+}
+
+func (p *Plan) buildPhysical(ctx context.Context, qt *trace.QueryTrace) (exec.Operator, error) {
+	// ORDER BY + small LIMIT fuse into a streaming TopN instead of a full
+	// sort; otherwise sort and limit apply separately.
+	const topNThreshold = 1 << 16
+	fuseTopN := p.topSort != nil && p.topLimit != nil && p.topLimit.n <= topNThreshold
+
+	// When tracing, lay out the span tree first, mirroring the physical
+	// shape this function is about to build.
+	var (
+		spans                                 map[node]*trace.Span
+		limitSpan, sortSpan, topNSpan, exSpan *trace.Span
+	)
+	if qt != nil {
+		spans = make(map[node]*trace.Span)
+		var parent *trace.Span
+		add := func(name string) *trace.Span {
+			if parent == nil {
+				parent = trace.NewSpan(name)
+				qt.Root = parent
+			} else {
+				parent = parent.NewChild(name)
+			}
+			return parent
+		}
+		if fuseTopN {
+			topNSpan = add(fmt.Sprintf("TopN %d by %s", p.topLimit.n,
+				strings.TrimPrefix(p.topSort.describe(), "Sort ")))
+		} else {
+			if p.topLimit != nil {
+				limitSpan = add(p.topLimit.describe())
+			}
+			if p.topSort != nil {
+				sortSpan = add(p.topSort.describe())
+			}
+		}
+		if p.parallel {
+			exSpan = add(fmt.Sprintf("Exchange [%d partitions of %s]", p.driver.Partitions(), p.driver.Name))
+		}
+		buildSpanTree(p.root, parent, spans, qt)
+	}
+	traced := func(op exec.Operator, sp *trace.Span) exec.Operator {
+		if sp == nil {
+			return op
+		}
+		return exec.NewTraced(op, sp)
+	}
+
 	var root exec.Operator
 	if p.parallel {
 		children := make([]exec.Operator, p.driver.Partitions())
 		for part := range children {
-			op, err := p.root.build(&buildCtx{cat: p.planner.Cat, driver: p.driver, partition: part, qctx: ctx})
+			bctx := &buildCtx{cat: p.planner.Cat, driver: p.driver, partition: part, qctx: ctx, spans: spans}
+			op, err := bctx.build(p.root)
 			if err != nil {
 				return nil, err
 			}
@@ -89,19 +151,17 @@ func (p *Plan) BuildContext(ctx context.Context) (exec.Operator, error) {
 			return nil, err
 		}
 		ex.Ctx = ctx
-		root = ex
+		root = traced(ex, exSpan)
 	} else {
-		op, err := p.root.build(&buildCtx{cat: p.planner.Cat, partition: -1, qctx: ctx})
+		bctx := &buildCtx{cat: p.planner.Cat, partition: -1, qctx: ctx, spans: spans}
+		op, err := bctx.build(p.root)
 		if err != nil {
 			return nil, err
 		}
 		root = op
 	}
-	// ORDER BY + small LIMIT fuse into a streaming TopN instead of a full
-	// sort; otherwise sort and limit apply separately.
-	const topNThreshold = 1 << 16
-	if p.topSort != nil && p.topLimit != nil && p.topLimit.n <= topNThreshold {
-		root = exec.NewTopN(root, p.topSort.keys, p.topLimit.n)
+	if fuseTopN {
+		root = traced(exec.NewTopN(root, p.topSort.keys, p.topLimit.n), topNSpan)
 		if p.topSort.trimTo > 0 && p.topSort.trimTo < root.Schema().Len() {
 			trimmed, err := trimOp(root, p.topSort.trimTo)
 			if err != nil {
@@ -112,7 +172,7 @@ func (p *Plan) BuildContext(ctx context.Context) (exec.Operator, error) {
 		return root, nil
 	}
 	if p.topSort != nil {
-		root = exec.NewSort(root, p.topSort.keys)
+		root = traced(exec.NewSort(root, p.topSort.keys), sortSpan)
 		if p.topSort.trimTo > 0 && p.topSort.trimTo < root.Schema().Len() {
 			trimmed, err := trimOp(root, p.topSort.trimTo)
 			if err != nil {
@@ -122,9 +182,33 @@ func (p *Plan) BuildContext(ctx context.Context) (exec.Operator, error) {
 		}
 	}
 	if p.topLimit != nil {
-		root = exec.NewLimit(root, p.topLimit.n)
+		root = traced(exec.NewLimit(root, p.topLimit.n), limitSpan)
 	}
 	return root, nil
+}
+
+// buildSpanTree allocates one span per logical node under parent (nil
+// parent = the query root). Alias nodes delegate execution entirely to
+// their child, so they get no span of their own — tracing them would
+// double-count the child's work.
+func buildSpanTree(n node, parent *trace.Span, spans map[node]*trace.Span, qt *trace.QueryTrace) {
+	if _, isAlias := n.(*aliasNode); isAlias {
+		for _, c := range n.children() {
+			buildSpanTree(c, parent, spans, qt)
+		}
+		return
+	}
+	var sp *trace.Span
+	if parent == nil {
+		sp = trace.NewSpan(n.describe())
+		qt.Root = sp
+	} else {
+		sp = parent.NewChild(n.describe())
+	}
+	spans[n] = sp
+	for _, c := range n.children() {
+		buildSpanTree(c, sp, spans, qt)
+	}
 }
 
 // PlanSelect binds and optimizes a SELECT statement.
@@ -306,7 +390,7 @@ func (a *aliasNode) scope() *scope                              { return a.sc }
 func (a *aliasNode) props() props                               { return a.child.props() }
 func (a *aliasNode) children() []node                           { return []node{a.child} }
 func (a *aliasNode) describe() string                           { return "Alias" }
-func (a *aliasNode) build(ctx *buildCtx) (exec.Operator, error) { return a.child.build(ctx) }
+func (a *aliasNode) build(ctx *buildCtx) (exec.Operator, error) { return ctx.build(a.child) }
 
 func (pl *Planner) bindFrom(ref sql.TableRef) (node, error) {
 	switch r := ref.(type) {

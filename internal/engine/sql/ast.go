@@ -142,8 +142,13 @@ type DropTableStmt struct{ Name string }
 
 func (*DropTableStmt) stmt() {}
 
-// ExplainStmt wraps a SELECT for plan display.
-type ExplainStmt struct{ Select *SelectStmt }
+// ExplainStmt wraps a SELECT for plan display. With Analyze set (EXPLAIN
+// ANALYZE) the statement is executed and the plan is annotated with
+// per-operator runtime statistics.
+type ExplainStmt struct {
+	Select  *SelectStmt
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 

@@ -101,11 +101,16 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return p.parseUpdate()
 	case p.at(TokKeyword, "EXPLAIN"):
 		p.next()
+		analyze := false
+		if p.at(TokKeyword, "ANALYZE") {
+			p.next()
+			analyze = true
+		}
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Select: sel}, nil
+		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
 	default:
 		return nil, p.errf("expected a statement, found %q", p.cur().Text)
 	}

@@ -1,0 +1,252 @@
+// Package metrics is a dependency-free process metrics registry with
+// Prometheus-style text exposition: monotonically increasing counters,
+// point-in-time gauges, and fixed-bound histograms.
+//
+// It exists so the serving layer can export one coherent page — query
+// throughput, latency and queue-wait distributions, admission-control
+// rejections, model-cache effectiveness — scrapeable over HTTP
+// (vectordbd -metrics-addr) and over the wire protocol (METRICS verb).
+// Registries are plain values, not process globals, so tests can build as
+// many isolated servers as they like without name collisions.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named collectors and renders them in text exposition
+// format. All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	byID map[string]collector
+	ord  []collector // registration order for stable output
+}
+
+type collector interface {
+	name() string
+	help() string
+	write(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]collector)}
+}
+
+func (r *Registry) register(c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[c.name()]; dup {
+		panic(fmt.Sprintf("metrics: duplicate collector %q", c.name()))
+	}
+	r.byID[c.name()] = c
+	r.ord = append(r.ord, c)
+}
+
+// NewCounter registers and returns a monotonically increasing counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{nm: name, hp: help}
+	r.register(c)
+	return c
+}
+
+// NewGauge registers and returns a settable gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{nm: name, hp: help}
+	r.register(g)
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time —
+// the natural fit for "current queue depth" style readings that already
+// live somewhere else.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&gaugeFunc{nm: name, hp: help, fn: fn})
+}
+
+// NewHistogram registers and returns a histogram with the given ascending
+// upper bounds (an implicit +Inf bucket is always added).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds)
+	r.register(h)
+	return h
+}
+
+// WriteText renders every collector in registration order.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	ord := make([]collector, len(r.ord))
+	copy(ord, r.ord)
+	r.mu.Unlock()
+	for _, c := range ord {
+		fmt.Fprintf(w, "# HELP %s %s\n", c.name(), c.help())
+		c.write(w)
+	}
+}
+
+// Text renders the full page as a string.
+func (r *Registry) Text() string {
+	var sb strings.Builder
+	r.WriteText(&sb)
+	return sb.String()
+}
+
+// Handler returns an http.Handler serving the text page (for the
+// vectordbd -metrics-addr listener).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// ---- counter ----
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	nm, hp string
+	v      atomic.Int64
+}
+
+func (c *Counter) Inc()          { c.v.Add(1) }
+func (c *Counter) Add(n int64)   { c.v.Add(n) }
+func (c *Counter) Value() int64  { return c.v.Load() }
+func (c *Counter) name() string  { return c.nm }
+func (c *Counter) help() string  { return c.hp }
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.nm, c.nm, c.v.Load())
+}
+
+// ---- gauge ----
+
+// Gauge is a settable point-in-time value.
+type Gauge struct {
+	nm, hp string
+	v      atomic.Int64
+}
+
+func (g *Gauge) Set(n int64)    { g.v.Store(n) }
+func (g *Gauge) Add(n int64)    { g.v.Add(n) }
+func (g *Gauge) Value() int64   { return g.v.Load() }
+func (g *Gauge) name() string   { return g.nm }
+func (g *Gauge) help() string   { return g.hp }
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.nm, g.nm, g.v.Load())
+}
+
+type gaugeFunc struct {
+	nm, hp string
+	fn     func() float64
+}
+
+func (g *gaugeFunc) name() string { return g.nm }
+func (g *gaugeFunc) help() string { return g.hp }
+func (g *gaugeFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.nm, g.nm, fmtFloat(g.fn()))
+}
+
+// ---- histogram ----
+
+// Histogram counts observations into fixed upper-bound buckets
+// (Prometheus ≤ semantics: an observation lands in the first bucket whose
+// bound is >= the value). Internally the buckets are disjoint atomics so
+// Observe is a single add; the cumulative form required by the exposition
+// format is computed at render time.
+type Histogram struct {
+	nm, hp  string
+	bounds  []float64      // ascending upper bounds, excluding +Inf
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{nm: name, hp: help, bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds — the exposition-format
+// convention for latency histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count and Sum read the totals.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot returns per-bucket non-cumulative counts (len(bounds)+1, the
+// final entry being the +Inf overflow). Used by the STATUS text renderer.
+type HistogramSnapshot struct {
+	Bounds  []float64
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+func (h *Histogram) name() string { return h.nm }
+func (h *Histogram) help() string { return h.hp }
+func (h *Histogram) write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", h.nm)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, fmtFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.nm, fmtFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.count.Load())
+}
+
+// fmtFloat renders floats the way the exposition format expects: no
+// exponent for common magnitudes, no trailing zeros.
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// DefaultLatencyBounds are the upper bounds (seconds) shared by the
+// statement-latency and queue-wait histograms: sub-ms to 10s, roughly
+// log-spaced, matching the old STATUS 5-bucket rendering at the coarse
+// end.
+var DefaultLatencyBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 10}

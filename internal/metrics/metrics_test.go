@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge and one histogram
+// from many goroutines; totals must be exact (run under -race this also
+// proves the collectors lock-free-safe).
+func TestConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "test counter")
+	g := reg.NewGauge("g", "test gauge")
+	h := reg.NewHistogram("h_seconds", "test histogram", []float64{0.5})
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+
+	const want = workers * perWorker
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// The CAS-maintained float sum must be exact for these values (0.25 is
+	// representable, and the total stays far below the 2^53 mantissa).
+	if got, wantSum := h.Sum(), 0.25*float64(want); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestHistogramBucketEdges pins the Prometheus ≤ semantics: a value equal
+// to a bound lands in that bound's bucket, just above it in the next.
+func TestHistogramBucketEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("h", "edges", []float64{1, 10, 100})
+
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},
+		{1, 0},              // exactly on the first bound: le="1"
+		{math.Nextafter(1, 2), 1},
+		{10, 1},
+		{10.0001, 2},
+		{100, 2},
+		{101, 3}, // overflow → +Inf
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := h.Snapshot()
+	want := make([]int64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if snap.Buckets[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", i, snap.Buckets[i], want[i], snap)
+		}
+	}
+	if snap.Count != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", snap.Count, len(cases))
+	}
+
+	// The exposition form is cumulative.
+	text := reg.Text()
+	for _, line := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="10"} 4`,
+		`h_bucket{le="100"} 6`,
+		`h_bucket{le="+Inf"} 7`,
+		`h_count 7`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}
+
+// TestObserveDuration records seconds.
+func TestObserveDuration(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("d_seconds", "durations", DefaultLatencyBounds)
+	h.ObserveDuration(2 * time.Millisecond)
+	snap := h.Snapshot()
+	if snap.Buckets[1] != 1 { // le="0.005"
+		t.Errorf("2ms not in the 5ms bucket: %+v", snap)
+	}
+}
+
+// TestTextExposition checks the full-page layout: HELP and TYPE comments in
+// registration order, gauge funcs evaluated at scrape time.
+func TestTextExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("a_total", "the a counter")
+	v := 1.0
+	reg.NewGaugeFunc("b", "the b gauge", func() float64 { return v })
+	c.Add(41)
+	c.Inc()
+	v = 7
+
+	text := reg.Text()
+	wantOrder := []string{
+		"# HELP a_total the a counter",
+		"# TYPE a_total counter",
+		"a_total 42",
+		"# HELP b the b gauge",
+		"# TYPE b gauge",
+		"b 7",
+	}
+	pos := -1
+	for _, w := range wantOrder {
+		i := strings.Index(text, w)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", w, text)
+		}
+		if i < pos {
+			t.Errorf("%q out of order:\n%s", w, text)
+		}
+		pos = i
+	}
+}
+
+// TestDuplicateRegistrationPanics: two collectors may not share a name.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("x", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	reg.NewGauge("x", "second")
+}
+
+// TestBoundsValidation: non-ascending bounds are a programming error.
+func TestBoundsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewRegistry().NewHistogram("bad", "bad", []float64{1, 1})
+}

@@ -15,10 +15,13 @@ package pyudf
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"indbml/internal/engine/exec"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/trace"
 )
 
 // Value is a boxed value in the simulated Python environment.
@@ -45,7 +48,17 @@ type Operator struct {
 	schema *types.Schema
 	// Calls counts UDF invocations (for tests and experiment reporting).
 	Calls int
+
+	// Tracing (see modeljoin.Operator): span set by the plan builder,
+	// counters resolved once at Open.
+	span       *trace.Span
+	ctrMarshal *atomic.Int64 // marshal_ns: box/unbox boundary-crossing time
+	ctrUDF     *atomic.Int64 // udf_ns: time inside the simulated interpreter
+	ctrCalls   *atomic.Int64 // udf_calls
 }
+
+// SetSpan implements trace.SpanCarrier.
+func (o *Operator) SetSpan(sp *trace.Span) { o.span = sp }
 
 // NewScalar builds a tuple-at-a-time UDF operator.
 func NewScalar(child exec.Operator, argCols []int, outCols []types.Column, fn ScalarFunc) (*Operator, error) {
@@ -78,6 +91,11 @@ func (o *Operator) Schema() *types.Schema { return o.schema }
 // Open implements exec.Operator.
 func (o *Operator) Open() error {
 	o.Calls = 0
+	if o.span != nil {
+		o.ctrMarshal = o.span.Counter("marshal_ns")
+		o.ctrUDF = o.span.Counter("udf_ns")
+		o.ctrCalls = o.span.Counter("udf_calls")
+	}
 	return o.Child.Open()
 }
 
@@ -90,10 +108,20 @@ func (o *Operator) Next() (*vector.Batch, error) {
 	n := in.Len()
 
 	// Marshal: box every argument value into the "Python" representation.
+	var boxStart time.Time
+	if o.ctrMarshal != nil {
+		boxStart = time.Now()
+	}
 	args := make([][]Value, len(o.ArgCols))
 	for i, c := range o.ArgCols {
 		args[i] = Box(in.Vecs[c], n)
 	}
+	var udfStart time.Time
+	if o.ctrMarshal != nil {
+		udfStart = time.Now()
+		o.ctrMarshal.Add(int64(udfStart.Sub(boxStart)))
+	}
+	callsBefore := o.Calls
 
 	var results [][]Value
 	if o.Vector != nil {
@@ -125,6 +153,12 @@ func (o *Operator) Next() (*vector.Batch, error) {
 	if len(results) != len(o.OutCols) {
 		return nil, fmt.Errorf("pyudf: UDF returned %d columns, want %d", len(results), len(o.OutCols))
 	}
+	var unboxStart time.Time
+	if o.ctrUDF != nil {
+		unboxStart = time.Now()
+		o.ctrUDF.Add(int64(unboxStart.Sub(udfStart)))
+		o.ctrCalls.Add(int64(o.Calls - callsBefore))
+	}
 
 	out := vector.NewBatch(o.schema, n)
 	for c := 0; c < in.Schema.Len(); c++ {
@@ -143,6 +177,9 @@ func (o *Operator) Next() (*vector.Batch, error) {
 			}
 			v.AppendDatum(d)
 		}
+	}
+	if o.ctrMarshal != nil {
+		o.ctrMarshal.Add(int64(time.Since(unboxStart)))
 	}
 	out.SetLen(n)
 	return out, nil

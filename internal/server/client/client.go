@@ -98,6 +98,11 @@ func (c *Client) Command(sql string) (string, error) { return c.command(sql, 0) 
 // Status fetches the server's plain-text stats snapshot.
 func (c *Client) Status() (string, error) { return c.command("STATUS", 0) }
 
+// Metrics fetches the server's metrics registry in text exposition format.
+// Like STATUS, the verb bypasses admission control so an overloaded server
+// can still be observed.
+func (c *Client) Metrics() (string, error) { return c.command("METRICS", 0) }
+
 func (c *Client) command(sql string, timeout time.Duration) (string, error) {
 	if err := c.send(sql, timeout); err != nil {
 		return "", err

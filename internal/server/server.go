@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"runtime"
@@ -36,6 +37,9 @@ import (
 	"time"
 
 	"indbml/internal/engine/db"
+	"indbml/internal/engine/exec"
+	"indbml/internal/metrics"
+	"indbml/internal/trace"
 	"indbml/internal/wire"
 )
 
@@ -59,6 +63,15 @@ type Config struct {
 	// MaxQueryDuration caps every statement's execution time, including
 	// statements whose clients request no deadline. 0 means uncapped.
 	MaxQueryDuration time.Duration
+	// SlowQueryLog, when non-nil, enables the structured slow-query log:
+	// every SELECT runs traced, and statements slower than
+	// SlowQueryThreshold — plus every statement ending in an error or
+	// cancellation — are written as one JSON line embedding the full
+	// per-operator trace.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the duration above which a successful
+	// statement is logged. 0 logs every traced statement.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,7 +88,9 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	db    *db.Database
 	cfg   Config
-	stats Stats
+	stats *Stats
+	reg   *metrics.Registry
+	slow  *slowLog // nil when the slow-query log is disabled
 
 	slots chan struct{} // buffered semaphore: one token per running query
 
@@ -94,15 +109,40 @@ type Server struct {
 func New(d *db.Database, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	reg := metrics.NewRegistry()
+	s := &Server{
 		db:         d,
 		cfg:        cfg,
+		stats:      newStats(reg),
+		reg:        reg,
 		slots:      make(chan struct{}, cfg.QuerySlots),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		conns:      make(map[net.Conn]struct{}),
 	}
+	if cfg.SlowQueryLog != nil {
+		s.slow = &slowLog{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold}
+	}
+	reg.NewGaugeFunc("vectordb_query_slots", "Configured query-slot capacity.",
+		func() float64 { return float64(cfg.QuerySlots) })
+	reg.NewGaugeFunc("vectordb_query_slots_in_use", "Query slots currently held.",
+		func() float64 { return float64(len(s.slots)) })
+	reg.NewGaugeFunc("vectordb_queue_capacity", "Configured admission-queue depth.",
+		func() float64 { return float64(cfg.QueueDepth) })
+	reg.NewGaugeFunc("vectordb_model_cache_hits_total", "Model artifact cache hits.",
+		func() float64 { return float64(d.ModelCacheStats().Hits) })
+	reg.NewGaugeFunc("vectordb_model_cache_misses_total", "Model artifact cache misses.",
+		func() float64 { return float64(d.ModelCacheStats().Misses) })
+	reg.NewGaugeFunc("vectordb_model_cache_evictions_total", "Model artifact cache evictions.",
+		func() float64 { return float64(d.ModelCacheStats().Evictions) })
+	reg.NewGaugeFunc("vectordb_model_cache_entries", "Model artifact cache resident entries.",
+		func() float64 { return float64(d.ModelCacheStats().Entries) })
+	return s
 }
+
+// Metrics exposes the server's registry so daemons can mount it on an HTTP
+// listener next to pprof.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // DB exposes the underlying database (for in-process seeding by daemons
 // and tests).
@@ -321,6 +361,8 @@ func (s *Server) admit(ctx context.Context) (release func(), code byte, err erro
 		return nil, wire.CodeOverloaded, fmt.Errorf("overloaded: %d query slots busy, queue of %d full", s.cfg.QuerySlots, s.cfg.QueueDepth)
 	}
 	defer s.stats.Queued.Add(-1)
+	enqueued := time.Now()
+	defer func() { s.stats.QueuedWait.ObserveDuration(time.Since(enqueued)) }()
 
 	var timeout <-chan time.Time
 	if s.cfg.QueueWait > 0 {
@@ -340,8 +382,8 @@ func (s *Server) admit(ctx context.Context) (release func(), code byte, err erro
 	}
 }
 
-// serveStmt dispatches one statement. STATUS bypasses admission control so
-// operators can observe an overloaded server.
+// serveStmt dispatches one statement. STATUS and METRICS bypass admission
+// control so operators can observe an overloaded server.
 func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64) {
 	text := strings.TrimSpace(stmt)
 	upper := strings.ToUpper(text)
@@ -351,6 +393,10 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 	}
 	if upper == "STATUS" {
 		wire.WriteOK(bw, s.StatusText())
+		return
+	}
+	if upper == "METRICS" {
+		wire.WriteOK(bw, s.reg.Text())
 		return
 	}
 
@@ -371,6 +417,22 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 	}()
 
 	switch {
+	case strings.HasPrefix(upper, "EXPLAIN ANALYZE"):
+		// EXPLAIN ANALYZE executes the statement and renders the annotated
+		// plan; it counts as a completed/failed query like any SELECT.
+		out, err := s.db.ExplainAnalyzeContext(ctx, strings.TrimSpace(text[len("EXPLAIN ANALYZE"):]))
+		if err != nil {
+			if wire.IsCancellation(err) {
+				s.stats.Canceled.Add(1)
+				wire.WriteError(bw, wire.CodeCanceled, err.Error())
+			} else {
+				s.stats.Failed.Add(1)
+				wire.WriteError(bw, wire.CodeError, err.Error())
+			}
+			return
+		}
+		s.stats.Completed.Add(1)
+		wire.WriteOK(bw, out)
 	case strings.HasPrefix(upper, "EXPLAIN"):
 		plan, err := s.db.Explain(strings.TrimSpace(text[len("EXPLAIN"):]))
 		if err != nil {
@@ -381,22 +443,7 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 		s.stats.Completed.Add(1)
 		wire.WriteOK(bw, plan)
 	case strings.HasPrefix(upper, "SELECT"):
-		op, err := s.db.QueryOpContext(ctx, text)
-		if err != nil {
-			s.stats.Failed.Add(1)
-			wire.WriteError(bw, wire.CodeError, err.Error())
-			return
-		}
-		rows, err := wire.StreamOperator(bw, op)
-		s.stats.RowsServed.Add(rows)
-		switch {
-		case err == nil:
-			s.stats.Completed.Add(1)
-		case wire.IsCancellation(err):
-			s.stats.Canceled.Add(1)
-		default:
-			s.stats.Failed.Add(1)
-		}
+		s.serveSelect(bw, ctx, text, start)
 	default:
 		if err := s.db.ExecContext(ctx, text); err != nil {
 			if wire.IsCancellation(err) {
@@ -410,5 +457,45 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 		}
 		s.stats.Completed.Add(1)
 		wire.WriteOK(bw, "ok")
+	}
+}
+
+// serveSelect streams a SELECT to the client. With the slow-query log
+// enabled the statement runs traced, so a slow or failing query leaves a
+// JSON line embedding its per-operator span tree; otherwise it takes the
+// untraced build, which inserts no instrumentation at all.
+func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string, start time.Time) {
+	var (
+		op  exec.Operator
+		qt  *trace.QueryTrace
+		err error
+	)
+	if s.slow != nil {
+		op, qt, err = s.db.QueryOpTracedContext(ctx, text)
+	} else {
+		op, err = s.db.QueryOpContext(ctx, text)
+	}
+	if err != nil {
+		s.stats.Failed.Add(1)
+		wire.WriteError(bw, wire.CodeError, err.Error())
+		return
+	}
+	rows, err := wire.StreamOperator(bw, op)
+	s.stats.RowsServed.Add(rows)
+	canceled := wire.IsCancellation(err)
+	switch {
+	case err == nil:
+		s.stats.Completed.Add(1)
+	case canceled:
+		s.stats.Canceled.Add(1)
+	default:
+		s.stats.Failed.Add(1)
+	}
+	if qt != nil {
+		qt.Finish(err)
+		if s.slow.shouldLog(qt.Total(), err) {
+			s.stats.SlowLogged.Add(1)
+			s.slow.log(start, verdictFor(err, canceled), rows, qt)
+		}
 	}
 }

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"indbml/internal/trace"
+)
+
+// slowLog writes one JSON line per logged statement. Sessions finish their
+// statements concurrently, so the writer is serialized with a mutex — the
+// log is off the hot path (only statements that are already slow or broken
+// reach it), so the lock never matters for throughput.
+type slowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+}
+
+// slowEntry is one log line. The embedded trace carries the full
+// per-operator span tree (trace.QueryTrace's JSON form), so a slow
+// statement can be diagnosed from the log alone, without re-running it
+// under EXPLAIN ANALYZE.
+type slowEntry struct {
+	TS         string            `json:"ts"`
+	Verdict    string            `json:"verdict"` // "slow", "error" or "canceled"
+	DurationMS float64           `json:"duration_ms"`
+	Rows       int64             `json:"rows,omitempty"`
+	Trace      *trace.QueryTrace `json:"trace"`
+}
+
+// shouldLog reports whether a statement with the given outcome belongs in
+// the log: anything over the threshold, plus every error and cancellation
+// regardless of duration.
+func (l *slowLog) shouldLog(d time.Duration, err error) bool {
+	if l == nil {
+		return false
+	}
+	return err != nil || d >= l.threshold
+}
+
+// log writes the entry. Marshal errors are swallowed: the log is advisory
+// and must never fail a statement that already produced its result.
+func (l *slowLog) log(now time.Time, verdict string, rows int64, qt *trace.QueryTrace) {
+	e := slowEntry{
+		TS:         now.UTC().Format(time.RFC3339Nano),
+		Verdict:    verdict,
+		DurationMS: float64(qt.Total()) / float64(time.Millisecond),
+		Rows:       rows,
+		Trace:      qt,
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// verdictFor classifies the statement outcome for the log line.
+func verdictFor(err error, canceled bool) string {
+	switch {
+	case err == nil:
+		return "slow"
+	case canceled:
+		return "canceled"
+	default:
+		return "error"
+	}
+}

@@ -5,20 +5,17 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
-)
 
-// latencyBounds are the upper bounds of the fixed latency histogram, in
-// ascending order; the final bucket is unbounded.
-var latencyBounds = []time.Duration{
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
-}
+	"indbml/internal/metrics"
+)
 
 // Stats are the server's live counters. All fields are atomics so the hot
 // path (every statement on every session) never takes a lock; STATUS reads
 // a consistent-enough snapshot without stopping traffic.
+//
+// The latency and queue-wait distributions live in metrics.Histogram, the
+// same collectors exported on the registry page, so STATUS and METRICS can
+// never disagree about what the server measured.
 type Stats struct {
 	ActiveSessions atomic.Int64
 	TotalSessions  atomic.Int64
@@ -31,20 +28,40 @@ type Stats struct {
 	Rejected  atomic.Int64 // statements fast-rejected by admission control
 
 	RowsServed atomic.Int64
+	SlowLogged atomic.Int64 // statements written to the slow-query log
 
-	latency [5]atomic.Int64 // one bucket per bound, plus overflow
+	Latency    *metrics.Histogram // statement wall time, seconds
+	QueuedWait *metrics.Histogram // time spent waiting for a slot, seconds
+}
+
+// newStats wires the counters into the registry: the histograms are owned
+// by the registry directly, and the atomic counters are mirrored with
+// scrape-time gauges so the hot path stays a single atomic add.
+func newStats(reg *metrics.Registry) *Stats {
+	s := &Stats{
+		Latency: reg.NewHistogram("vectordb_statement_seconds",
+			"Statement wall time from receipt to final frame.", metrics.DefaultLatencyBounds),
+		QueuedWait: reg.NewHistogram("vectordb_queued_wait_seconds",
+			"Time statements spent waiting for a query slot.", metrics.DefaultLatencyBounds),
+	}
+	mirror := func(name, help string, v *atomic.Int64) {
+		reg.NewGaugeFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	mirror("vectordb_sessions_active", "Currently open sessions.", &s.ActiveSessions)
+	mirror("vectordb_sessions_total", "Sessions accepted since start.", &s.TotalSessions)
+	mirror("vectordb_queries_queued", "Statements waiting for a query slot.", &s.Queued)
+	mirror("vectordb_queries_running", "Statements holding a query slot.", &s.Running)
+	mirror("vectordb_queries_completed_total", "Statements finished successfully.", &s.Completed)
+	mirror("vectordb_queries_canceled_total", "Statements ended by deadline or cancellation.", &s.Canceled)
+	mirror("vectordb_queries_failed_total", "Statements ended by a query error.", &s.Failed)
+	mirror("vectordb_queries_rejected_total", "Statements fast-rejected by admission control.", &s.Rejected)
+	mirror("vectordb_rows_served_total", "Result rows streamed to clients.", &s.RowsServed)
+	mirror("vectordb_slow_queries_logged_total", "Statements written to the slow-query log.", &s.SlowLogged)
+	return s
 }
 
 // observeLatency records one statement's wall time into the histogram.
-func (s *Stats) observeLatency(d time.Duration) {
-	for i, b := range latencyBounds {
-		if d <= b {
-			s.latency[i].Add(1)
-			return
-		}
-	}
-	s.latency[len(latencyBounds)].Add(1)
-}
+func (s *Stats) observeLatency(d time.Duration) { s.Latency.ObserveDuration(d) }
 
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
@@ -52,7 +69,8 @@ type Snapshot struct {
 	Queued, Running                       int64
 	Completed, Canceled, Failed, Rejected int64
 	RowsServed                            int64
-	Latency                               [5]int64
+	Latency                               metrics.HistogramSnapshot
+	QueuedWait                            metrics.HistogramSnapshot
 	Slots, SlotsInUse, QueueDepth         int64
 
 	// Model artifact cache counters, copied from the engine at render time.
@@ -72,9 +90,8 @@ func (s *Stats) snapshot() Snapshot {
 	out.Failed = s.Failed.Load()
 	out.Rejected = s.Rejected.Load()
 	out.RowsServed = s.RowsServed.Load()
-	for i := range out.Latency {
-		out.Latency[i] = s.latency[i].Load()
-	}
+	out.Latency = s.Latency.Snapshot()
+	out.QueuedWait = s.QueuedWait.Snapshot()
 	return out
 }
 
@@ -88,10 +105,21 @@ func (sn Snapshot) String() string {
 	fmt.Fprintf(&sb, "model_cache: hits=%d misses=%d evictions=%d entries=%d\n",
 		sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries)
 	fmt.Fprintf(&sb, "rows_served: %d\n", sn.RowsServed)
-	sb.WriteString("latency:")
-	for i, b := range latencyBounds {
-		fmt.Fprintf(&sb, " le_%s=%d", b, sn.Latency[i])
-	}
-	fmt.Fprintf(&sb, " gt_%s=%d\n", latencyBounds[len(latencyBounds)-1], sn.Latency[len(latencyBounds)])
+	writeHistLine(&sb, "latency", sn.Latency)
+	writeHistLine(&sb, "queued_wait", sn.QueuedWait)
 	return sb.String()
+}
+
+// writeHistLine renders one histogram as a "name: le_1ms=N ... gt_10s=N"
+// line, converting the second-valued bounds back to durations.
+func writeHistLine(sb *strings.Builder, name string, h metrics.HistogramSnapshot) {
+	fmt.Fprintf(sb, "%s:", name)
+	for i, b := range h.Bounds {
+		fmt.Fprintf(sb, " le_%s=%d", time.Duration(b*float64(time.Second)), h.Buckets[i])
+	}
+	last := ""
+	if n := len(h.Bounds); n > 0 {
+		last = time.Duration(h.Bounds[n-1] * float64(time.Second)).String()
+	}
+	fmt.Fprintf(sb, " gt_%s=%d\n", last, h.Buckets[len(h.Buckets)-1])
 }

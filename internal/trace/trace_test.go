@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanCountersAndLabels exercises the accumulation API and the
+// annotation rendering, including the _ns-suffix duration convention.
+func TestSpanCountersAndLabels(t *testing.T) {
+	s := NewSpan("ModelJoin m [cpu]")
+	s.AddWall(1500 * time.Microsecond)
+	s.AddRows(600)
+	s.AddBatches(3)
+	s.SetLabel("cache", "hit")
+	s.Counter("infer_ns").Store(int64(250 * time.Microsecond))
+	s.Counter("sgemm_flops").Store(1 << 20)
+
+	if s.Wall() != 1500*time.Microsecond || s.Rows() != 600 || s.Batches() != 3 {
+		t.Fatalf("totals wrong: wall=%v rows=%d batches=%d", s.Wall(), s.Rows(), s.Batches())
+	}
+	if s.Label("cache") != "hit" {
+		t.Fatalf("label = %q", s.Label("cache"))
+	}
+	// Counter resolves to the same cell on repeat lookups.
+	s.Counter("sgemm_flops").Add(1)
+	if got := s.Counter("sgemm_flops").Load(); got != 1<<20+1 {
+		t.Fatalf("counter = %d", got)
+	}
+
+	ann := s.annotations()
+	for _, want := range []string{"time=1.50ms", "rows=600", "batches=3", "cache=hit", "infer=250.0µs", "sgemm_flops="} {
+		if !strings.Contains(ann, want) {
+			t.Errorf("annotations missing %q: %s", want, ann)
+		}
+	}
+}
+
+// TestConcurrentSpanMutation races adds from many goroutines into one span
+// — the partition-parallel execution pattern. Totals must be exact.
+func TestConcurrentSpanMutation(t *testing.T) {
+	s := NewSpan("Scan t")
+	ctr := s.Counter("pruned_blocks")
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.AddWall(time.Nanosecond)
+				s.AddRows(2)
+				ctr.Add(1)
+				s.SetLabel("device", "cpu")
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Wall() != workers*per {
+		t.Errorf("wall = %v", s.Wall())
+	}
+	if s.Rows() != 2*workers*per {
+		t.Errorf("rows = %d", s.Rows())
+	}
+	if ctr.Load() != workers*per {
+		t.Errorf("counter = %d", ctr.Load())
+	}
+}
+
+// TestRenderTree checks the indented EXPLAIN ANALYZE layout and the
+// summary line, including error outcomes.
+func TestRenderTree(t *testing.T) {
+	qt := NewQueryTrace("SELECT 1")
+	root := NewSpan("Project x")
+	qt.Root = root
+	child := root.NewChild("Scan t")
+	child.AddRows(10)
+	qt.Finish(nil)
+
+	out := qt.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Project x") {
+		t.Errorf("root line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  -> Scan t") {
+		t.Errorf("child line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "Total: ") {
+		t.Errorf("summary line: %q", lines[2])
+	}
+
+	qerr := NewQueryTrace("SELECT broken")
+	qerr.Finish(errors.New("boom"))
+	if out := qerr.Render(); !strings.Contains(out, "(error: boom)") {
+		t.Errorf("error outcome not rendered: %s", out)
+	}
+}
+
+// TestFinishFirstCallWins: the statement clock stops once.
+func TestFinishFirstCallWins(t *testing.T) {
+	qt := NewQueryTrace("SELECT 1")
+	qt.Finish(nil)
+	total := qt.Total()
+	if total <= 0 {
+		t.Fatal("total not recorded")
+	}
+	time.Sleep(2 * time.Millisecond)
+	qt.Finish(errors.New("late"))
+	if qt.Total() != total {
+		t.Error("second Finish changed the total")
+	}
+	if qt.Err() != nil {
+		t.Error("second Finish changed the outcome")
+	}
+}
+
+// TestJSONForm checks the compact slow-query-log record.
+func TestJSONForm(t *testing.T) {
+	qt := NewQueryTrace("SELECT id FROM t")
+	root := NewSpan("Scan t")
+	root.AddRows(5)
+	root.AddWall(time.Millisecond)
+	root.SetLabel("cache", "miss")
+	root.Counter("build_ns").Store(42)
+	qt.Root = root
+	qt.Finish(nil)
+
+	b, err := json.Marshal(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		SQL     string `json:"sql"`
+		TotalNS int64  `json:"total_ns"`
+		Plan    struct {
+			Op       string            `json:"op"`
+			Rows     int64             `json:"rows"`
+			Labels   map[string]string `json:"labels"`
+			Counters map[string]int64  `json:"counters"`
+		} `json:"plan"`
+	}
+	if err := json.Unmarshal(b, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.SQL != "SELECT id FROM t" || rec.TotalNS <= 0 {
+		t.Errorf("record header wrong: %+v", rec)
+	}
+	if rec.Plan.Op != "Scan t" || rec.Plan.Rows != 5 {
+		t.Errorf("plan wrong: %+v", rec.Plan)
+	}
+	if rec.Plan.Labels["cache"] != "miss" || rec.Plan.Counters["build_ns"] != 42 {
+		t.Errorf("labels/counters wrong: %+v", rec.Plan)
+	}
+}
+
+// TestFmtDuration pins the compact duration format used in rendered plans.
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "500ns"},
+		{45600 * time.Nanosecond, "45.6µs"},
+		{1230 * time.Microsecond, "1.23ms"},
+		{7890 * time.Millisecond, "7.89s"},
+	}
+	for _, c := range cases {
+		if got := fmtDuration(c.d); got != c.want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

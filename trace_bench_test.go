@@ -1,0 +1,62 @@
+package indbml
+
+// Benchmark for the per-operator tracing overhead: the same MODEL JOIN
+// executed through the untraced build path (no Traced wrappers are
+// inserted at all) and through the traced one (every operator wrapped,
+// every batch paying a handful of atomic adds). EXPERIMENTS.md records the
+// measured ratio against the <2% disabled-trace budget.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"indbml/internal/engine/db"
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/vector"
+	"indbml/internal/workload"
+)
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	const tuples = 20_000
+	fact, _ := workload.IrisTable("iris_trace_fact", tuples, benchPartitions)
+	q := "SELECT id, prediction FROM iris_trace_fact MODEL JOIN bench_model PREDICT (" +
+		strings.Join(workload.IrisFeatureNames, ", ") + ")"
+	newBenchDB := func() *db.Database {
+		model := workload.DenseModel(64, 4)
+		model.Name = "bench_model"
+		return newDB(b, fact, model, db.Options{})
+	}
+
+	b.Run("untraced", func(b *testing.B) {
+		d := newBenchDB()
+		drainQuery(b, d, q, tuples) // warm the model cache outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drainQuery(b, d, q, tuples)
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		d := newBenchDB()
+		drainQuery(b, d, q, tuples)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op, qt, err := d.QueryOpTracedContext(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := 0
+			err = exec.Drain(op, func(batch *vector.Batch) error {
+				rows += batch.Len()
+				return nil
+			})
+			qt.Finish(err)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows != tuples {
+				b.Fatalf("traced query returned %d rows, want %d", rows, tuples)
+			}
+		}
+	})
+}
