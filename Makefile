@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench trace-smoke examples experiments experiments-paper clean
+.PHONY: all build test race vet bench trace-smoke flight-smoke examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -38,6 +38,11 @@ trace-smoke:
 	grep -q 'cache=' trace_smoke.txt
 	grep -q 'Total:' trace_smoke.txt
 	rm -f trace_smoke.txt
+
+# End-to-end flight-recorder smoke: boot vectordbd, run a demo workload
+# over the wire, assert SELECT count(*) FROM system.queries > 0.
+flight-smoke:
+	./scripts/flight_smoke.sh
 
 examples: build
 	$(GO) run ./examples/quickstart

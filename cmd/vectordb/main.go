@@ -13,6 +13,7 @@
 //	\demo                                  load a small iris demo setup (embedded mode)
 //	\status                                server stats snapshot (-connect mode)
 //	\metrics                               metrics page (shell-local or server registry)
+//	\queries                               recent statements from system.queries
 //	\trace on|off                          run every SELECT as EXPLAIN ANALYZE
 //	\q                                     quit
 //
@@ -37,6 +38,7 @@ import (
 	"indbml/internal/core/relmodel"
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/vector"
+	"indbml/internal/flight"
 	"indbml/internal/metrics"
 	"indbml/internal/nn"
 	"indbml/internal/server/client"
@@ -147,8 +149,17 @@ func newLocalSession(d *db.Database) *localSession {
 		func() float64 { return float64(d.ModelCacheStats().Misses) })
 	reg.NewGaugeFunc("vectordb_model_cache_entries", "Model artifact cache resident entries.",
 		func() float64 { return float64(d.ModelCacheStats().Entries) })
+	metrics.RegisterRuntime(reg)
+	// Expose the shell-local registry as system.metrics so the same SQL
+	// drill-down workflow works without a server.
+	d.RegisterVirtualTable(flight.MetricsTable(reg))
 	return s
 }
+
+// queriesSQL is what \queries runs: the most recent flight-recorder
+// entries, newest first.
+const queriesSQL = "SELECT query_id, kind, approach, latency_ns, rows_out, cache, sql " +
+	"FROM system.queries ORDER BY query_id DESC LIMIT 20"
 
 func (s *localSession) close() {}
 
@@ -259,10 +270,17 @@ func (s *localSession) meta(line string) bool {
 			st.Hits, st.Misses, st.Evictions, st.Entries)
 	case "\\metrics":
 		fmt.Print(s.reg.Text())
+	case "\\queries":
+		res, err := s.d.Query(queriesSQL)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		printResult(res)
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\metrics \\trace")
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\metrics \\queries \\trace")
 	}
 	return true
 }
@@ -410,10 +428,17 @@ func (s *remoteSession) meta(line string) bool {
 			return true
 		}
 		fmt.Print(out)
+	case "\\queries":
+		rows, err := s.c.Query(queriesSQL)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		printRows(rows)
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\metrics \\trace")
+		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\metrics \\queries \\trace")
 	}
 	return true
 }

@@ -36,6 +36,7 @@ func main() {
 	partitions := flag.Int("partitions", 4, "default table partition count")
 	parallelism := flag.Int("parallelism", 0, "query parallelism (0 = GOMAXPROCS)")
 	modelCache := flag.Int("model-cache", 0, "model artifact cache entries (0 = default 32, negative = disabled)")
+	flightSize := flag.Int("flight-recorder-size", 0, "query flight-recorder ring capacity (0 = default 1024, negative = disabled)")
 	demo := flag.Bool("demo", false, "load the iris/sinus demo workload at startup")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight queries are canceled")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address (empty = disabled)")
@@ -44,7 +45,12 @@ func main() {
 	slowThreshold := flag.Duration("slow-query-threshold", 500*time.Millisecond, "log statements slower than this (errors and cancellations are always logged)")
 	flag.Parse()
 
-	d := db.Open(db.Options{DefaultPartitions: *partitions, Parallelism: *parallelism, ModelCacheEntries: *modelCache})
+	d := db.Open(db.Options{
+		DefaultPartitions:  *partitions,
+		Parallelism:        *parallelism,
+		ModelCacheEntries:  *modelCache,
+		FlightRecorderSize: *flightSize,
+	})
 	if *demo {
 		if err := workload.LoadDemo(d); err != nil {
 			log.Fatalf("vectordbd: loading demo workload: %v", err)

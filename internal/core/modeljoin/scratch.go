@@ -146,6 +146,17 @@ func (s *SharedModel) unpin() {
 	}
 }
 
+// Pin marks an external holder of the shared model — the artifact cache
+// takes one pin on behalf of the querying statement when it hands the model
+// out, closing the window between hand-out and the operator's own pin at
+// Open during which an eviction would otherwise free the device memory out
+// from under the statement.
+func (s *SharedModel) Pin() { s.pin() }
+
+// Unpin drops a Pin. The last unpin after an eviction frees the device
+// memory.
+func (s *SharedModel) Unpin() { s.unpin() }
+
 // Release marks the shared model as evicted from the artifact cache. Device
 // memory is reclaimed immediately when no operator holds the model, otherwise
 // deferred to the last closing operator. Safe to call more than once.

@@ -58,10 +58,10 @@ func TestModelJoinErrors(t *testing.T) {
 	}
 	for _, q := range []string{
 		"SELECT * FROM fact MODEL JOIN missing",
-		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1)",                          // wrong arity
-		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1, cf2, payload)",            // non-numeric
+		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1)",                              // wrong arity
+		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1, cf2, payload)",                // non-numeric
 		"SELECT * FROM fact MODEL JOIN m PREDICT (af0, bf1, cf2, df3) USING DEVICE 'tpu'", // unknown device
-		"SELECT * FROM fact MODEL JOIN fact",                                          // not a model
+		"SELECT * FROM fact MODEL JOIN fact",                                              // not a model
 	} {
 		if _, err := d.Query(q); err == nil {
 			t.Errorf("Query(%q) should fail", q)

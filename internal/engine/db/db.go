@@ -20,6 +20,7 @@ import (
 	"indbml/internal/engine/storage"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/flight"
 	"indbml/internal/nn"
 	"indbml/internal/trace"
 )
@@ -41,6 +42,12 @@ type Options struct {
 	// 0 selects the default (32); a negative value disables the cache
 	// (every query rebuilds, the pre-cache behavior).
 	ModelCacheEntries int
+	// FlightRecorderSize bounds the always-on query flight recorder ring
+	// (system.queries / system.query_operators). 0 selects the default
+	// (flight.DefaultSize); a negative value disables the recorder
+	// entirely — the system tables stay queryable but empty, and the
+	// per-query summary cost disappears.
+	FlightRecorderSize int
 	// Planner ablation flags; see plan.Planner.
 	DisableSegmentedAgg bool
 	DisableZoneMaps     bool
@@ -49,9 +56,10 @@ type Options struct {
 
 // Database is an in-process analytical database instance.
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*storage.Table
-	models map[string]*relmodel.Meta
+	mu       sync.RWMutex
+	tables   map[string]*storage.Table
+	models   map[string]*relmodel.Meta
+	virtuals map[string]storage.VirtualTable
 
 	opts Options
 	cpu  *device.CPU
@@ -59,6 +67,8 @@ type Database struct {
 
 	// modelCache is the cross-query artifact cache; nil when disabled.
 	modelCache *modelCache
+	// flight is the always-on query flight recorder; nil when disabled.
+	flight *flight.Recorder
 }
 
 // Open creates an empty database.
@@ -71,11 +81,12 @@ func Open(opts Options) *Database {
 		gpuCfg = device.DefaultGPUConfig()
 	}
 	d := &Database{
-		tables: make(map[string]*storage.Table),
-		models: make(map[string]*relmodel.Meta),
-		opts:   opts,
-		cpu:    device.NewCPU(),
-		gpu:    device.NewGPU(gpuCfg),
+		tables:   make(map[string]*storage.Table),
+		models:   make(map[string]*relmodel.Meta),
+		virtuals: make(map[string]storage.VirtualTable),
+		opts:     opts,
+		cpu:      device.NewCPU(),
+		gpu:      device.NewGPU(gpuCfg),
 	}
 	if opts.ModelCacheEntries >= 0 {
 		n := opts.ModelCacheEntries
@@ -84,7 +95,36 @@ func Open(opts Options) *Database {
 		}
 		d.modelCache = newModelCache(n)
 	}
+	if opts.FlightRecorderSize >= 0 {
+		d.flight = flight.NewRecorder(opts.FlightRecorderSize)
+	}
+	// The system tables are registered even with the recorder disabled —
+	// they are simply empty, so monitoring SQL degrades instead of erroring.
+	d.RegisterVirtualTable(flight.QueriesTable(d.flight))
+	d.RegisterVirtualTable(flight.OperatorsTable(d.flight))
+	d.RegisterVirtualTable(modelCacheTable{d})
 	return d
+}
+
+// FlightRecorder returns the always-on query flight recorder (nil when
+// disabled via Options.FlightRecorderSize < 0).
+func (d *Database) FlightRecorder() *flight.Recorder { return d.flight }
+
+// RegisterVirtualTable adds (or replaces) a virtual system table. The
+// engine registers system.queries, system.query_operators and
+// system.model_cache itself; hosts with a metrics registry add
+// system.metrics (the server and the embedded shell both do).
+func (d *Database) RegisterVirtualTable(vt storage.VirtualTable) {
+	d.mu.Lock()
+	d.virtuals[strings.ToLower(vt.Name())] = vt
+	d.mu.Unlock()
+}
+
+func (d *Database) virtualTable(name string) (storage.VirtualTable, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	vt, ok := d.virtuals[strings.ToLower(name)]
+	return vt, ok
 }
 
 // ModelCacheStats returns the artifact cache counters (zero value when the
@@ -188,14 +228,37 @@ type sharedEntry struct {
 	sm        *modeljoin.SharedModel
 	hit       bool // global-cache verdict at the query's first lookup
 	fromCache bool // whether the global cache was consulted at all
+	pinned    bool // holding the cache's hand-out pin (dropped by release)
 }
 
 func (d *Database) newQueryCatalog() *queryCatalog {
 	return &queryCatalog{db: d, shared: make(map[string]*sharedEntry)}
 }
 
+// release drops the artifact cache's hand-out pins (see modelCache.get).
+// Called when the statement finishes — plan failure, build failure, or the
+// operator tree's Close — after which eviction may free the model as soon
+// as the last in-flight operator unpins. Idempotent.
+func (c *queryCatalog) release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ent := range c.shared {
+		if ent.pinned {
+			ent.pinned = false
+			ent.sm.Unpin()
+		}
+	}
+}
+
 // Table implements plan.Catalog.
 func (c *queryCatalog) Table(name string) (*storage.Table, error) { return c.db.Table(name) }
+
+// VirtualTable implements plan.VirtualCatalog: the binder falls back here
+// when the regular lookup fails, resolving system.* names to snapshot
+// scans.
+func (c *queryCatalog) VirtualTable(name string) (storage.VirtualTable, bool) {
+	return c.db.virtualTable(name)
+}
 
 // Model implements plan.Catalog.
 func (c *queryCatalog) Model(name string) (*plan.ModelMeta, error) {
@@ -258,6 +321,7 @@ func (c *queryCatalog) NewModelJoin(model string, child exec.Operator, inputCols
 				return &modeljoin.SharedModel{Table: tbl, Meta: meta, Dev: device, Cfg: cfg}
 			})
 			ent.fromCache = true
+			ent.pinned = true // get hands the model out pinned
 		} else {
 			// Cache disabled: share one build among this query's partition
 			// plan instances only (the paper's per-query shared build,
@@ -277,14 +341,42 @@ func (c *queryCatalog) NewModelJoin(model string, child exec.Operator, inputCols
 	return op, nil
 }
 
-func (d *Database) planner() *plan.Planner {
+// planner returns a fresh per-statement planner plus its query catalog.
+// The catalog may end up holding artifact-cache hand-out pins after a
+// physical build; every SELECT path must arrange for qc.release() to run
+// when the statement finishes (on plan/build failure, or at the operator
+// tree's Close via releaseOnClose).
+func (d *Database) planner() (*plan.Planner, *queryCatalog) {
+	qc := d.newQueryCatalog()
 	return &plan.Planner{
-		Cat:                 d.newQueryCatalog(),
+		Cat:                 qc,
 		Parallelism:         d.opts.Parallelism,
 		DisableSegmentedAgg: d.opts.DisableSegmentedAgg,
 		DisableZoneMaps:     d.opts.DisableZoneMaps,
 		DisableParallel:     d.opts.DisableParallel,
+	}, qc
+}
+
+// releaseOnClose runs the query catalog's release after the operator tree
+// closes, dropping the model-cache hand-out pins. A failed Open releases
+// too, because the open/next/close protocol skips Close in that case.
+type releaseOnClose struct {
+	exec.Operator
+	qc *queryCatalog
+}
+
+func (r *releaseOnClose) Open() error {
+	err := r.Operator.Open()
+	if err != nil {
+		r.qc.release()
 	}
+	return err
+}
+
+func (r *releaseOnClose) Close() error {
+	err := r.Operator.Close()
+	r.qc.release()
+	return err
 }
 
 // Query parses, plans and executes a SELECT, materializing the result. It
@@ -314,41 +406,112 @@ func (d *Database) QueryOp(text string) (exec.Operator, error) {
 // QueryOpContext is QueryOp with a cancellation context attached to the
 // built operator tree. The serving layer streams over the returned operator
 // so large results never materialize inside the engine.
+//
+// When the flight recorder is enabled (the default) the returned operator
+// is built with spans attached and wrapped so that finishing it — end of
+// stream, error, or Close — publishes the statement's summary to
+// system.queries.
 func (d *Database) QueryOpContext(ctx context.Context, text string) (exec.Operator, error) {
+	if d.flight != nil {
+		op, _, err := d.queryOpRecorded(ctx, text)
+		return op, err
+	}
 	sel, err := sql.ParseSelect(text)
 	if err != nil {
 		return nil, err
 	}
-	p, err := d.planner().PlanSelect(sel)
+	pl, qc := d.planner()
+	p, err := pl.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
+	var op exec.Operator
 	if ctx == nil || ctx == context.Background() {
-		return p.Build()
+		op, err = p.Build()
+	} else {
+		op, err = p.BuildContext(ctx)
 	}
-	return p.BuildContext(ctx)
+	if err != nil {
+		qc.release()
+		return nil, err
+	}
+	return &releaseOnClose{op, qc}, nil
 }
 
 // QueryOpTracedContext plans a SELECT and returns the physical operator
 // tree with per-operator tracing enabled, plus the QueryTrace the
 // operators record into. The caller runs the operator (Collect, Drain or
 // streaming) and then calls qt.Finish to close the statement clock; the
-// serving layer uses this for slow-query logging.
+// serving layer uses this for slow-query logging. With the flight recorder
+// enabled the statement is additionally published to system.queries when
+// the operator finishes.
 func (d *Database) QueryOpTracedContext(ctx context.Context, text string) (exec.Operator, *trace.QueryTrace, error) {
+	if d.flight != nil {
+		return d.queryOpRecorded(ctx, text)
+	}
 	sel, err := sql.ParseSelect(text)
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := d.planner().PlanSelect(sel)
+	pl, qc := d.planner()
+	p, err := pl.PlanSelect(sel)
 	if err != nil {
 		return nil, nil, err
 	}
 	qt := trace.NewQueryTrace(text)
 	op, err := p.BuildTraced(ctx, qt)
 	if err != nil {
+		qc.release()
 		return nil, nil, err
 	}
-	return op, qt, nil
+	return &releaseOnClose{op, qc}, qt, nil
+}
+
+// queryOpRecorded is the recorder-enabled SELECT path: the plan is always
+// built with spans (their hot path is a few atomic adds per batch; the
+// measured overhead on the cold MODEL JOIN bench is within the recorder's
+// ≤2% budget) so the summary can fold a per-operator breakdown, and the
+// operator tree is wrapped to seal the flight on completion. Parse and
+// plan failures are recorded too — an error'd statement is exactly the
+// kind the flight recorder exists to explain.
+func (d *Database) queryOpRecorded(ctx context.Context, text string) (exec.Operator, *trace.QueryTrace, error) {
+	fl := d.flight.Begin(text, "select", flight.ApproachFrom(ctx))
+	fl.SetQueueWait(flight.QueueWaitFrom(ctx))
+	// Statements that die before planning can classify them still get the
+	// default tag, so per-approach aggregates never grow an "" group.
+	fail := func(err error) {
+		if fl.Approach() == "" {
+			fl.SetApproach("sql")
+		}
+		fl.Finish(err)
+	}
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		fail(err)
+		return nil, nil, err
+	}
+	pl, qc := d.planner()
+	p, err := pl.PlanSelect(sel)
+	if err != nil {
+		fail(err)
+		return nil, nil, err
+	}
+	if fl.Approach() == "" {
+		if p.HasModelJoin() {
+			fl.SetApproach("modeljoin")
+		} else {
+			fl.SetApproach("sql")
+		}
+	}
+	qt := trace.NewQueryTrace(text)
+	op, err := p.BuildTraced(ctx, qt)
+	if err != nil {
+		qc.release()
+		fl.Finish(err)
+		return nil, nil, err
+	}
+	fl.AttachTrace(qt)
+	return flight.Wrap(&releaseOnClose{op, qc}, fl), qt, nil
 }
 
 // QueryAnalyzeContext executes a SELECT with tracing and returns both the
@@ -383,7 +546,8 @@ func (d *Database) Explain(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	p, err := d.planner().PlanSelect(sel)
+	pl, _ := d.planner() // Explain never builds physical operators, so no pins
+	p, err := pl.PlanSelect(sel)
 	if err != nil {
 		return "", err
 	}
@@ -400,7 +564,20 @@ func (d *Database) Exec(text string) error {
 // ExecContext is Exec with cancellation. DDL/DML statements are short, so
 // the context is consulted between parse and execution rather than inside
 // row appends; a statement that has begun mutating the catalog completes.
-func (d *Database) ExecContext(ctx context.Context, text string) error {
+func (d *Database) ExecContext(ctx context.Context, text string) (err error) {
+	if fl := d.flight.Begin(text, "exec", "sql"); fl != nil {
+		fl.SetQueueWait(flight.QueueWaitFrom(ctx))
+		defer func() { fl.Finish(err) }()
+		stmt, perr := sql.Parse(text)
+		if perr != nil {
+			return perr
+		}
+		fl.SetKind(execKind(stmt))
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return d.execStmt(stmt)
+	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return err
@@ -408,6 +585,10 @@ func (d *Database) ExecContext(ctx context.Context, text string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	return d.execStmt(stmt)
+}
+
+func (d *Database) execStmt(stmt sql.Stmt) error {
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:
 		return d.execCreate(s)
@@ -421,6 +602,24 @@ func (d *Database) ExecContext(ctx context.Context, text string) error {
 		return d.DropTable(s.Name)
 	default:
 		return fmt.Errorf("db: Exec does not handle %T; use Query for SELECT", stmt)
+	}
+}
+
+// execKind maps a parsed statement to its flight-recorder kind tag.
+func execKind(stmt sql.Stmt) string {
+	switch stmt.(type) {
+	case *sql.CreateTableStmt:
+		return "create"
+	case *sql.InsertStmt:
+		return "insert"
+	case *sql.DeleteStmt:
+		return "delete"
+	case *sql.UpdateStmt:
+		return "update"
+	case *sql.DropTableStmt:
+		return "drop"
+	default:
+		return "exec"
 	}
 }
 

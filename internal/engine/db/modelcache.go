@@ -58,13 +58,21 @@ func newModelCache(capEntries int) *modelCache {
 // build()'s result (hit=false). On a miss it also evicts entries for stale
 // versions of the same model on the same device/config — they can never be
 // hit again.
+//
+// The returned model carries one hand-out pin, taken under the cache lock
+// so it is atomic with eviction: a concurrent removeLocked can no longer
+// free the model in the window before the statement's operators take their
+// own pins at Open. The caller owns the pin and must Unpin when the
+// statement finishes (queryCatalog.release).
 func (c *modelCache) get(key modelCacheKey, build func() *modeljoin.SharedModel) (sm *modeljoin.SharedModel, hit bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
-		return el.Value.(*modelCacheEnt).sm, true
+		sm = el.Value.(*modelCacheEnt).sm
+		sm.Pin()
+		return sm, true
 	}
 	c.misses++
 	for el := c.lru.Back(); el != nil; {
@@ -76,6 +84,7 @@ func (c *modelCache) get(key modelCacheKey, build func() *modeljoin.SharedModel)
 		el = prev
 	}
 	sm = build()
+	sm.Pin()
 	c.byKey[key] = c.lru.PushFront(&modelCacheEnt{key: key, sm: sm})
 	for c.lru.Len() > c.cap {
 		c.removeLocked(c.lru.Back())
@@ -105,6 +114,27 @@ func (c *modelCache) invalidateModel(model string) {
 		}
 		el = prev
 	}
+}
+
+// modelCacheEntry is one live cache slot, snapshotted for
+// system.model_cache.
+type modelCacheEntry struct {
+	model   string
+	device  string
+	version uint64
+	slot    int // LRU position, 0 = most recently used
+}
+
+// entriesSnapshot lists the live entries in LRU order.
+func (c *modelCache) entriesSnapshot() []modelCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]modelCacheEntry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		k := el.Value.(*modelCacheEnt).key
+		out = append(out, modelCacheEntry{model: k.model, device: k.device, version: k.version, slot: len(out)})
+	}
+	return out
 }
 
 // stats returns a counter snapshot.

@@ -1,0 +1,38 @@
+package db
+
+import (
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// modelCacheTable exposes the cross-query model artifact cache as
+// system.model_cache: one row per live entry plus the LRU position, so
+// "why did this query miss?" is answerable with a SELECT instead of a
+// debugger. When the cache is disabled the table exists but is empty.
+type modelCacheTable struct{ d *Database }
+
+var modelCacheSchema = types.NewSchema(
+	types.Column{Name: "model", Type: types.String},
+	types.Column{Name: "device", Type: types.String},
+	types.Column{Name: "version", Type: types.Int64},
+	types.Column{Name: "lru_slot", Type: types.Int32},
+)
+
+func (modelCacheTable) Name() string          { return "system.model_cache" }
+func (modelCacheTable) Schema() *types.Schema { return modelCacheSchema }
+
+func (t modelCacheTable) Snapshot() ([]*vector.Batch, error) {
+	b := storage.NewBatchBuilder(modelCacheSchema)
+	if mc := t.d.modelCache; mc != nil {
+		for _, e := range mc.entriesSnapshot() {
+			b.Append(
+				types.StringDatum(e.model),
+				types.StringDatum(e.device),
+				types.Int64Datum(int64(e.version)),
+				types.Int32Datum(int32(e.slot)),
+			)
+		}
+	}
+	return b.Batches(), nil
+}

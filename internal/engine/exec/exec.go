@@ -218,3 +218,15 @@ func (u *UnionAll) PrunedBlocks() int {
 	}
 	return total
 }
+
+// ScannedBytes sums decoded-block bytes across children that report it,
+// mirroring PrunedBlocks for the flight recorder's bytes_scanned column.
+func (u *UnionAll) ScannedBytes() int64 {
+	var total int64
+	for _, c := range u.Children {
+		if sb, ok := c.(interface{ ScannedBytes() int64 }); ok {
+			total += sb.ScannedBytes()
+		}
+	}
+	return total
+}

@@ -71,3 +71,7 @@ func (s *Scan) Close() error { return nil }
 // PrunedBlocks reports how many blocks the storage layer skipped via zone
 // maps during the last execution.
 func (s *Scan) PrunedBlocks() int { return s.scanner.PrunedBlocks }
+
+// ScannedBytes reports the compressed bytes of every block the storage
+// layer actually decoded during the last execution.
+func (s *Scan) ScannedBytes() int64 { return s.scanner.ScannedBytes }

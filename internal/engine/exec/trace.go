@@ -57,5 +57,8 @@ func (t *Traced) Close() error {
 	if bp, ok := t.Child.(interface{ PrunedBlocks() int }); ok {
 		t.Span.Counter("pruned_blocks").Add(int64(bp.PrunedBlocks()))
 	}
+	if sb, ok := t.Child.(interface{ ScannedBytes() int64 }); ok {
+		t.Span.Counter("scanned_bytes").Add(sb.ScannedBytes())
+	}
 	return err
 }

@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// VirtualScan streams a point-in-time snapshot of a virtual system table
+// (system.queries, system.metrics, ...). The snapshot is taken once at
+// Open; the batches it returns are streamed as-is, so the scan never
+// blocks the live structure it reads from and never sees a torn view.
+type VirtualScan struct {
+	VT storage.VirtualTable
+
+	batches []*vector.Batch
+	pos     int
+}
+
+// NewVirtualScan constructs a scan over the given virtual table.
+func NewVirtualScan(vt storage.VirtualTable) *VirtualScan {
+	return &VirtualScan{VT: vt}
+}
+
+// Schema implements Operator.
+func (v *VirtualScan) Schema() *types.Schema { return v.VT.Schema() }
+
+// Open implements Operator.
+func (v *VirtualScan) Open() error {
+	batches, err := v.VT.Snapshot()
+	if err != nil {
+		return err
+	}
+	v.batches = batches
+	v.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (v *VirtualScan) Next() (*vector.Batch, error) {
+	if v.pos >= len(v.batches) {
+		return nil, nil
+	}
+	b := v.batches[v.pos]
+	v.pos++
+	return b, nil
+}
+
+// Close implements Operator.
+func (v *VirtualScan) Close() error {
+	v.batches = nil
+	return nil
+}

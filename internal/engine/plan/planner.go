@@ -50,6 +50,18 @@ func outSchema(n node) *types.Schema { return n.scope().schema() }
 // Parallel reports whether the plan executes partition-parallel.
 func (p *Plan) Parallel() bool { return p.parallel }
 
+// HasModelJoin reports whether the plan contains a MODEL JOIN — the
+// flight recorder's signal for tagging the statement's approach.
+func (p *Plan) HasModelJoin() bool {
+	found := false
+	walk(p.root, func(n node) {
+		if _, ok := n.(*modelJoinNode); ok {
+			found = true
+		}
+	})
+	return found
+}
+
 // Explain renders the plan tree, annotated with the parallelization
 // decision.
 func (p *Plan) Explain() string {
@@ -397,6 +409,23 @@ func (pl *Planner) bindFrom(ref sql.TableRef) (node, error) {
 	case *sql.BaseTable:
 		t, err := pl.Cat.Table(r.Name)
 		if err != nil {
+			// Fall back to virtual system tables when the catalog supports
+			// them; real tables always win the name.
+			if vc, ok := pl.Cat.(VirtualCatalog); ok {
+				if vt, found := vc.VirtualTable(r.Name); found {
+					alias := r.Alias
+					if alias == "" {
+						// Default alias is the unqualified name, so
+						// "FROM system.queries" exposes columns as
+						// queries.<col>.
+						alias = r.Name
+						if i := strings.LastIndex(alias, "."); i >= 0 {
+							alias = alias[i+1:]
+						}
+					}
+					return newVirtualScanNode(vt, alias), nil
+				}
+			}
 			return nil, err
 		}
 		alias := r.Alias

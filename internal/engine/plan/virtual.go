@@ -1,0 +1,48 @@
+package plan
+
+import (
+	"strings"
+
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/storage"
+)
+
+// VirtualCatalog is optionally implemented by catalogs that expose virtual
+// system tables (system.queries, system.metrics, ...). The binder consults
+// it only after the regular table lookup fails, so virtual tables can
+// never shadow user data.
+type VirtualCatalog interface {
+	VirtualTable(name string) (storage.VirtualTable, bool)
+}
+
+// virtualScanNode scans a snapshot of a virtual system table. It has no
+// partitions and no zone maps, so it never becomes a parallel driver; the
+// generic optimizer rules treat it as an opaque leaf (filters that cannot
+// be pushed into it are wrapped above, like any other node).
+type virtualScanNode struct {
+	vt    storage.VirtualTable
+	alias string
+	sc    *scope
+}
+
+func newVirtualScanNode(vt storage.VirtualTable, alias string) *virtualScanNode {
+	sc := &scope{}
+	schema := vt.Schema()
+	for i := 0; i < schema.Len(); i++ {
+		sc.cols = append(sc.cols, scopeCol{
+			qual: strings.ToLower(alias),
+			name: strings.ToLower(schema.Col(i).Name),
+			typ:  schema.Col(i).Type,
+		})
+	}
+	return &virtualScanNode{vt: vt, alias: alias, sc: sc}
+}
+
+func (v *virtualScanNode) scope() *scope    { return v.sc }
+func (v *virtualScanNode) children() []node { return nil }
+func (v *virtualScanNode) props() props     { return noProps() }
+func (v *virtualScanNode) describe() string { return "VirtualScan " + v.vt.Name() }
+
+func (v *virtualScanNode) build(ctx *buildCtx) (exec.Operator, error) {
+	return exec.NewVirtualScan(v.vt), nil
+}

@@ -350,6 +350,15 @@ func (p *Parser) parsePrimaryRef() (TableRef, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Qualified table name (system.queries, system.metrics, ...): one
+	// optional schema qualifier folded into the catalog lookup name.
+	if p.accept(TokOp, ".") {
+		rest, err := p.expectIdentLike()
+		if err != nil {
+			return nil, err
+		}
+		name = name + "." + rest
+	}
 	ref := &BaseTable{Name: name}
 	if p.accept(TokKeyword, "AS") {
 		alias, err := p.expectIdentLike()

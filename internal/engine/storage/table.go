@@ -276,6 +276,10 @@ type Scanner struct {
 	// PrunedBlocks counts zone-map-skipped blocks, exposed for tests and
 	// the ablation benchmarks.
 	PrunedBlocks int
+	// ScannedBytes accumulates the compressed footprint of every projected
+	// block actually decoded (pruned blocks cost nothing), feeding the
+	// flight recorder's bytes_scanned accounting.
+	ScannedBytes int64
 }
 
 // NewScanner creates a scanner over partition pi projecting the given
@@ -336,6 +340,11 @@ func (s *Scanner) Next(dst *vector.Batch) bool {
 			continue
 		}
 		blkLen := s.chunks[0][s.blockIdx].n
+		if s.rowInBlk == 0 {
+			for _, c := range s.proj {
+				s.ScannedBytes += s.chunks[c][s.blockIdx].memSize()
+			}
+		}
 		take := blkLen - s.rowInBlk
 		if take > vector.Size {
 			take = vector.Size

@@ -1,0 +1,54 @@
+package storage
+
+import (
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// VirtualTable is a read-only table whose rows are synthesized on demand
+// from live engine state (the query flight recorder, the metrics registry,
+// the model artifact cache, ...) rather than stored in blocks. A scan takes
+// one Snapshot at Open and then streams the returned batches without
+// copying them again, so SELECT over a virtual table sees a consistent
+// point-in-time view regardless of how long the reader takes to drain it.
+//
+// Implementations live next to the state they expose; the catalog only
+// needs the interface. Snapshot must be safe for concurrent use.
+type VirtualTable interface {
+	// Name is the fully qualified table name, e.g. "system.queries".
+	Name() string
+	// Schema describes the synthesized columns.
+	Schema() *types.Schema
+	// Snapshot materializes the current rows as ready-to-stream batches.
+	// The caller owns the returned batches; the implementation must not
+	// retain or mutate them afterwards.
+	Snapshot() ([]*vector.Batch, error)
+}
+
+// BatchBuilder accumulates datum rows into vector.Size-capped batches; the
+// standard way for VirtualTable implementations to build a Snapshot.
+type BatchBuilder struct {
+	schema  *types.Schema
+	batches []*vector.Batch
+	cur     *vector.Batch
+}
+
+// NewBatchBuilder starts a builder for the given schema.
+func NewBatchBuilder(schema *types.Schema) *BatchBuilder {
+	return &BatchBuilder{schema: schema}
+}
+
+// Append adds one row. The row must match the schema arity; a mismatch is a
+// programming error in the virtual table and panics.
+func (b *BatchBuilder) Append(row ...types.Datum) {
+	if b.cur == nil || b.cur.Len() >= vector.Size {
+		b.cur = vector.NewBatch(b.schema, vector.Size)
+		b.batches = append(b.batches, b.cur)
+	}
+	if err := b.cur.AppendRow(row...); err != nil {
+		panic(err)
+	}
+}
+
+// Batches returns the accumulated batches (nil when no rows were appended).
+func (b *BatchBuilder) Batches() []*vector.Batch { return b.batches }

@@ -1,0 +1,391 @@
+// Package flight implements the always-on query flight recorder: every
+// statement — traced or not, successful or not — leaves behind a compact
+// Summary in a fixed-size ring buffer, cheap enough to keep enabled in
+// production (the budget is ≤2% on the cold MODEL JOIN benchmark) and
+// queryable from inside the database via the system.* virtual tables.
+//
+// Design:
+//
+//   - The ring is an array of atomic.Pointer[Summary]. Publishing a
+//     finished query is one atomic counter increment to claim a slot plus
+//     one pointer store; readers snapshot by loading every slot. No locks,
+//     no allocation on the reader side beyond the result slice, and a slow
+//     reader can never block writers — it just sees whichever summaries
+//     were current when it looked.
+//   - Summaries are immutable once published. A concurrent overwrite of a
+//     slot swaps the whole pointer, so a reader sees either the old or the
+//     new Summary, never a torn one.
+//   - The per-operator breakdown (OpStat) is folded from the PR-4 span
+//     tree at query end, off the per-batch hot path. Recorder-enabled
+//     queries always execute with spans attached; the span hot path is a
+//     handful of atomic adds per batch.
+//   - Allocation accounting uses the process-wide /gc/heap/allocs:bytes
+//     runtime metric (no stop-the-world, unlike runtime.ReadMemStats read
+//     on every statement would be) sampled at statement start and end.
+//     Under concurrency the delta attributes co-running statements' allocs
+//     to each other; it is a magnitude signal, not an exact ledger.
+package flight
+
+import (
+	"context"
+	rtmetrics "runtime/metrics"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+	"indbml/internal/trace"
+)
+
+// DefaultSize is the ring capacity when the recorder is enabled with size 0.
+const DefaultSize = 1024
+
+// maxSQLLen bounds the statement text retained per summary so the ring's
+// memory footprint stays fixed regardless of query size.
+const maxSQLLen = 1024
+
+// Summary is the per-statement flight record. All fields are final once
+// the summary is published to the ring.
+type Summary struct {
+	ID           uint64
+	Start        time.Time
+	SQL          string
+	Kind         string // select, insert, update, delete, create, drop, ...
+	Approach     string // sql, modeljoin, mltosql, pyudf, mlruntime, external
+	Error        string // "" on success
+	LatencyNS    int64
+	QueueWaitNS  int64
+	RowsOut      int64
+	RowsIn       int64 // rows produced by storage scans
+	BytesScanned int64
+	BlocksPruned int64
+	Cache        string // model cache verdict: "hit", "miss", or ""
+	AllocBytes   int64
+	Ops          []OpStat
+}
+
+// OpStat is one operator of the folded span tree, preorder-numbered.
+type OpStat struct {
+	Seq      int
+	Depth    int
+	Op       string
+	WallNS   int64
+	Rows     int64
+	Batches  int64
+	Counters []trace.CounterStat
+}
+
+// Recorder is the fixed-size ring of published summaries plus the query ID
+// allocator. The zero value is not usable; use NewRecorder. All methods
+// are safe for concurrent use; a nil *Recorder is inert (Begin returns a
+// nil Flight whose methods are all no-ops).
+type Recorder struct {
+	slots []atomic.Pointer[Summary]
+	next  atomic.Uint64 // total summaries ever published; next slot = next % len
+	ids   atomic.Uint64 // query ID allocator; IDs start at 1
+}
+
+// NewRecorder creates a recorder with the given ring capacity
+// (<= 0 selects DefaultSize).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Summary], size)}
+}
+
+// Capacity returns the ring size.
+func (r *Recorder) Capacity() int { return len(r.slots) }
+
+// Recorded returns the total number of summaries ever published (not
+// capped at capacity).
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Snapshot returns the currently retained summaries ordered by query ID.
+// The returned summaries are shared immutable records; callers must not
+// mutate them.
+func (r *Recorder) Snapshot() []*Summary {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Summary, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (r *Recorder) record(s *Summary) {
+	slot := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[slot].Store(s)
+}
+
+// Begin opens a flight record for one statement, allocating its query ID
+// and sampling the allocation baseline. Pass the eventual outcome to
+// Finish; an abandoned flight is simply never published.
+func (r *Recorder) Begin(sqlText, kind, approach string) *Flight {
+	if r == nil {
+		return nil
+	}
+	if len(sqlText) > maxSQLLen {
+		sqlText = sqlText[:maxSQLLen]
+	}
+	return &Flight{
+		rec: r,
+		sum: &Summary{
+			ID:       r.ids.Add(1),
+			Start:    time.Now(),
+			SQL:      sqlText,
+			Kind:     kind,
+			Approach: approach,
+		},
+		startAlloc: allocBytes(),
+	}
+}
+
+// Flight is one in-progress statement's record. It is written by the
+// statement's own goroutine (the Volcano protocol is sequential), so the
+// setters are plain stores; only Finish is guarded, because the operator
+// wrapper may race its end-of-stream finalization against Close.
+type Flight struct {
+	rec        *Recorder
+	sum        *Summary
+	qt         *trace.QueryTrace
+	startAlloc uint64
+	done       atomic.Bool
+}
+
+// ID returns the flight's query ID (0 on a nil flight).
+func (f *Flight) ID() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.sum.ID
+}
+
+// SetKind overrides the statement kind recorded at Begin.
+func (f *Flight) SetKind(kind string) {
+	if f != nil {
+		f.sum.Kind = kind
+	}
+}
+
+// SetApproach overrides the approach tag recorded at Begin.
+func (f *Flight) SetApproach(a string) {
+	if f != nil {
+		f.sum.Approach = a
+	}
+}
+
+// Approach reads the current approach tag.
+func (f *Flight) Approach() string {
+	if f == nil {
+		return ""
+	}
+	return f.sum.Approach
+}
+
+// SetQueueWait records admission-control queue wait.
+func (f *Flight) SetQueueWait(d time.Duration) {
+	if f != nil {
+		f.sum.QueueWaitNS = int64(d)
+	}
+}
+
+// AddRowsOut accumulates result rows delivered to the client.
+func (f *Flight) AddRowsOut(n int64) {
+	if f != nil {
+		f.sum.RowsOut += n
+	}
+}
+
+// AttachTrace hands the flight the statement's span tree; Finish folds it
+// into the per-operator breakdown and the scan-derived summary columns.
+func (f *Flight) AttachTrace(qt *trace.QueryTrace) {
+	if f != nil {
+		f.qt = qt
+	}
+}
+
+// Finish seals and publishes the summary (first call wins). It finishes
+// the attached query trace with the same outcome, so callers that hold
+// both need no ordering discipline — QueryTrace.Finish is itself
+// first-call-wins.
+func (f *Flight) Finish(err error) {
+	if f == nil || !f.done.CompareAndSwap(false, true) {
+		return
+	}
+	if f.qt != nil {
+		f.qt.Finish(err)
+	}
+	f.sum.LatencyNS = int64(time.Since(f.sum.Start))
+	if end := allocBytes(); end > f.startAlloc {
+		f.sum.AllocBytes = int64(end - f.startAlloc)
+	}
+	if err != nil {
+		f.sum.Error = err.Error()
+	}
+	if f.qt != nil && f.qt.Root != nil {
+		foldSpans(f.sum, f.qt.Root.Stat(), 0)
+	}
+	f.rec.record(f.sum)
+}
+
+// foldSpans flattens the span snapshot tree into preorder OpStat rows and
+// lifts the scan- and model-level aggregates into the summary columns.
+func foldSpans(sum *Summary, s trace.SpanStat, depth int) {
+	op := OpStat{
+		Seq:      len(sum.Ops),
+		Depth:    depth,
+		Op:       s.Name,
+		WallNS:   s.WallNS,
+		Rows:     s.Rows,
+		Batches:  s.Batches,
+		Counters: s.Counters,
+	}
+	for _, c := range s.Counters {
+		switch c.Name {
+		case "pruned_blocks":
+			sum.BlocksPruned += c.Value
+		case "scanned_bytes":
+			sum.BytesScanned += c.Value
+		}
+	}
+	if strings.HasPrefix(s.Name, "Scan ") {
+		sum.RowsIn += s.Rows
+	}
+	if v := s.Labels["cache"]; v != "" {
+		sum.Cache = v
+	}
+	sum.Ops = append(sum.Ops, op)
+	for _, c := range s.Children {
+		foldSpans(sum, c, depth+1)
+	}
+}
+
+// allocBytes reads cumulative process heap allocation. /gc/heap/allocs:bytes
+// is maintained without a stop-the-world, unlike runtime.ReadMemStats, so
+// sampling it twice per statement is far inside the recorder's overhead
+// budget.
+func allocBytes() uint64 {
+	s := []rtmetrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() == rtmetrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// ---- operator wrapper ----
+
+// recordedOp finalizes the flight when the statement's operator tree
+// finishes: end of stream, first error, or Close, whichever the caller
+// reaches first. It also carries the query ID to the wire layer via the
+// QueryID method, so clients can correlate their result set with
+// system.queries.
+type recordedOp struct {
+	child exec.Operator
+	fl    *Flight
+	err   error
+}
+
+// Wrap decorates op so its lifecycle seals fl. A nil flight returns op
+// unchanged.
+func Wrap(op exec.Operator, fl *Flight) exec.Operator {
+	if fl == nil {
+		return op
+	}
+	return &recordedOp{child: op, fl: fl}
+}
+
+func (r *recordedOp) Schema() *types.Schema { return r.child.Schema() }
+
+func (r *recordedOp) Open() error {
+	err := r.child.Open()
+	if err != nil {
+		// Callers do not Close after a failed Open; seal here.
+		r.err = err
+		r.fl.Finish(err)
+	}
+	return err
+}
+
+func (r *recordedOp) Next() (*vector.Batch, error) {
+	b, err := r.child.Next()
+	if err != nil {
+		r.err = err
+	} else if b != nil {
+		r.fl.AddRowsOut(int64(b.Len()))
+	}
+	return b, err
+}
+
+func (r *recordedOp) Close() error {
+	cerr := r.child.Close()
+	if r.err == nil {
+		r.err = cerr
+	}
+	// Fold after the child tree is closed: Traced.Close is what transfers
+	// pruned_blocks / scanned_bytes from the operators into their spans.
+	r.fl.Finish(r.err)
+	return cerr
+}
+
+// QueryID exposes the flight-recorder ID for wire propagation.
+func (r *recordedOp) QueryID() uint64 { return r.fl.ID() }
+
+// ---- context plumbing ----
+
+type ctxKey int
+
+const (
+	approachKey ctxKey = iota
+	queueWaitKey
+)
+
+// WithApproach tags statements run under ctx with an approach label
+// (pyudf, mlruntime, mltosql, external, ...), overriding the planner's
+// sql/modeljoin inference. Harnesses that drive the engine on behalf of
+// another execution strategy use this so system.queries attributes the
+// work correctly.
+func WithApproach(ctx context.Context, approach string) context.Context {
+	return context.WithValue(ctx, approachKey, approach)
+}
+
+// ApproachFrom returns the approach tag carried by ctx ("" if none).
+func ApproachFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	a, _ := ctx.Value(approachKey).(string)
+	return a
+}
+
+// WithQueueWait records the admission-control wait the server charged this
+// statement before handing it to the engine.
+func WithQueueWait(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, queueWaitKey, d)
+}
+
+// QueueWaitFrom returns the queue wait carried by ctx (0 if none).
+func QueueWaitFrom(ctx context.Context) time.Duration {
+	if ctx == nil {
+		return 0
+	}
+	d, _ := ctx.Value(queueWaitKey).(time.Duration)
+	return d
+}

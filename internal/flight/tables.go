@@ -1,0 +1,148 @@
+package flight
+
+import (
+	"indbml/internal/engine/storage"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+	"indbml/internal/metrics"
+)
+
+// Virtual system tables over the recorder and the metrics registry. Each
+// Snapshot materializes a point-in-time view into batches; the scan layer
+// streams those without further copies.
+
+var queriesSchema = types.NewSchema(
+	types.Column{Name: "query_id", Type: types.Int64},
+	types.Column{Name: "ts", Type: types.Int64}, // statement start, unix nanoseconds
+	types.Column{Name: "kind", Type: types.String},
+	types.Column{Name: "approach", Type: types.String},
+	types.Column{Name: "latency_ns", Type: types.Int64},
+	types.Column{Name: "queue_wait_ns", Type: types.Int64},
+	types.Column{Name: "rows_out", Type: types.Int64},
+	types.Column{Name: "rows_in", Type: types.Int64},
+	types.Column{Name: "bytes_scanned", Type: types.Int64},
+	types.Column{Name: "blocks_pruned", Type: types.Int64},
+	types.Column{Name: "cache", Type: types.String},
+	types.Column{Name: "alloc_bytes", Type: types.Int64},
+	types.Column{Name: "error", Type: types.String},
+	types.Column{Name: "sql", Type: types.String},
+)
+
+type queriesTable struct{ r *Recorder }
+
+// QueriesTable exposes the recorder ring as system.queries, one row per
+// retained statement.
+func QueriesTable(r *Recorder) storage.VirtualTable { return queriesTable{r} }
+
+func (queriesTable) Name() string          { return "system.queries" }
+func (queriesTable) Schema() *types.Schema { return queriesSchema }
+func (t queriesTable) Snapshot() ([]*vector.Batch, error) {
+	b := storage.NewBatchBuilder(queriesSchema)
+	for _, s := range t.r.Snapshot() {
+		b.Append(
+			types.Int64Datum(int64(s.ID)),
+			types.Int64Datum(s.Start.UnixNano()),
+			types.StringDatum(s.Kind),
+			types.StringDatum(s.Approach),
+			types.Int64Datum(s.LatencyNS),
+			types.Int64Datum(s.QueueWaitNS),
+			types.Int64Datum(s.RowsOut),
+			types.Int64Datum(s.RowsIn),
+			types.Int64Datum(s.BytesScanned),
+			types.Int64Datum(s.BlocksPruned),
+			types.StringDatum(s.Cache),
+			types.Int64Datum(s.AllocBytes),
+			types.StringDatum(s.Error),
+			types.StringDatum(s.SQL),
+		)
+	}
+	return b.Batches(), nil
+}
+
+var operatorsSchema = types.NewSchema(
+	types.Column{Name: "query_id", Type: types.Int64},
+	types.Column{Name: "op_seq", Type: types.Int32},
+	types.Column{Name: "depth", Type: types.Int32},
+	types.Column{Name: "op", Type: types.String},
+	types.Column{Name: "counter", Type: types.String}, // "" = the operator's base row
+	types.Column{Name: "wall_ns", Type: types.Int64},
+	types.Column{Name: "rows", Type: types.Int64},
+	types.Column{Name: "batches", Type: types.Int64},
+	types.Column{Name: "value", Type: types.Int64},
+)
+
+type operatorsTable struct{ r *Recorder }
+
+// OperatorsTable exposes the folded span trees as system.query_operators.
+// Every operator contributes one base row (counter = ”) carrying
+// wall_ns/rows/batches, plus one row per named counter carrying its value
+// — so both "sum wall time by operator" and "sum sgemm_ns across queries"
+// are single-table aggregates.
+func OperatorsTable(r *Recorder) storage.VirtualTable { return operatorsTable{r} }
+
+func (operatorsTable) Name() string          { return "system.query_operators" }
+func (operatorsTable) Schema() *types.Schema { return operatorsSchema }
+func (t operatorsTable) Snapshot() ([]*vector.Batch, error) {
+	b := storage.NewBatchBuilder(operatorsSchema)
+	for _, s := range t.r.Snapshot() {
+		for _, op := range s.Ops {
+			b.Append(
+				types.Int64Datum(int64(s.ID)),
+				types.Int32Datum(int32(op.Seq)),
+				types.Int32Datum(int32(op.Depth)),
+				types.StringDatum(op.Op),
+				types.StringDatum(""),
+				types.Int64Datum(op.WallNS),
+				types.Int64Datum(op.Rows),
+				types.Int64Datum(op.Batches),
+				types.Int64Datum(0),
+			)
+			for _, c := range op.Counters {
+				b.Append(
+					types.Int64Datum(int64(s.ID)),
+					types.Int32Datum(int32(op.Seq)),
+					types.Int32Datum(int32(op.Depth)),
+					types.StringDatum(op.Op),
+					types.StringDatum(c.Name),
+					types.Int64Datum(0),
+					types.Int64Datum(0),
+					types.Int64Datum(0),
+					types.Int64Datum(c.Value),
+				)
+			}
+		}
+	}
+	return b.Batches(), nil
+}
+
+var metricsSchema = types.NewSchema(
+	types.Column{Name: "name", Type: types.String},
+	types.Column{Name: "kind", Type: types.String},
+	types.Column{Name: "label", Type: types.String},
+	types.Column{Name: "value", Type: types.Float64},
+	types.Column{Name: "exemplar_query_id", Type: types.Int64},
+)
+
+type metricsTable struct{ reg *metrics.Registry }
+
+// MetricsTable exposes a metrics registry as system.metrics, one row per
+// exposition sample, with histogram buckets carrying their exemplar query
+// IDs — the in-database end of the "latency spike → offending query"
+// workflow.
+func MetricsTable(reg *metrics.Registry) storage.VirtualTable { return metricsTable{reg} }
+
+func (metricsTable) Name() string          { return "system.metrics" }
+func (metricsTable) Schema() *types.Schema { return metricsSchema }
+func (t metricsTable) Snapshot() ([]*vector.Batch, error) {
+	b := storage.NewBatchBuilder(metricsSchema)
+	for _, s := range t.reg.Samples() {
+		b.Append(
+			types.StringDatum(s.Name),
+			types.StringDatum(s.Kind),
+			types.StringDatum(s.Label),
+			types.Float64Datum(s.Value),
+			types.Int64Datum(int64(s.ExemplarQueryID)),
+		)
+	}
+	return b.Batches(), nil
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenExposition pins the full text page byte for byte: HELP/TYPE
+// framing, registration order, cumulative histogram buckets with the +Inf
+// bucket equal to _count (including overflow past the last finite bound),
+// and gauge funcs evaluated at scrape time. Any format drift — which would
+// silently break Prometheus scrapers — fails this test.
+func TestGoldenExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("req_total", "requests served")
+	g := reg.NewGauge("depth", "queue depth")
+	reg.NewGaugeFunc("temp", "scrape-time reading", func() float64 { return 1.5 })
+	h := reg.NewHistogram("lat_seconds", "request latency", []float64{0.5, 1})
+
+	c.Add(42)
+	g.Set(7)
+	h.Observe(0.25) // le="0.5"
+	h.Observe(1)    // exactly on the bound: le="1"
+	h.Observe(30)   // past every finite bound: +Inf only
+
+	const want = `# HELP req_total requests served
+# TYPE req_total counter
+req_total 42
+# HELP depth queue depth
+# TYPE depth gauge
+depth 7
+# HELP temp scrape-time reading
+# TYPE temp gauge
+temp 1.5
+# HELP lat_seconds request latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.5"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 31.25
+lat_seconds_count 3
+`
+	if got := reg.Text(); got != want {
+		t.Errorf("exposition page drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestInfBucketEqualsCount: the +Inf bucket is cumulative over everything,
+// so it must equal _count even when observations land only in the overflow.
+func TestInfBucketEqualsCount(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("h", "overflow only", []float64{1})
+	for i := 0; i < 5; i++ {
+		h.Observe(100)
+	}
+	const want = `# HELP h overflow only
+# TYPE h histogram
+h_bucket{le="1"} 0
+h_bucket{le="+Inf"} 5
+h_sum 500
+h_count 5
+`
+	if got := reg.Text(); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEscapeLabel covers the three escaped bytes and proves everything
+// else — including non-ASCII — passes through untouched.
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"\"\\\n", `\"\\\n`},
+		{"non-ascii ünïcode", "non-ascii ünïcode"}, // must NOT be escaped
+		{"tab\tstays", "tab\tstays"},               // only \n among controls is escaped
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestExemplarsInSamplesNotText: exemplar query IDs surface through
+// Samples() (the system.metrics feed) but leave the text page untouched, so
+// existing scrapers see an identical page.
+func TestExemplarsInSamplesNotText(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat_seconds", "latency", []float64{0.5, 1})
+	before := reg.Text()
+	h.ObserveExemplar(0.25, 0) // no exemplar recorded for ID 0
+	h.ObserveExemplar(0.3, 41)
+	h.ObserveExemplar(0.3, 42) // last write wins
+	h.ObserveExemplar(99, 7)   // lands in +Inf
+
+	exemplars := map[string]uint64{}
+	for _, s := range reg.Samples() {
+		if s.Kind == "histogram" {
+			exemplars[s.Label] = s.ExemplarQueryID
+		}
+	}
+	if got := exemplars["le=0.5"]; got != 42 {
+		t.Errorf("le=0.5 exemplar = %d, want 42 (last write wins)", got)
+	}
+	if got := exemplars["le=+Inf"]; got != 7 {
+		t.Errorf("+Inf exemplar = %d, want 7", got)
+	}
+
+	// The text page must not mention exemplars in any form.
+	after := reg.Text()
+	if before == "" || after == "" {
+		t.Fatal("empty exposition")
+	}
+	if want := "lat_seconds_bucket{le=\"+Inf\"} 4\n"; !strings.Contains(after, want) {
+		t.Errorf("text page missing %q:\n%s", want, after)
+	}
+	if strings.Contains(after, "exemplar") || strings.Contains(after, " 42 ") {
+		t.Errorf("exemplars leaked into the text page:\n%s", after)
+	}
+}
+
+// TestSamplesScalars: counters and gauges surface as single samples with
+// an empty label and no exemplar.
+func TestSamplesScalars(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("n_total", "n")
+	g := reg.NewGauge("g", "g")
+	c.Add(3)
+	g.Set(-2)
+	samples := reg.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	if samples[0].Name != "n_total" || samples[0].Kind != "counter" || samples[0].Value != 3 || samples[0].Label != "" {
+		t.Errorf("counter sample = %+v", samples[0])
+	}
+	if samples[1].Name != "g" || samples[1].Kind != "gauge" || samples[1].Value != -2 {
+		t.Errorf("gauge sample = %+v", samples[1])
+	}
+}
+
+// TestRegisterRuntime: the process gauges register and report live values.
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	vals := map[string]float64{}
+	for _, s := range reg.Samples() {
+		vals[s.Name] = s.Value
+	}
+	if vals["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", vals["go_goroutines"])
+	}
+	if vals["go_heap_live_bytes"] <= 0 {
+		t.Errorf("go_heap_live_bytes = %v, want > 0", vals["go_heap_live_bytes"])
+	}
+	if _, ok := vals["go_gc_cycles_total"]; !ok {
+		t.Error("go_gc_cycles_total not registered")
+	}
+	if _, ok := vals["go_gc_pause_seconds_total"]; !ok {
+		t.Error("go_gc_pause_seconds_total not registered")
+	}
+}

@@ -35,6 +35,38 @@ type collector interface {
 	name() string
 	help() string
 	write(w io.Writer)
+	samples(dst []Sample) []Sample
+}
+
+// Sample is one exposition data point in structured form, the feed for the
+// system.metrics virtual table. Label is "" for scalar collectors; for
+// histograms it is the bucket bound ("le=0.005", "le=+Inf") or the series
+// suffix ("sum", "count"). ExemplarQueryID links a histogram bucket to the
+// flight-recorder ID of the most recent query observed into it (0 = none),
+// so a latency spike is one join away from the offending rows in
+// system.queries.
+type Sample struct {
+	Name            string
+	Kind            string // "counter", "gauge", "histogram"
+	Label           string
+	Value           float64
+	ExemplarQueryID uint64
+}
+
+// Samples renders every collector as structured samples, in registration
+// order. This is the scrape path used by the system.metrics virtual table;
+// the text page (WriteText) stays byte-identical with or without exemplars
+// so existing Prometheus scrapers are unaffected.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	ord := make([]collector, len(r.ord))
+	copy(ord, r.ord)
+	r.mu.Unlock()
+	var out []Sample
+	for _, c := range ord {
+		out = c.samples(out)
+	}
+	return out
 }
 
 // NewRegistry returns an empty registry.
@@ -117,13 +149,16 @@ type Counter struct {
 	v      atomic.Int64
 }
 
-func (c *Counter) Inc()          { c.v.Add(1) }
-func (c *Counter) Add(n int64)   { c.v.Add(n) }
-func (c *Counter) Value() int64  { return c.v.Load() }
-func (c *Counter) name() string  { return c.nm }
-func (c *Counter) help() string  { return c.hp }
+func (c *Counter) Inc()         { c.v.Add(1) }
+func (c *Counter) Add(n int64)  { c.v.Add(n) }
+func (c *Counter) Value() int64 { return c.v.Load() }
+func (c *Counter) name() string { return c.nm }
+func (c *Counter) help() string { return c.hp }
 func (c *Counter) write(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.nm, c.nm, c.v.Load())
+}
+func (c *Counter) samples(dst []Sample) []Sample {
+	return append(dst, Sample{Name: c.nm, Kind: "counter", Value: float64(c.v.Load())})
 }
 
 // ---- gauge ----
@@ -134,13 +169,16 @@ type Gauge struct {
 	v      atomic.Int64
 }
 
-func (g *Gauge) Set(n int64)    { g.v.Store(n) }
-func (g *Gauge) Add(n int64)    { g.v.Add(n) }
-func (g *Gauge) Value() int64   { return g.v.Load() }
-func (g *Gauge) name() string   { return g.nm }
-func (g *Gauge) help() string   { return g.hp }
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) name() string { return g.nm }
+func (g *Gauge) help() string { return g.hp }
 func (g *Gauge) write(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.nm, g.nm, g.v.Load())
+}
+func (g *Gauge) samples(dst []Sample) []Sample {
+	return append(dst, Sample{Name: g.nm, Kind: "gauge", Value: float64(g.v.Load())})
 }
 
 type gaugeFunc struct {
@@ -153,6 +191,9 @@ func (g *gaugeFunc) help() string { return g.hp }
 func (g *gaugeFunc) write(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.nm, g.nm, fmtFloat(g.fn()))
 }
+func (g *gaugeFunc) samples(dst []Sample) []Sample {
+	return append(dst, Sample{Name: g.nm, Kind: "gauge", Value: g.fn()})
+}
 
 // ---- histogram ----
 
@@ -162,11 +203,12 @@ func (g *gaugeFunc) write(w io.Writer) {
 // Observe is a single add; the cumulative form required by the exposition
 // format is computed at render time.
 type Histogram struct {
-	nm, hp  string
-	bounds  []float64      // ascending upper bounds, excluding +Inf
-	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	nm, hp    string
+	bounds    []float64       // ascending upper bounds, excluding +Inf
+	buckets   []atomic.Int64  // len(bounds)+1; last is the +Inf overflow
+	exemplars []atomic.Uint64 // per-bucket flight-recorder query ID (0 = none)
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // float64 bits, CAS-updated
 }
 
 func newHistogram(name, help string, bounds []float64) *Histogram {
@@ -177,13 +219,26 @@ func newHistogram(name, help string, bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{nm: name, hp: help, bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		nm: name, hp: help, bounds: b,
+		buckets:   make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Uint64, len(b)+1),
+	}
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, 0) }
+
+// ObserveExemplar records one value and, when queryID is non-zero, marks
+// it as the bucket's exemplar: the flight-recorder ID of the most recent
+// query that landed there. Last write wins — an exemplar is a pointer to a
+// *recent* representative, not an extremum.
+func (h *Histogram) ObserveExemplar(v float64, queryID uint64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.buckets[i].Add(1)
+	if queryID != 0 {
+		h.exemplars[i].Store(queryID)
+	}
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -197,6 +252,11 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds — the exposition-format
 // convention for latency histograms.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationExemplar is ObserveDuration with an exemplar query ID.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, queryID uint64) {
+	h.ObserveExemplar(d.Seconds(), queryID)
+}
 
 // Count and Sum read the totals.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -231,18 +291,67 @@ func (h *Histogram) write(w io.Writer) {
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, fmtFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.nm, EscapeLabel(fmtFloat(b)), cum)
 	}
+	// The +Inf bucket is cumulative over everything, so it must equal
+	// _count exactly — including observations beyond the last finite bound.
 	cum += h.buckets[len(h.bounds)].Load()
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum)
 	fmt.Fprintf(w, "%s_sum %s\n", h.nm, fmtFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.count.Load())
 }
 
+func (h *Histogram) samples(dst []Sample) []Sample {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		dst = append(dst, Sample{
+			Name: h.nm, Kind: "histogram",
+			Label:           "le=" + fmtFloat(b),
+			Value:           float64(cum),
+			ExemplarQueryID: h.exemplars[i].Load(),
+		})
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	dst = append(dst, Sample{
+		Name: h.nm, Kind: "histogram", Label: "le=+Inf",
+		Value:           float64(cum),
+		ExemplarQueryID: h.exemplars[len(h.bounds)].Load(),
+	})
+	dst = append(dst, Sample{Name: h.nm, Kind: "histogram", Label: "sum", Value: h.Sum()})
+	dst = append(dst, Sample{Name: h.nm, Kind: "histogram", Label: "count", Value: float64(h.count.Load())})
+	return dst
+}
+
 // fmtFloat renders floats the way the exposition format expects: no
 // exponent for common magnitudes, no trailing zeros.
 func fmtFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// EscapeLabel escapes a label value per the text exposition format:
+// backslash, double-quote, and newline get backslash escapes; everything
+// else passes through as raw UTF-8. (strconv.Quote is NOT correct here —
+// it escapes non-ASCII and control bytes in Go syntax that exposition
+// parsers do not understand.)
+func EscapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
 }
 
 // DefaultLatencyBounds are the upper bounds (seconds) shared by the

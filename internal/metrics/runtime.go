@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"runtime"
+	rtmetrics "runtime/metrics"
+)
+
+// RegisterRuntime adds process-level gauges from runtime/metrics so a
+// scrape of /metrics covers the Go runtime, not just query traffic:
+// live goroutines, heap bytes in use, cumulative GC cycles, and total GC
+// pause time. All values are read at scrape time; registration itself
+// costs nothing on the query path.
+func RegisterRuntime(r *Registry) {
+	r.NewGaugeFunc("go_goroutines", "Number of live goroutines.",
+		runtimeMetric("/sched/goroutines:goroutines"))
+	r.NewGaugeFunc("go_heap_live_bytes", "Heap memory occupied by live objects and dead objects not yet collected.",
+		runtimeMetric("/memory/classes/heap/objects:bytes"))
+	r.NewGaugeFunc("go_gc_cycles_total", "Completed GC cycles since process start.",
+		runtimeMetric("/gc/cycles/total:gc-cycles"))
+	r.NewGaugeFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}
+
+// runtimeMetric adapts one runtime/metrics sample to a gauge function.
+func runtimeMetric(name string) func() float64 {
+	return func() float64 {
+		s := []rtmetrics.Sample{{Name: name}}
+		rtmetrics.Read(s)
+		switch s[0].Value.Kind() {
+		case rtmetrics.KindUint64:
+			return float64(s[0].Value.Uint64())
+		case rtmetrics.KindFloat64:
+			return s[0].Value.Float64()
+		default:
+			return 0
+		}
+	}
+}

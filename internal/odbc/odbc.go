@@ -85,6 +85,11 @@ func (rs *Rows) Err() error { return rs.cur.Err() }
 // Next returns the next row as boxed values, or nil at end of stream.
 func (rs *Rows) Next() []any { return rs.cur.Next() }
 
+// QueryID returns the server's flight-recorder ID for this statement,
+// available once the stream has finished cleanly (0 before that, or when
+// the recorder is disabled). It keys into system.queries.
+func (rs *Rows) QueryID() uint64 { return rs.cur.QueryID() }
+
 // Query runs a query against the database over an in-memory network pipe
 // and returns a client-side cursor. A server goroutine streams the result;
 // the returned Rows reads from the connection like a remote client.

@@ -147,6 +147,11 @@ func (r *Rows) Err() error { return r.cur.Err() }
 // Drain consumes any remaining rows and returns the terminal error.
 func (r *Rows) Drain() error { return r.cur.Drain() }
 
+// QueryID returns the server's flight-recorder ID for this statement,
+// available once the stream has finished cleanly (0 before that, or when
+// the server's recorder is disabled). It keys into system.queries.
+func (r *Rows) QueryID() uint64 { return r.cur.QueryID() }
+
 // IsOverloaded reports whether err is an admission-control fast-reject.
 func IsOverloaded(err error) bool {
 	var se *wire.ServerError

@@ -38,6 +38,7 @@ import (
 
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/exec"
+	"indbml/internal/flight"
 	"indbml/internal/metrics"
 	"indbml/internal/trace"
 	"indbml/internal/wire"
@@ -137,6 +138,17 @@ func New(d *db.Database, cfg Config) *Server {
 		func() float64 { return float64(d.ModelCacheStats().Evictions) })
 	reg.NewGaugeFunc("vectordb_model_cache_entries", "Model artifact cache resident entries.",
 		func() float64 { return float64(d.ModelCacheStats().Entries) })
+	if fr := d.FlightRecorder(); fr != nil {
+		reg.NewGaugeFunc("vectordb_flight_recorder_capacity", "Flight recorder ring capacity.",
+			func() float64 { return float64(fr.Capacity()) })
+		reg.NewGaugeFunc("vectordb_flight_queries_recorded_total", "Statements published to the flight recorder since start.",
+			func() float64 { return float64(fr.Recorded()) })
+	}
+	metrics.RegisterRuntime(reg)
+	// Expose this server's registry in-database, completing the exemplar
+	// loop: a histogram spike in system.metrics carries the query ID to
+	// drill into system.queries / system.query_operators with plain SQL.
+	d.RegisterVirtualTable(flight.MetricsTable(reg))
 	return s
 }
 
@@ -342,27 +354,32 @@ func (s *Server) queryCtx(deadlineMillis uint64) (context.Context, context.Cance
 // admit acquires a query slot, queueing up to the configured depth and
 // wait. The returned release func must be called exactly once; a nil
 // release means the statement was rejected or canceled and the error
-// carries the wire code to report.
-func (s *Server) admit(ctx context.Context) (release func(), code byte, err error) {
+// carries the wire code to report. wait is the time the statement spent
+// queued (0 on the fast path), which the flight recorder charges to the
+// statement as queue_wait_ns.
+func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration, code byte, err error) {
 	// Fast path: a slot is free.
 	select {
 	case s.slots <- struct{}{}:
-		return func() { <-s.slots }, 0, nil
+		return func() { <-s.slots }, 0, 0, nil
 	default:
 	}
 	// Slow path: queue if there is room.
 	if s.cfg.QueueDepth == 0 {
 		s.stats.Rejected.Add(1)
-		return nil, wire.CodeOverloaded, fmt.Errorf("overloaded: %d query slots busy and no queue", s.cfg.QuerySlots)
+		return nil, 0, wire.CodeOverloaded, fmt.Errorf("overloaded: %d query slots busy and no queue", s.cfg.QuerySlots)
 	}
 	if n := s.stats.Queued.Add(1); n > int64(s.cfg.QueueDepth) {
 		s.stats.Queued.Add(-1)
 		s.stats.Rejected.Add(1)
-		return nil, wire.CodeOverloaded, fmt.Errorf("overloaded: %d query slots busy, queue of %d full", s.cfg.QuerySlots, s.cfg.QueueDepth)
+		return nil, 0, wire.CodeOverloaded, fmt.Errorf("overloaded: %d query slots busy, queue of %d full", s.cfg.QuerySlots, s.cfg.QueueDepth)
 	}
 	defer s.stats.Queued.Add(-1)
 	enqueued := time.Now()
-	defer func() { s.stats.QueuedWait.ObserveDuration(time.Since(enqueued)) }()
+	defer func() {
+		wait = time.Since(enqueued)
+		s.stats.QueuedWait.ObserveDuration(wait)
+	}()
 
 	var timeout <-chan time.Time
 	if s.cfg.QueueWait > 0 {
@@ -372,13 +389,13 @@ func (s *Server) admit(ctx context.Context) (release func(), code byte, err erro
 	}
 	select {
 	case s.slots <- struct{}{}:
-		return func() { <-s.slots }, 0, nil
+		return func() { <-s.slots }, 0, 0, nil
 	case <-timeout:
 		s.stats.Rejected.Add(1)
-		return nil, wire.CodeOverloaded, fmt.Errorf("overloaded: no query slot within %s", s.cfg.QueueWait)
+		return nil, 0, wire.CodeOverloaded, fmt.Errorf("overloaded: no query slot within %s", s.cfg.QueueWait)
 	case <-ctx.Done():
 		s.stats.Canceled.Add(1)
-		return nil, wire.CodeCanceled, fmt.Errorf("canceled while queued: %w", ctx.Err())
+		return nil, 0, wire.CodeCanceled, fmt.Errorf("canceled while queued: %w", ctx.Err())
 	}
 }
 
@@ -404,16 +421,20 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 	ctx, cancel := s.queryCtx(deadlineMillis)
 	defer cancel()
 
-	release, code, err := s.admit(ctx)
+	release, wait, code, err := s.admit(ctx)
 	if err != nil {
 		wire.WriteError(bw, code, err.Error())
 		return
 	}
+	// Charge the admission wait to the statement's flight record, whatever
+	// kind it turns out to be.
+	ctx = flight.WithQueueWait(ctx, wait)
 	s.stats.Running.Add(1)
+	var exemplarID uint64
 	defer func() {
 		s.stats.Running.Add(-1)
 		release()
-		s.stats.observeLatency(time.Since(start))
+		s.stats.observeLatency(time.Since(start), exemplarID)
 	}()
 
 	switch {
@@ -443,7 +464,7 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 		s.stats.Completed.Add(1)
 		wire.WriteOK(bw, plan)
 	case strings.HasPrefix(upper, "SELECT"):
-		s.serveSelect(bw, ctx, text, start)
+		exemplarID = s.serveSelect(bw, ctx, text, start)
 	default:
 		if err := s.db.ExecContext(ctx, text); err != nil {
 			if wire.IsCancellation(err) {
@@ -460,11 +481,13 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 	}
 }
 
-// serveSelect streams a SELECT to the client. With the slow-query log
-// enabled the statement runs traced, so a slow or failing query leaves a
-// JSON line embedding its per-operator span tree; otherwise it takes the
-// untraced build, which inserts no instrumentation at all.
-func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string, start time.Time) {
+// serveSelect streams a SELECT to the client and returns the statement's
+// flight-recorder query ID (0 when the recorder is disabled), which the
+// caller stamps on the latency histogram as the bucket exemplar. With the
+// slow-query log enabled the statement runs traced, so a slow or failing
+// query leaves a JSON line embedding its per-operator span tree; the
+// flight recorder independently builds traced whenever it is enabled.
+func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string, start time.Time) uint64 {
 	var (
 		op  exec.Operator
 		qt  *trace.QueryTrace
@@ -478,7 +501,11 @@ func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string,
 	if err != nil {
 		s.stats.Failed.Add(1)
 		wire.WriteError(bw, wire.CodeError, err.Error())
-		return
+		return 0
+	}
+	var qid uint64
+	if q, ok := op.(interface{ QueryID() uint64 }); ok {
+		qid = q.QueryID()
 	}
 	rows, err := wire.StreamOperator(bw, op)
 	s.stats.RowsServed.Add(rows)
@@ -498,4 +525,5 @@ func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string,
 			s.slow.log(start, verdictFor(err, canceled), rows, qt)
 		}
 	}
+	return qid
 }

@@ -60,8 +60,12 @@ func newStats(reg *metrics.Registry) *Stats {
 	return s
 }
 
-// observeLatency records one statement's wall time into the histogram.
-func (s *Stats) observeLatency(d time.Duration) { s.Latency.ObserveDuration(d) }
+// observeLatency records one statement's wall time into the histogram,
+// stamping the bucket's exemplar with the flight-recorder query ID when
+// the statement has one.
+func (s *Stats) observeLatency(d time.Duration, queryID uint64) {
+	s.Latency.ObserveDurationExemplar(d, queryID)
+}
 
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {

@@ -70,7 +70,7 @@ func (s *Span) NewChild(name string) *Span {
 func (s *Span) AddWall(d time.Duration) { s.wallNS.Add(int64(d)) }
 
 // AddRows / AddBatches accumulate output cardinality.
-func (s *Span) AddRows(n int64)  { s.rows.Add(n) }
+func (s *Span) AddRows(n int64)    { s.rows.Add(n) }
 func (s *Span) AddBatches(n int64) { s.batches.Add(n) }
 
 // Wall, Rows, Batches read the accumulated totals.
@@ -269,6 +269,55 @@ func (s *Span) toJSON() spanJSON {
 		j.Children = append(j.Children, c.toJSON())
 	}
 	return j
+}
+
+// CounterStat is one named counter in a span snapshot, in creation order.
+type CounterStat struct {
+	Name  string
+	Value int64
+}
+
+// SpanStat is an immutable snapshot of one span and its subtree, taken with
+// Stat. It is the hand-off format for consumers that outlive the query —
+// the flight recorder folds it into its per-query operator breakdown —
+// without exposing the span's live atomics.
+type SpanStat struct {
+	Name     string
+	WallNS   int64
+	Rows     int64
+	Batches  int64
+	Labels   map[string]string
+	Counters []CounterStat
+	Children []SpanStat
+}
+
+// Stat snapshots the span subtree. Safe to call concurrently with counter
+// mutation; the values are whatever the atomics held at read time.
+func (s *Span) Stat() SpanStat {
+	st := SpanStat{
+		Name:    s.Name,
+		WallNS:  s.wallNS.Load(),
+		Rows:    s.rows.Load(),
+		Batches: s.batches.Load(),
+	}
+	s.mu.Lock()
+	if len(s.labels) > 0 {
+		st.Labels = make(map[string]string, len(s.labels))
+		for k, v := range s.labels {
+			st.Labels[k] = v
+		}
+	}
+	if len(s.extras) > 0 {
+		st.Counters = make([]CounterStat, 0, len(s.extras))
+		for _, e := range s.extras {
+			st.Counters = append(st.Counters, CounterStat{Name: e.name, Value: e.val.Load()})
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range s.Children {
+		st.Children = append(st.Children, c.Stat())
+	}
+	return st
 }
 
 // MarshalJSON emits the compact trace record embedded in the slow-query

@@ -22,6 +22,7 @@ type Cursor struct {
 	done    bool
 	pending uint64 // rows left in the current chunk
 	rowBuf  []byte
+	queryID uint64 // flight-recorder ID from the MsgDone terminator
 }
 
 // NewCursor builds a cursor over a stream whose MsgSchema frame has
@@ -60,6 +61,12 @@ func (c *Cursor) Err() error { return c.err }
 // next result.
 func (c *Cursor) Finished() bool { return c.done }
 
+// QueryID returns the server-side flight-recorder ID carried by the
+// MsgDone terminator (0 until the stream finishes cleanly, or when the
+// server's recorder is disabled). Use it to look the statement up in
+// system.queries / system.query_operators.
+func (c *Cursor) QueryID() uint64 { return c.queryID }
+
 // Next returns the next row as boxed values, or nil at end of stream.
 func (c *Cursor) Next() []any {
 	if c.done || c.err != nil {
@@ -81,6 +88,12 @@ func (c *Cursor) Next() []any {
 				}
 				c.pending = n
 			case MsgDone:
+				qid, err := binary.ReadUvarint(c.r)
+				if err != nil {
+					c.fail(err)
+					return nil
+				}
+				c.queryID = qid
 				c.done = true
 				return nil
 			case MsgError:

@@ -20,7 +20,8 @@
 //
 //	MsgSchema  ncols (len name typ)×ncols
 //	MsgRows    nrows (len rowbytes)×nrows
-//	MsgDone    (no payload; terminates a result stream)
+//	MsgDone    query_id               (terminates a result stream; query_id
+//	           is the server's flight-recorder ID, 0 when disabled)
 //	MsgOK      len text                (statement acknowledged, no rows)
 //	MsgError   code len text           (in-band failure, terminates stream)
 //

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke test: boot vectordbd with the demo workload, drive
+# SQL and a MODEL JOIN over the wire protocol with the real shell, then
+# assert the always-on recorder saw the statements (count(*) over
+# system.queries > 0) and that \queries shows the approach tags.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${FLIGHT_SMOKE_ADDR:-127.0.0.1:54329}
+BIN=$(mktemp -d)
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/vectordbd" ./cmd/vectordbd
+go build -o "$BIN/vectordb" ./cmd/vectordb
+
+"$BIN/vectordbd" -addr "$ADDR" -demo &
+DPID=$!
+
+# Wait for the listener to come up.
+up=
+for _ in $(seq 1 50); do
+    if "$BIN/vectordb" -connect "$ADDR" </dev/null >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || { echo "flight-smoke: daemon never came up on $ADDR" >&2; exit 1; }
+
+OUT=$("$BIN/vectordb" -connect "$ADDR" <<'EOF'
+SELECT class, COUNT(*) AS n FROM iris GROUP BY class ORDER BY class;
+SELECT * FROM iris MODEL JOIN iris_model PREDICT (sepal_length, sepal_width, petal_length, petal_width) LIMIT 5;
+SELECT count(*) AS recorded FROM system.queries;
+\queries
+\q
+EOF
+)
+echo "$OUT"
+
+# The interactive prompt ("> ") prefixes the result header line.
+COUNT=$(echo "$OUT" | awk '/recorded/{getline; print $1; exit}')
+[ -n "$COUNT" ] && [ "$COUNT" -gt 0 ] || {
+    echo "flight-smoke: system.queries is empty (count=$COUNT)" >&2
+    exit 1
+}
+# \queries must show both approach tags for the statements we just ran.
+echo "$OUT" | grep -q 'modeljoin' || { echo "flight-smoke: no modeljoin row in \\queries" >&2; exit 1; }
+echo "flight-smoke OK: $COUNT statements recorded"

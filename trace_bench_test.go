@@ -1,10 +1,10 @@
 package indbml
 
-// Benchmark for the per-operator tracing overhead: the same MODEL JOIN
-// executed through the untraced build path (no Traced wrappers are
-// inserted at all) and through the traced one (every operator wrapped,
-// every batch paying a handful of atomic adds). EXPERIMENTS.md records the
-// measured ratio against the <2% disabled-trace budget.
+// Benchmark for the per-operator tracing and flight-recorder overhead: the
+// same MODEL JOIN executed with the recorder disabled (no Traced wrappers,
+// no summary), with the always-on recorder (traced build plus one ring-slot
+// publish per query), and through the explicit EXPLAIN ANALYZE trace path.
+// EXPERIMENTS.md records the measured ratios against the <2% budget.
 
 import (
 	"context"
@@ -22,22 +22,36 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	fact, _ := workload.IrisTable("iris_trace_fact", tuples, benchPartitions)
 	q := "SELECT id, prediction FROM iris_trace_fact MODEL JOIN bench_model PREDICT (" +
 		strings.Join(workload.IrisFeatureNames, ", ") + ")"
-	newBenchDB := func() *db.Database {
+	newBenchDB := func(opts db.Options) *db.Database {
 		model := workload.DenseModel(64, 4)
 		model.Name = "bench_model"
-		return newDB(b, fact, model, db.Options{})
+		return newDB(b, fact, model, opts)
 	}
 
 	b.Run("untraced", func(b *testing.B) {
-		d := newBenchDB()
+		d := newBenchDB(db.Options{FlightRecorderSize: -1})
 		drainQuery(b, d, q, tuples) // warm the model cache outside the timer
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			drainQuery(b, d, q, tuples)
 		}
 	})
+	b.Run("recorded", func(b *testing.B) {
+		// Default options: the flight recorder is on, so every query runs
+		// traced and publishes a summary — the always-on production path.
+		d := newBenchDB(db.Options{})
+		drainQuery(b, d, q, tuples)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drainQuery(b, d, q, tuples)
+		}
+		b.StopTimer()
+		if rec := d.FlightRecorder(); rec == nil || rec.Recorded() == 0 {
+			b.Fatal("flight recorder captured no queries")
+		}
+	})
 	b.Run("traced", func(b *testing.B) {
-		d := newBenchDB()
+		d := newBenchDB(db.Options{FlightRecorderSize: -1})
 		drainQuery(b, d, q, tuples)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
