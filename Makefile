@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench trace-smoke flight-smoke examples experiments experiments-paper clean
+.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -43,6 +43,12 @@ trace-smoke:
 # over the wire, assert SELECT count(*) FROM system.queries > 0.
 flight-smoke:
 	./scripts/flight_smoke.sh
+
+# End-to-end batching smoke: boot vectordbd with a stretched coalesce
+# window, hammer the demo MODEL JOIN from concurrent clients, assert the
+# scheduler coalesced batches from more than one query.
+batch-smoke:
+	./scripts/batch_smoke.sh
 
 examples: build
 	$(GO) run ./examples/quickstart

@@ -12,6 +12,7 @@
 //	\tables                                list tables and models (embedded mode)
 //	\demo                                  load a small iris demo setup (embedded mode)
 //	\status                                server stats snapshot (-connect mode)
+//	\batcher                               inference batching scheduler report
 //	\metrics                               metrics page (shell-local or server registry)
 //	\queries                               recent statements from system.queries
 //	\trace on|off                          run every SELECT as EXPLAIN ANALYZE
@@ -270,6 +271,8 @@ func (s *localSession) meta(line string) bool {
 			st.Hits, st.Misses, st.Evictions, st.Entries)
 	case "\\metrics":
 		fmt.Print(s.reg.Text())
+	case "\\batcher":
+		fmt.Print(d.InferSched().StatsText())
 	case "\\queries":
 		res, err := s.d.Query(queriesSQL)
 		if err != nil {
@@ -280,7 +283,7 @@ func (s *localSession) meta(line string) bool {
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\metrics \\queries \\trace")
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\batcher \\metrics \\queries \\trace")
 	}
 	return true
 }
@@ -372,7 +375,8 @@ func (s *remoteSession) close() { s.c.Close() }
 func (s *remoteSession) runSQL(text string) {
 	upper := strings.ToUpper(strings.TrimSpace(text))
 	switch {
-	case strings.HasPrefix(upper, "EXPLAIN"), upper == "STATUS", upper == "METRICS":
+	case strings.HasPrefix(upper, "EXPLAIN"), upper == "STATUS", upper == "METRICS", upper == "BATCHER",
+		strings.HasPrefix(upper, "SET "):
 		out, err := s.c.Command(text)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -428,6 +432,13 @@ func (s *remoteSession) meta(line string) bool {
 			return true
 		}
 		fmt.Print(out)
+	case "\\batcher":
+		out, err := s.c.Batcher()
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(out)
 	case "\\queries":
 		rows, err := s.c.Query(queriesSQL)
 		if err != nil {
@@ -438,7 +449,7 @@ func (s *remoteSession) meta(line string) bool {
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\metrics \\queries \\trace")
+		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\batcher \\metrics \\queries \\trace")
 	}
 	return true
 }

@@ -115,6 +115,79 @@ func (s *SharedModel) Build() (*builtModel, error) {
 // caller's read); zero if the build has not run.
 func (s *SharedModel) BuildDuration() time.Duration { return s.buildDur }
 
+// InputDim reports the model's feature width; with OutputDim and RunPacked
+// it makes builtModel an infersched.Runner, so the scheduler can key
+// coalescing on artifact identity (the cross-query model cache deduplicates
+// concurrent queries onto one *builtModel).
+func (m *builtModel) InputDim() int { return m.layers[0].inDim }
+
+// OutputDim reports the model's prediction width.
+func (m *builtModel) OutputDim() int { return m.meta.OutputDim() }
+
+// RunPacked executes one packed forward pass over rows feature rows
+// (row-major rows×InputDim in staging), writing rows×OutputDim predictions
+// to preds. Unlike the operator's per-batch path it is shape-agnostic: rows
+// may exceed vector.Size when the scheduler coalesced several queries'
+// batches, which is exactly what amortizes per-call upload/launch costs.
+// Dense models only — the LSTM path keeps per-operator state and is never
+// submitted to the scheduler.
+func (m *builtModel) RunPacked(rows int, staging, preds []float32) error {
+	if m.layers[0].kind == nn.KindLSTM {
+		return fmt.Errorf("modeljoin: model %s: packed inference does not support lstm layers", m.meta.Name)
+	}
+	s := m.getScratch(rows)
+	defer m.putScratch(s)
+	dev := m.dev
+	inDim := m.layers[0].inDim
+	act := blas.Mat{Rows: rows, Cols: inDim, Data: s.bufs[0].Data[:rows*inDim]}
+	dev.Upload(act, staging[:rows*inDim])
+	for li := range m.layers {
+		l := &m.layers[li]
+		out := blas.Mat{Rows: rows, Cols: l.units, Data: s.bufs[li+1].Data[:rows*l.units]}
+		m.denseForwardPacked(l, act, out)
+		applyActivation(dev, l.act, out.Data)
+		act = out
+	}
+	dev.Download(preds[:rows*m.meta.OutputDim()], act)
+	return nil
+}
+
+// flopsFor reports the dense forward pass's matrix-multiply FLOP count for
+// n feature rows (used to attribute a coalesced super-batch's work back to
+// each query's trace span — FLOPs scale linearly in rows).
+func (m *builtModel) flopsFor(n int) int64 {
+	var f int64
+	for _, l := range m.layers {
+		f += blas.FlopsGemm(n, l.inDim, l.units)
+	}
+	return f
+}
+
+// denseForwardPacked is denseForward for arbitrary row counts. The
+// replicated bias matrix of Sec. 5.4 is vector.Size rows tall, so a
+// super-batch tiles it in vector.Size-row strips before the single sgemm.
+func (m *builtModel) denseForwardPacked(l *deviceLayer, in, out blas.Mat) {
+	dev := m.dev
+	if l.biasMat.Data != nil {
+		for r := 0; r < out.Rows; r += vector.Size {
+			c := out.Rows - r
+			if c > vector.Size {
+				c = vector.Size
+			}
+			dev.Copy(out.Data[r*l.units:(r+c)*l.units], l.biasMat.Data[:c*l.units])
+		}
+		dev.Gemm(in, l.w, out)
+		return
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	dev.Gemm(in, l.w, out)
+	for r := 0; r < out.Rows; r++ {
+		dev.VsAdd(out.Row(r), l.bias, out.Row(r))
+	}
+}
+
 // hostLayer is the staging area weights are parsed into before the single
 // device upload.
 type hostLayer struct {

@@ -1,6 +1,7 @@
 package modeljoin
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"indbml/internal/engine/exec"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/infersched"
 	"indbml/internal/nn"
 	"indbml/internal/trace"
 )
@@ -29,6 +31,16 @@ type Operator struct {
 	schema *types.Schema
 	model  *builtModel
 
+	// Batched-inference scheduling. When the engine wires a scheduler in
+	// (SetScheduler) and the statement's policy doesn't opt out, dense
+	// forward passes are submitted to the per-(model, device) queue instead
+	// of driving the device directly, so concurrent queries over the same
+	// cached artifact coalesce into one packed sgemm.
+	sched      *infersched.Scheduler
+	schedLabel infersched.Label
+	qctx       context.Context
+	policy     infersched.Policy
+
 	// Inference scratch, checked out of the built model's pool at Open:
 	// host gather buffer, device activations per layer boundary, LSTM state.
 	scratch *inferScratch
@@ -43,10 +55,11 @@ type Operator struct {
 	span       *trace.Span
 	cacheHit   bool // per-query artifact-cache verdict (see NoteCacheLookup)
 	cacheSeen  bool
-	ctrInfer   *atomic.Int64 // infer_ns: full forward-pass time
-	ctrSgemm   *atomic.Int64 // sgemm_ns: device matrix-multiply time (subset of infer)
-	ctrFlops   *atomic.Int64 // sgemm_flops
-	ctrMarshal *atomic.Int64 // marshal_ns: column gather/scatter conversion time
+	ctrInfer     *atomic.Int64 // infer_ns: full forward-pass time
+	ctrSgemm     *atomic.Int64 // sgemm_ns: device matrix-multiply time (subset of infer)
+	ctrFlops     *atomic.Int64 // sgemm_flops
+	ctrMarshal   *atomic.Int64 // marshal_ns: column gather/scatter conversion time
+	ctrBatchWait *atomic.Int64 // batch_wait_ns: time spent in scheduler coalesce windows
 }
 
 // SetSpan implements trace.SpanCarrier.
@@ -56,6 +69,23 @@ func (o *Operator) SetSpan(sp *trace.Span) { o.span = sp }
 // cross-query artifact cache (hit) or had to insert it (miss). Called by
 // the catalog when it resolves the SharedModel, before SetSpan/Open.
 func (o *Operator) NoteCacheLookup(hit bool) { o.cacheHit, o.cacheSeen = hit, true }
+
+// SetScheduler routes this operator's dense forward passes through the
+// engine's batched inference scheduler. Called by the catalog alongside
+// NewModelJoin; label names the (model, device) queue for observability.
+// LSTM-first models keep the direct path regardless.
+func (o *Operator) SetScheduler(s *infersched.Scheduler, label infersched.Label) {
+	o.sched, o.schedLabel = s, label
+}
+
+// SetQueryContext hands the operator the statement's context, carrying
+// cancellation plus the per-session scheduling policy and admission-slot
+// yielder (see infersched.WithPolicy / WithYielder). Called by the plan
+// builder before Open.
+func (o *Operator) SetQueryContext(ctx context.Context) {
+	o.qctx = ctx
+	o.policy = infersched.PolicyFrom(ctx)
+}
 
 // lstmScratch holds the per-operator LSTM working set of Listing 5.
 type lstmScratch struct {
@@ -116,7 +146,7 @@ func (o *Operator) Open() error {
 	}
 	o.model = m
 	o.Shared.pin()
-	o.scratch = m.getScratch()
+	o.scratch = m.getScratch(vector.Size)
 	o.staging = o.scratch.staging
 	o.bufs = o.scratch.bufs
 	o.lstm = o.scratch.lstm
@@ -138,8 +168,23 @@ func (o *Operator) Open() error {
 		o.ctrSgemm = o.span.Counter("sgemm_ns")
 		o.ctrFlops = o.span.Counter("sgemm_flops")
 		o.ctrMarshal = o.span.Counter("marshal_ns")
+		if o.batched() {
+			o.span.SetLabel("batched", "yes")
+			o.ctrBatchWait = o.span.Counter("batch_wait_ns")
+		} else {
+			o.span.SetLabel("batched", "no")
+		}
 	}
 	return nil
+}
+
+// batched reports whether this operator's forward passes go through the
+// inference scheduler. Requires a wired scheduler, a policy that hasn't
+// opted out, and a dense-first model (the LSTM path keeps device state
+// across time steps and stays direct). Valid after Open.
+func (o *Operator) batched() bool {
+	return o.sched != nil && !o.policy.Disabled && o.model != nil &&
+		o.model.layers[0].kind != nn.KindLSTM
 }
 
 // Next implements exec.Operator.
@@ -229,6 +274,28 @@ func (o *Operator) infer(in *vector.Batch, n int) (blas.Mat, error) {
 		}
 		if o.ctrMarshal != nil {
 			o.ctrMarshal.Add(int64(time.Since(gatherStart)))
+		}
+		if o.batched() {
+			// Hand the gathered batch to the scheduler: it may coalesce it
+			// with concurrent queries' batches over the same cached artifact
+			// into one packed forward pass, and it writes host predictions
+			// directly (upload, sgemms and download happen inside RunPacked).
+			preds := blas.NewMat(n, m.meta.OutputDim())
+			res, err := o.sched.Submit(o.qctx, o.schedLabel, m, n, staging, preds.Data)
+			if err != nil {
+				return blas.Mat{}, err
+			}
+			if o.ctrBatchWait != nil {
+				o.ctrBatchWait.Add(int64(res.Wait))
+			}
+			if o.ctrSgemm != nil {
+				// Per-query attribution under coalescing: this query's
+				// rows-proportional share of the packed run, and its exact
+				// FLOP count (FLOPs scale linearly in rows).
+				o.ctrSgemm.Add(int64(res.Run))
+				o.ctrFlops.Add(m.flopsFor(n))
+			}
+			return preds, nil
 		}
 		view := blas.Mat{Rows: n, Cols: inDim, Data: o.bufs[0].Data[:n*inDim]}
 		dev.Upload(view, staging)

@@ -1,0 +1,195 @@
+package modeljoin
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/device"
+	"indbml/internal/engine/vector"
+	"indbml/internal/infersched"
+	"indbml/internal/nn"
+)
+
+// packRows gathers reference feature rows into a row-major staging slice.
+func packRows(data [][]float32, lo, hi int) []float32 {
+	in := len(data[0])
+	out := make([]float32, (hi-lo)*in)
+	for r := lo; r < hi; r++ {
+		copy(out[(r-lo)*in:], data[r])
+	}
+	return out
+}
+
+// TestRunPackedMatchesReference drives builtModel.RunPacked — the
+// scheduler's entry point — directly, including super-batches larger than
+// vector.Size, and compares against the nn reference implementation.
+func TestRunPackedMatchesReference(t *testing.T) {
+	model := nn.NewDenseModel("m", 4, 16, 2, 2, 5)
+	_, data := factBatches(t, 3000, 4, 1)
+	ref := model.PredictBatch(data)
+	for _, dev := range []device.Device{device.NewCPU(), device.NewGPU(device.DefaultGPUConfig())} {
+		sm := shared(t, model, dev, relmodel.LayoutPairs, 2, Config{})
+		bm, err := sm.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bm.InputDim() != 4 || bm.OutputDim() != 2 {
+			t.Fatalf("dims: in=%d out=%d", bm.InputDim(), bm.OutputDim())
+		}
+		// 3000 rows in one packed call: ~3× vector.Size, the coalesced shape.
+		for _, rows := range []int{1, 17, vector.Size, 3000} {
+			staging := packRows(data, 0, rows)
+			preds := make([]float32, rows*2)
+			if err := bm.RunPacked(rows, staging, preds); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < rows; r++ {
+				for k := 0; k < 2; k++ {
+					got, want := float64(preds[r*2+k]), float64(ref[r][k])
+					if math.Abs(got-want) > 1e-4+1e-4*math.Abs(want) {
+						t.Fatalf("rows=%d row=%d out=%d: got %v want %v", rows, r, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunPackedNoBiasMatrix exercises the fine-grained bias fallback on the
+// packed path (biasMat.Data == nil).
+func TestRunPackedNoBiasMatrix(t *testing.T) {
+	model := nn.NewDenseModel("m", 3, 8, 1, 1, 11)
+	_, data := factBatches(t, 2000, 3, 4)
+	ref := model.PredictBatch(data)
+	sm := shared(t, model, device.NewCPU(), relmodel.LayoutPairs, 1, Config{NoBiasMatrix: true})
+	bm, err := sm.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 2000
+	staging := packRows(data, 0, rows)
+	preds := make([]float32, rows)
+	if err := bm.RunPacked(rows, staging, preds); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		got, want := float64(preds[r]), float64(ref[r][0])
+		if math.Abs(got-want) > 1e-4+1e-4*math.Abs(want) {
+			t.Fatalf("row %d: got %v want %v", r, got, want)
+		}
+	}
+}
+
+func TestRunPackedRejectsLSTM(t *testing.T) {
+	model := nn.NewLSTMModel("lm", 3, 12, 9)
+	sm := shared(t, model, device.NewCPU(), relmodel.LayoutPairs, 1, Config{})
+	bm, err := sm.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.RunPacked(4, make([]float32, 12), make([]float32, 4)); err == nil {
+		t.Fatal("RunPacked on an lstm model must error")
+	}
+}
+
+// TestScratchShapeAware covers the satellite fix: super-batch scratch must
+// be pooled by capacity, not thrash per-call reallocations, and small
+// requests must not consume an oversized entry another super-batch wants.
+func TestScratchShapeAware(t *testing.T) {
+	model := nn.NewDenseModel("m", 4, 8, 1, 1, 3)
+	sm := shared(t, model, device.NewCPU(), relmodel.LayoutPairs, 1, Config{})
+	bm, err := sm.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bm.getScratch(3 * vector.Size)
+	if big.rows != 3*vector.Size {
+		t.Fatalf("capacity %d, want rounded-up %d", big.rows, 3*vector.Size)
+	}
+	if got := len(big.staging); got != 4*big.rows {
+		t.Fatalf("staging len %d, want %d", got, 4*big.rows)
+	}
+	huge := bm.getScratch(3*vector.Size + 1)
+	if huge.rows != 4*vector.Size {
+		t.Fatalf("capacity %d, want rounded-up %d", huge.rows, 4*vector.Size)
+	}
+	bm.putScratch(big)
+	bm.putScratch(huge)
+
+	// A small request takes the smallest adequate entry (big, 3×), leaving
+	// huge pooled for larger callers.
+	small := bm.getScratch(10)
+	if small.rows != 3*vector.Size {
+		t.Fatalf("small request got capacity %d, want smallest adequate %d", small.rows, 3*vector.Size)
+	}
+	// A 4×-sized request must find huge still pooled, not reallocate.
+	again := bm.getScratch(4 * vector.Size)
+	if again != huge {
+		t.Fatalf("super-batch request reallocated instead of reusing pooled capacity %d", again.rows)
+	}
+	bm.putScratch(small)
+	bm.putScratch(again)
+}
+
+// TestOperatorThroughScheduler runs the full operator with a wired
+// scheduler and verifies results match the direct path, the batched label
+// is stamped, and the scheduler saw the requests.
+func TestOperatorThroughScheduler(t *testing.T) {
+	model := nn.NewDenseModel("m", 4, 16, 2, 2, 5)
+	_, data := factBatches(t, 2500, 4, 1)
+	ref := model.PredictBatch(data)
+
+	sched := infersched.New(infersched.Config{})
+	child, _ := factBatches(t, 2500, 4, 1)
+	op, err := New(child, shared(t, model, device.NewCPU(), relmodel.LayoutPairs, 2, Config{}), []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.SetScheduler(sched, infersched.Label{Model: "m", Device: "cpu"})
+	op.SetQueryContext(context.Background())
+	out := runOp(t, op)
+	if out.Len() != 2500 {
+		t.Fatalf("got %d rows", out.Len())
+	}
+	checkAgainstReference(t, out, ref, 2, 1e-4)
+	if len(sched.BatchSnapshot()) == 0 {
+		t.Fatal("scheduler saw no batches")
+	}
+
+	// Policy opt-out must bypass the scheduler entirely.
+	before := len(sched.BatchSnapshot())
+	child2, _ := factBatches(t, 1200, 4, 1)
+	op2, err := New(child2, shared(t, model, device.NewCPU(), relmodel.LayoutPairs, 2, Config{}), []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2.SetScheduler(sched, infersched.Label{Model: "m", Device: "cpu"})
+	op2.SetQueryContext(infersched.WithPolicy(context.Background(), infersched.Policy{Disabled: true}))
+	out2 := runOp(t, op2)
+	checkAgainstReference(t, out2, ref, 2, 1e-4)
+	if got := len(sched.BatchSnapshot()); got != before {
+		t.Fatalf("disabled policy still reached the scheduler (%d -> %d batches)", before, got)
+	}
+}
+
+// TestOperatorSchedulerLSTMFallsBack: an LSTM model with a scheduler wired
+// in must silently use the direct path and stay correct.
+func TestOperatorSchedulerLSTMFallsBack(t *testing.T) {
+	model := nn.NewLSTMModel("lm", 3, 12, 9)
+	child, data := factBatches(t, 1500, 3, 2)
+	ref := model.PredictBatch(data)
+	op, err := New(child, shared(t, model, device.NewCPU(), relmodel.LayoutPairs, 2, Config{}), []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := infersched.New(infersched.Config{})
+	op.SetScheduler(sched, infersched.Label{Model: "lm", Device: "cpu"})
+	op.SetQueryContext(context.Background())
+	out := runOp(t, op)
+	checkAgainstReference(t, out, ref, 1, 1e-4)
+	if len(sched.BatchSnapshot()) != 0 {
+		t.Fatal("lstm batches must not reach the scheduler")
+	}
+}

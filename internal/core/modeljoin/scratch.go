@@ -14,34 +14,37 @@ import (
 // builtModel keeps a bounded free list: Open pops a scratch, Close pushes it
 // back, and only pool overflow or model eviction actually frees device memory.
 type inferScratch struct {
+	rows    int // row capacity every buffer is sized for
 	staging []float32
 	bufs    []blas.Mat
 	lstm    *lstmScratch
 }
 
-// newScratch allocates a working set sized for the engine's vector.Size.
-func (m *builtModel) newScratch() *inferScratch {
+// newScratch allocates a working set sized for rows feature rows (at least
+// the engine's vector.Size; larger for the scheduler's coalesced
+// super-batches).
+func (m *builtModel) newScratch(rows int) *inferScratch {
 	dev := m.dev
-	s := &inferScratch{}
+	s := &inferScratch{rows: rows}
 	first := m.layers[0]
 	if first.kind == nn.KindLSTM {
 		s.lstm = &lstmScratch{
-			x:   dev.NewMat(first.timeSteps, vector.Size),
-			h:   dev.NewMat(vector.Size, first.units),
-			c:   dev.NewMat(vector.Size, first.units),
-			tmp: dev.NewMat(vector.Size, first.units),
+			x:   dev.NewMat(first.timeSteps, rows),
+			h:   dev.NewMat(rows, first.units),
+			c:   dev.NewMat(rows, first.units),
+			tmp: dev.NewMat(rows, first.units),
 		}
 		for g := 0; g < 4; g++ {
-			s.lstm.z[g] = dev.NewMat(vector.Size, first.units)
+			s.lstm.z[g] = dev.NewMat(rows, first.units)
 		}
-		s.staging = make([]float32, first.timeSteps*vector.Size)
+		s.staging = make([]float32, first.timeSteps*rows)
 		s.bufs = append(s.bufs, blas.Mat{}) // layer 0 output is the LSTM h state
 	} else {
-		s.staging = make([]float32, first.inDim*vector.Size)
-		s.bufs = append(s.bufs, dev.NewMat(vector.Size, first.inDim))
+		s.staging = make([]float32, first.inDim*rows)
+		s.bufs = append(s.bufs, dev.NewMat(rows, first.inDim))
 	}
 	for _, l := range m.layers {
-		s.bufs = append(s.bufs, dev.NewMat(vector.Size, l.units))
+		s.bufs = append(s.bufs, dev.NewMat(rows, l.units))
 	}
 	return s
 }
@@ -65,17 +68,35 @@ func (s *inferScratch) free(dev interface{ Free(blas.Mat) }) {
 	s.bufs, s.lstm = nil, nil
 }
 
-// getScratch pops a pooled working set or allocates a fresh one.
-func (m *builtModel) getScratch() *inferScratch {
+// getScratch pops a pooled working set with capacity for at least minRows
+// rows, or allocates a fresh one. The acquisition is shape-aware: coalesced
+// super-batches (which exceed vector.Size rows) pick the smallest adequate
+// pooled entry instead of thrashing reallocations, and single-batch callers
+// don't burn an oversized working set a super-batch could reuse.
+func (m *builtModel) getScratch(minRows int) *inferScratch {
+	if minRows < vector.Size {
+		minRows = vector.Size
+	}
 	m.scratchMu.Lock()
-	if n := len(m.scratchPool); n > 0 {
-		s := m.scratchPool[n-1]
-		m.scratchPool = m.scratchPool[:n-1]
+	best := -1
+	for i, s := range m.scratchPool {
+		if s.rows >= minRows && (best < 0 || s.rows < m.scratchPool[best].rows) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		s := m.scratchPool[best]
+		last := len(m.scratchPool) - 1
+		m.scratchPool[best] = m.scratchPool[last]
+		m.scratchPool = m.scratchPool[:last]
 		m.scratchMu.Unlock()
 		return s
 	}
 	m.scratchMu.Unlock()
-	return m.newScratch()
+	// Round the capacity up to a multiple of vector.Size so super-batches of
+	// similar (but not identical) size land on one pooled allocation.
+	rows := (minRows + vector.Size - 1) / vector.Size * vector.Size
+	return m.newScratch(rows)
 }
 
 // putScratch returns a working set to the pool. Past the bound (enough for

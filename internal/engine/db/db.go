@@ -21,6 +21,7 @@ import (
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
 	"indbml/internal/flight"
+	"indbml/internal/infersched"
 	"indbml/internal/nn"
 	"indbml/internal/trace"
 )
@@ -48,6 +49,13 @@ type Options struct {
 	// entirely — the system tables stay queryable but empty, and the
 	// per-query summary cost disappears.
 	FlightRecorderSize int
+	// InferSched tunes the batched inference scheduler (coalescing of
+	// concurrent MODEL JOIN batches per (model, device)); the zero value
+	// selects the defaults.
+	InferSched infersched.Config
+	// DisableInferSched turns the scheduler off entirely: every MODEL JOIN
+	// drives the device directly, the pre-scheduler behavior.
+	DisableInferSched bool
 	// Planner ablation flags; see plan.Planner.
 	DisableSegmentedAgg bool
 	DisableZoneMaps     bool
@@ -69,6 +77,8 @@ type Database struct {
 	modelCache *modelCache
 	// flight is the always-on query flight recorder; nil when disabled.
 	flight *flight.Recorder
+	// sched is the batched inference scheduler; nil when disabled.
+	sched *infersched.Scheduler
 }
 
 // Open creates an empty database.
@@ -98,13 +108,21 @@ func Open(opts Options) *Database {
 	if opts.FlightRecorderSize >= 0 {
 		d.flight = flight.NewRecorder(opts.FlightRecorderSize)
 	}
+	if !opts.DisableInferSched {
+		d.sched = infersched.New(opts.InferSched)
+	}
 	// The system tables are registered even with the recorder disabled —
 	// they are simply empty, so monitoring SQL degrades instead of erroring.
 	d.RegisterVirtualTable(flight.QueriesTable(d.flight))
 	d.RegisterVirtualTable(flight.OperatorsTable(d.flight))
 	d.RegisterVirtualTable(modelCacheTable{d})
+	d.RegisterVirtualTable(inferBatchesTable{d})
 	return d
 }
+
+// InferSched returns the batched inference scheduler (nil when disabled via
+// Options.DisableInferSched).
+func (d *Database) InferSched() *infersched.Scheduler { return d.sched }
 
 // FlightRecorder returns the always-on query flight recorder (nil when
 // disabled via Options.FlightRecorderSize < 0).
@@ -337,6 +355,9 @@ func (c *queryCatalog) NewModelJoin(model string, child exec.Operator, inputCols
 	}
 	if ent.fromCache {
 		op.NoteCacheLookup(ent.hit)
+	}
+	if c.db.sched != nil {
+		op.SetScheduler(c.db.sched, infersched.Label{Model: name, Device: dev})
 	}
 	return op, nil
 }

@@ -36,3 +36,41 @@ func (t modelCacheTable) Snapshot() ([]*vector.Batch, error) {
 	}
 	return b.Batches(), nil
 }
+
+// inferBatchesTable exposes the inference scheduler's recent super-batches
+// as system.inference_batches: one row per packed forward pass, so
+// "did my concurrent queries actually coalesce?" is a SELECT
+// (requests > 1 means cross-request coalescing happened). Empty when the
+// scheduler is disabled.
+type inferBatchesTable struct{ d *Database }
+
+var inferBatchesSchema = types.NewSchema(
+	types.Column{Name: "batch_id", Type: types.Int64},
+	types.Column{Name: "ts", Type: types.Int64}, // unix nanoseconds at launch
+	types.Column{Name: "model", Type: types.String},
+	types.Column{Name: "device", Type: types.String},
+	types.Column{Name: "requests", Type: types.Int32},
+	types.Column{Name: "rows", Type: types.Int32},
+	types.Column{Name: "wait_ns", Type: types.Int64},
+	types.Column{Name: "run_ns", Type: types.Int64},
+)
+
+func (inferBatchesTable) Name() string          { return "system.inference_batches" }
+func (inferBatchesTable) Schema() *types.Schema { return inferBatchesSchema }
+
+func (t inferBatchesTable) Snapshot() ([]*vector.Batch, error) {
+	b := storage.NewBatchBuilder(inferBatchesSchema)
+	for _, s := range t.d.sched.BatchSnapshot() {
+		b.Append(
+			types.Int64Datum(int64(s.ID)),
+			types.Int64Datum(s.Start.UnixNano()),
+			types.StringDatum(s.Model),
+			types.StringDatum(s.Device),
+			types.Int32Datum(int32(s.Requests)),
+			types.Int32Datum(int32(s.Rows)),
+			types.Int64Datum(s.WaitNS),
+			types.Int64Datum(s.RunNS),
+		)
+	}
+	return b.Batches(), nil
+}

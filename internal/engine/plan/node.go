@@ -54,8 +54,20 @@ type buildCtx struct {
 // all — the disabled-trace path pays nothing.
 func (ctx *buildCtx) build(n node) (exec.Operator, error) {
 	op, err := n.build(ctx)
-	if err != nil || ctx.spans == nil {
+	if err != nil {
 		return op, err
+	}
+	// Operators that consult the statement context mid-execution — the
+	// ModelJoin submits to the inference scheduler with it, carrying
+	// cancellation, the per-session batching policy and the admission-slot
+	// yielder — receive it here, traced or not.
+	if ctx.qctx != nil {
+		if c, ok := op.(interface{ SetQueryContext(context.Context) }); ok {
+			c.SetQueryContext(ctx.qctx)
+		}
+	}
+	if ctx.spans == nil {
+		return op, nil
 	}
 	sp := ctx.spans[n]
 	if sp == nil {

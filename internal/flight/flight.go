@@ -63,6 +63,7 @@ type Summary struct {
 	BytesScanned int64
 	BlocksPruned int64
 	Cache        string // model cache verdict: "hit", "miss", or ""
+	Batched      string // inference-scheduler verdict: "yes", "no", or ""
 	AllocBytes   int64
 	Ops          []OpStat
 }
@@ -267,6 +268,9 @@ func foldSpans(sum *Summary, s trace.SpanStat, depth int) {
 	}
 	if v := s.Labels["cache"]; v != "" {
 		sum.Cache = v
+	}
+	if v := s.Labels["batched"]; v != "" {
+		sum.Batched = v
 	}
 	sum.Ops = append(sum.Ops, op)
 	for _, c := range s.Children {

@@ -23,6 +23,7 @@ var queriesSchema = types.NewSchema(
 	types.Column{Name: "bytes_scanned", Type: types.Int64},
 	types.Column{Name: "blocks_pruned", Type: types.Int64},
 	types.Column{Name: "cache", Type: types.String},
+	types.Column{Name: "batched", Type: types.String},
 	types.Column{Name: "alloc_bytes", Type: types.Int64},
 	types.Column{Name: "error", Type: types.String},
 	types.Column{Name: "sql", Type: types.String},
@@ -51,6 +52,7 @@ func (t queriesTable) Snapshot() ([]*vector.Batch, error) {
 			types.Int64Datum(s.BytesScanned),
 			types.Int64Datum(s.BlocksPruned),
 			types.StringDatum(s.Cache),
+			types.StringDatum(s.Batched),
 			types.Int64Datum(s.AllocBytes),
 			types.StringDatum(s.Error),
 			types.StringDatum(s.SQL),

@@ -1,0 +1,73 @@
+package infersched
+
+import (
+	"context"
+	"time"
+)
+
+// Policy is the per-statement latency/throughput knob, carried on the
+// query's context: the server stamps it from per-session SET variables
+// (SET batching, SET batch_max_wait, SET batch_max_rows), so one session
+// can opt out of coalescing or trade latency for throughput without
+// touching the daemon-wide defaults.
+type Policy struct {
+	// Disabled bypasses the scheduler: the operator runs the device
+	// directly, as before the scheduler existed.
+	Disabled bool
+	// MaxWait overrides Config.MaxWait for this statement's requests
+	// (0 = scheduler default).
+	MaxWait time.Duration
+	// MaxBatchRows overrides Config.MaxBatchRows (0 = scheduler default).
+	MaxBatchRows int
+}
+
+// SlotYielder lets a submitter release its admission-control slot while it
+// waits in a coalesce window and re-acquire it before resuming execution.
+// Yield and Unyield may be called concurrently by the partition-parallel
+// operator instances of one statement; both are idempotent (Yield on a
+// released slot and Unyield on a held slot are no-ops).
+type SlotYielder interface {
+	Yield()
+	// Unyield re-acquires the slot, blocking until one frees up or ctx is
+	// done. Scheduler progress never depends on admission slots (batches
+	// run on their own goroutines), so this wait cannot deadlock.
+	Unyield(ctx context.Context) error
+}
+
+type ctxKey int
+
+const (
+	policyKey ctxKey = iota
+	yielderKey
+)
+
+// WithPolicy attaches a per-statement scheduling policy to ctx.
+func WithPolicy(ctx context.Context, p Policy) context.Context {
+	return context.WithValue(ctx, policyKey, p)
+}
+
+// PolicyFrom returns the policy carried by ctx (zero value if none).
+func PolicyFrom(ctx context.Context) Policy {
+	if ctx == nil {
+		return Policy{}
+	}
+	p, _ := ctx.Value(policyKey).(Policy)
+	return p
+}
+
+// WithYielder attaches the statement's admission-slot yielder to ctx.
+func WithYielder(ctx context.Context, y SlotYielder) context.Context {
+	if y == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, yielderKey, y)
+}
+
+// YielderFrom returns the yielder carried by ctx (nil if none).
+func YielderFrom(ctx context.Context) SlotYielder {
+	if ctx == nil {
+		return nil
+	}
+	y, _ := ctx.Value(yielderKey).(SlotYielder)
+	return y
+}

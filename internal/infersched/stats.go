@@ -1,0 +1,223 @@
+package infersched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"indbml/internal/metrics"
+)
+
+// BatchStat is one completed super-batch's record, published to a fixed
+// ring (the backing of system.inference_batches) with the same
+// atomic.Pointer discipline as the flight recorder: writers swap whole
+// immutable records, readers snapshot without blocking anyone.
+type BatchStat struct {
+	ID       uint64
+	Start    time.Time // launch time (end of the coalesce window)
+	Model    string
+	Device   string
+	Requests int
+	Rows     int
+	WaitNS   int64 // longest coalesce wait among the batch's requests
+	RunNS    int64 // pack + forward pass + scatter wall time
+}
+
+// waitBounds are the coalesce-wait histogram bucket upper bounds rendered
+// by StatsText (\batcher, STATUS). Sub-ms-centric: the default MaxWait is
+// 500µs, so the interesting resolution is around it.
+var waitBounds = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+}
+
+// Stats aggregates scheduler activity. All hot-path writes are atomics.
+type Stats struct {
+	ring []atomic.Pointer[BatchStat]
+	next atomic.Uint64 // batches ever published; next slot = next % len
+
+	batches   atomic.Int64
+	coalesced atomic.Int64 // batches with >1 request
+	requests  atomic.Int64
+	rows      atomic.Int64
+	waitSum   atomic.Int64 // ns, summed over batches' max waits
+	waitBkt   []atomic.Int64
+
+	// Registry collectors, attached by the serving layer (atomic pointers:
+	// attachment may race a live scheduler in embedded setups).
+	mWait atomic.Pointer[metrics.Histogram]
+	mRows atomic.Pointer[metrics.Histogram]
+}
+
+func newStats(ringSize int) *Stats {
+	return &Stats{
+		ring:    make([]atomic.Pointer[BatchStat], ringSize),
+		waitBkt: make([]atomic.Int64, len(waitBounds)+1),
+	}
+}
+
+func (st *Stats) recordBatch(label Label, requests, rows int, wait, run time.Duration) {
+	id := st.next.Add(1)
+	b := &BatchStat{
+		ID:       id,
+		Start:    time.Now().Add(-run),
+		Model:    label.Model,
+		Device:   label.Device,
+		Requests: requests,
+		Rows:     rows,
+		WaitNS:   int64(wait),
+		RunNS:    int64(run),
+	}
+	st.ring[(id-1)%uint64(len(st.ring))].Store(b)
+	st.batches.Add(1)
+	if requests > 1 {
+		st.coalesced.Add(1)
+	}
+	st.requests.Add(int64(requests))
+	st.rows.Add(int64(rows))
+	st.waitSum.Add(int64(wait))
+	i := sort.Search(len(waitBounds), func(i int) bool { return waitBounds[i] >= wait })
+	st.waitBkt[i].Add(1)
+	if h := st.mWait.Load(); h != nil {
+		h.ObserveDuration(wait)
+	}
+	if h := st.mRows.Load(); h != nil {
+		h.Observe(float64(rows))
+	}
+}
+
+// BatchSnapshot returns the retained batch records ordered by ID — the
+// feed for the system.inference_batches virtual table.
+func (s *Scheduler) BatchSnapshot() []BatchStat {
+	if s == nil {
+		return nil
+	}
+	out := make([]BatchStat, 0, len(s.stats.ring))
+	for i := range s.stats.ring {
+		if b := s.stats.ring[i].Load(); b != nil {
+			out = append(out, *b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// StatusLine renders the one-line summary embedded in the server's STATUS
+// payload.
+func (s *Scheduler) StatusLine() string {
+	if s == nil {
+		return "disabled"
+	}
+	st := s.stats
+	batches := st.batches.Load()
+	meanRows, meanWait := float64(0), time.Duration(0)
+	if batches > 0 {
+		meanRows = float64(st.rows.Load()) / float64(batches)
+		meanWait = time.Duration(st.waitSum.Load() / batches)
+	}
+	depth, inflight := 0, 0
+	for _, q := range s.queueStates() {
+		depth += q.depth
+		inflight += q.inflight
+	}
+	return fmt.Sprintf("queues=%d depth=%d inflight=%d batches=%d coalesced=%d mean_rows=%.1f mean_wait=%s",
+		len(s.queueStates()), depth, inflight, batches, st.coalesced.Load(), meanRows, meanWait)
+}
+
+// StatsText renders the full scheduler report served by the BATCHER verb
+// and the shell's \batcher: totals, the coalesce-wait histogram and one
+// line per live (model, device) queue.
+func (s *Scheduler) StatsText() string {
+	if s == nil {
+		return "inference batching disabled\n"
+	}
+	st := s.stats
+	var sb strings.Builder
+	batches := st.batches.Load()
+	meanRows, meanReqs := float64(0), float64(0)
+	if batches > 0 {
+		meanRows = float64(st.rows.Load()) / float64(batches)
+		meanReqs = float64(st.requests.Load()) / float64(batches)
+	}
+	fmt.Fprintf(&sb, "inference batcher: max_wait=%s max_batch_rows=%d max_inflight=%d\n",
+		s.cfg.MaxWait, s.cfg.MaxBatchRows, s.cfg.MaxInFlight)
+	fmt.Fprintf(&sb, "batches: total=%d coalesced=%d requests=%d rows=%d mean_rows=%.1f mean_requests=%.2f\n",
+		batches, st.coalesced.Load(), st.requests.Load(), st.rows.Load(), meanRows, meanReqs)
+	fmt.Fprintf(&sb, "coalesce_wait:")
+	for i, b := range waitBounds {
+		fmt.Fprintf(&sb, " le_%s=%d", b, st.waitBkt[i].Load())
+	}
+	fmt.Fprintf(&sb, " gt_%s=%d", waitBounds[len(waitBounds)-1], st.waitBkt[len(waitBounds)].Load())
+	if batches > 0 {
+		fmt.Fprintf(&sb, " (mean %s)", time.Duration(st.waitSum.Load()/batches))
+	}
+	sb.WriteByte('\n')
+	states := s.queueStates()
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].label.Model != states[j].label.Model {
+			return states[i].label.Model < states[j].label.Model
+		}
+		return states[i].label.Device < states[j].label.Device
+	})
+	for _, q := range states {
+		mean := float64(0)
+		if q.batches > 0 {
+			mean = float64(q.rows) / float64(q.batches)
+		}
+		fmt.Fprintf(&sb, "queue model=%s device=%s depth=%d inflight=%d batches=%d mean_rows=%.1f\n",
+			q.label.Model, q.label.Device, q.depth, q.inflight, q.batches, mean)
+	}
+	if len(states) == 0 {
+		sb.WriteString("queues: none live\n")
+	}
+	return sb.String()
+}
+
+// batchRowBounds buckets super-batch row counts; vectorsize (1024) and the
+// default MaxBatchRows (8192) both fall on bucket edges.
+var batchRowBounds = []float64{256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// AttachMetrics registers the scheduler's collectors on a registry: batch
+// row-count and coalesce-wait histograms plus mirrors of the rolling
+// totals. Call once per registry (collector names are unique per registry).
+func (s *Scheduler) AttachMetrics(reg *metrics.Registry) {
+	if s == nil {
+		return
+	}
+	st := s.stats
+	st.mWait.Store(reg.NewHistogram("vectordb_infer_coalesce_wait_seconds",
+		"Coalesce-window wait per inference super-batch (longest member request).",
+		[]float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.005, 0.025}))
+	st.mRows.Store(reg.NewHistogram("vectordb_infer_batch_rows",
+		"Rows per packed inference super-batch.", batchRowBounds))
+	mirror := func(name, help string, v *atomic.Int64) {
+		reg.NewGaugeFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	mirror("vectordb_infer_batches_total", "Inference super-batches executed.", &st.batches)
+	mirror("vectordb_infer_batches_coalesced_total", "Super-batches that coalesced more than one request.", &st.coalesced)
+	mirror("vectordb_infer_requests_total", "ModelJoin batch requests submitted to the scheduler.", &st.requests)
+	mirror("vectordb_infer_rows_total", "Feature rows run through packed inference.", &st.rows)
+	reg.NewGaugeFunc("vectordb_infer_queue_depth", "Requests pending in coalesce windows across all queues.",
+		func() float64 {
+			depth := 0
+			for _, q := range s.queueStates() {
+				depth += q.depth
+			}
+			return float64(depth)
+		})
+	reg.NewGaugeFunc("vectordb_infer_inflight", "Inference super-batches currently executing.",
+		func() float64 {
+			n := 0
+			for _, q := range s.queueStates() {
+				n += q.inflight
+			}
+			return float64(n)
+		})
+}

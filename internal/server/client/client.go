@@ -103,6 +103,10 @@ func (c *Client) Status() (string, error) { return c.command("STATUS", 0) }
 // can still be observed.
 func (c *Client) Metrics() (string, error) { return c.command("METRICS", 0) }
 
+// Batcher fetches the inference scheduler's report (per-queue depth,
+// batch-size means, coalesce-wait histogram). Bypasses admission control.
+func (c *Client) Batcher() (string, error) { return c.command("BATCHER", 0) }
+
 func (c *Client) command(sql string, timeout time.Duration) (string, error) {
 	if err := c.send(sql, timeout); err != nil {
 		return "", err

@@ -39,6 +39,7 @@ import (
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/exec"
 	"indbml/internal/flight"
+	"indbml/internal/infersched"
 	"indbml/internal/metrics"
 	"indbml/internal/trace"
 	"indbml/internal/wire"
@@ -143,6 +144,9 @@ func New(d *db.Database, cfg Config) *Server {
 			func() float64 { return float64(fr.Capacity()) })
 		reg.NewGaugeFunc("vectordb_flight_queries_recorded_total", "Statements published to the flight recorder since start.",
 			func() float64 { return float64(fr.Recorded()) })
+	}
+	if sc := d.InferSched(); sc != nil {
+		sc.AttachMetrics(reg)
 	}
 	metrics.RegisterRuntime(reg)
 	// Expose this server's registry in-database, completing the exemplar
@@ -277,6 +281,7 @@ func (s *Server) StatusText() string {
 	sn.QueueDepth = int64(s.cfg.QueueDepth)
 	mc := s.db.ModelCacheStats()
 	sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries = mc.Hits, mc.Misses, mc.Evictions, mc.Entries
+	sn.Batcher = s.db.InferSched().StatusLine()
 	return sn.String()
 }
 
@@ -301,6 +306,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	sess := &session{}
 	for {
 		if s.isDraining() {
 			return
@@ -328,7 +334,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			bw.Flush()
 			return
 		}
-		s.serveStmt(bw, stmt, deadlineMillis)
+		s.serveStmt(bw, sess, stmt, deadlineMillis)
 		if err := bw.Flush(); err != nil {
 			return
 		}
@@ -352,16 +358,18 @@ func (s *Server) queryCtx(deadlineMillis uint64) (context.Context, context.Cance
 }
 
 // admit acquires a query slot, queueing up to the configured depth and
-// wait. The returned release func must be called exactly once; a nil
-// release means the statement was rejected or canceled and the error
-// carries the wire code to report. wait is the time the statement spent
-// queued (0 on the fast path), which the flight recorder charges to the
-// statement as queue_wait_ns.
-func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration, code byte, err error) {
+// wait. The returned token's release must be called exactly once; it also
+// implements infersched.SlotYielder, so a statement parked in an inference
+// coalesce window gives its slot back for the duration. A nil token means
+// the statement was rejected or canceled and the error carries the wire
+// code to report. wait is the time the statement spent queued (0 on the
+// fast path), which the flight recorder charges to the statement as
+// queue_wait_ns.
+func (s *Server) admit(ctx context.Context) (token *slotToken, wait time.Duration, code byte, err error) {
 	// Fast path: a slot is free.
 	select {
 	case s.slots <- struct{}{}:
-		return func() { <-s.slots }, 0, 0, nil
+		return newSlotToken(s.slots), 0, 0, nil
 	default:
 	}
 	// Slow path: queue if there is room.
@@ -389,7 +397,7 @@ func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration,
 	}
 	select {
 	case s.slots <- struct{}{}:
-		return func() { <-s.slots }, 0, 0, nil
+		return newSlotToken(s.slots), 0, 0, nil
 	case <-timeout:
 		s.stats.Rejected.Add(1)
 		return nil, 0, wire.CodeOverloaded, fmt.Errorf("overloaded: no query slot within %s", s.cfg.QueueWait)
@@ -399,9 +407,10 @@ func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration,
 	}
 }
 
-// serveStmt dispatches one statement. STATUS and METRICS bypass admission
-// control so operators can observe an overloaded server.
-func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64) {
+// serveStmt dispatches one statement. STATUS, METRICS and BATCHER bypass
+// admission control so operators can observe an overloaded server; SET
+// mutates the session and touches neither the engine nor a slot.
+func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlineMillis uint64) {
 	text := strings.TrimSpace(stmt)
 	upper := strings.ToUpper(text)
 	if upper == "" {
@@ -416,24 +425,41 @@ func (s *Server) serveStmt(bw *bufio.Writer, stmt string, deadlineMillis uint64)
 		wire.WriteOK(bw, s.reg.Text())
 		return
 	}
+	if upper == "BATCHER" {
+		wire.WriteOK(bw, s.db.InferSched().StatsText())
+		return
+	}
+	if strings.HasPrefix(upper, "SET ") {
+		msg, err := sess.applySet(text)
+		if err != nil {
+			wire.WriteError(bw, wire.CodeError, err.Error())
+			return
+		}
+		wire.WriteOK(bw, msg)
+		return
+	}
 
 	start := time.Now()
 	ctx, cancel := s.queryCtx(deadlineMillis)
 	defer cancel()
 
-	release, wait, code, err := s.admit(ctx)
+	token, wait, code, err := s.admit(ctx)
 	if err != nil {
 		wire.WriteError(bw, code, err.Error())
 		return
 	}
 	// Charge the admission wait to the statement's flight record, whatever
-	// kind it turns out to be.
+	// kind it turns out to be, and hand the inference scheduler the
+	// session's batching policy plus the slot so coalesce waits don't hold
+	// an execution slot hostage.
 	ctx = flight.WithQueueWait(ctx, wait)
+	ctx = infersched.WithPolicy(ctx, sess.policy)
+	ctx = infersched.WithYielder(ctx, token)
 	s.stats.Running.Add(1)
 	var exemplarID uint64
 	defer func() {
 		s.stats.Running.Add(-1)
-		release()
+		token.release()
 		s.stats.observeLatency(time.Since(start), exemplarID)
 	}()
 

@@ -331,6 +331,13 @@ func TestQueueWaitReject(t *testing.T) {
 	s := startServer(t, d, Config{QuerySlots: 1, QueueDepth: 1, QueueWait: 100 * time.Millisecond})
 
 	slow := dial(t, s)
+	// Pin the slow statement to the direct inference path: under the
+	// batching scheduler a MODEL JOIN yields its slot while parked in the
+	// scheduler, which is exactly what this test must not see — it needs
+	// the single slot held for the statement's whole runtime.
+	if err := slow.Exec("SET batching = off"); err != nil {
+		t.Fatal(err)
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"indbml/internal/infersched"
+)
+
+// session is per-connection state beyond the transport: the inference
+// scheduling policy set via SET. Statements on a session run sequentially,
+// so no locking is needed around the policy.
+type session struct {
+	policy infersched.Policy
+}
+
+// applySet handles the session-variable statements. They execute on the
+// session itself — no engine involvement, no admission slot:
+//
+//	SET batching = on|off
+//	SET batch_max_wait = <duration>   (e.g. 200us, 2ms; 0 = server default)
+//	SET batch_max_rows = <int>        (0 = server default)
+func (sess *session) applySet(text string) (string, error) {
+	body := strings.TrimSpace(text[len("SET"):])
+	eq := strings.IndexByte(body, '=')
+	if eq < 0 {
+		return "", fmt.Errorf("SET wants 'SET <variable> = <value>'")
+	}
+	name := strings.ToLower(strings.TrimSpace(body[:eq]))
+	val := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(body[eq+1:]), ";"))
+	switch name {
+	case "batching":
+		switch strings.ToLower(val) {
+		case "on", "true", "1":
+			sess.policy.Disabled = false
+		case "off", "false", "0":
+			sess.policy.Disabled = true
+		default:
+			return "", fmt.Errorf("SET batching wants on|off, got %q", val)
+		}
+		return fmt.Sprintf("batching = %v", !sess.policy.Disabled), nil
+	case "batch_max_wait":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return "", fmt.Errorf("SET batch_max_wait wants a non-negative duration, got %q", val)
+		}
+		sess.policy.MaxWait = d
+		return fmt.Sprintf("batch_max_wait = %s", d), nil
+	case "batch_max_rows":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return "", fmt.Errorf("SET batch_max_rows wants a non-negative integer, got %q", val)
+		}
+		sess.policy.MaxBatchRows = n
+		return fmt.Sprintf("batch_max_rows = %d", n), nil
+	default:
+		return "", fmt.Errorf("unknown session variable %q (want batching, batch_max_wait, batch_max_rows)", name)
+	}
+}
+
+// slotToken is one admitted statement's hold on the query-slot semaphore.
+// It implements infersched.SlotYielder so a statement parked in a coalesce
+// window releases its slot for the wait — otherwise 8 waiting queries on an
+// 8-slot server would block all progress while coalescing.
+//
+// Yield/Unyield may be called concurrently by the statement's partition-
+// parallel operator instances; the mutex serializes them and makes both
+// idempotent. release is Yield under another name, called exactly once by
+// serveStmt's defer (releasing an already-yielded token is a no-op).
+type slotToken struct {
+	slots chan struct{}
+	mu    sync.Mutex
+	held  bool
+}
+
+func newSlotToken(slots chan struct{}) *slotToken {
+	return &slotToken{slots: slots, held: true}
+}
+
+// Yield gives the slot back if held.
+func (t *slotToken) Yield() {
+	t.mu.Lock()
+	h := t.held
+	t.held = false
+	t.mu.Unlock()
+	if h {
+		<-t.slots
+	}
+}
+
+// Unyield re-acquires a slot, blocking until one frees or ctx is done.
+// Concurrent Unyields race benignly: the loser returns its extra token.
+func (t *slotToken) Unyield(ctx context.Context) error {
+	t.mu.Lock()
+	if t.held {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	select {
+	case t.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	t.mu.Lock()
+	if t.held {
+		// Another partition instance re-acquired first; give ours back.
+		t.mu.Unlock()
+		<-t.slots
+		return nil
+	}
+	t.held = true
+	t.mu.Unlock()
+	return nil
+}
+
+// release drops the slot at statement end.
+func (t *slotToken) release() { t.Yield() }

@@ -80,6 +80,10 @@ type Snapshot struct {
 	// Model artifact cache counters, copied from the engine at render time.
 	CacheHits, CacheMisses, CacheEvictions uint64
 	CacheEntries                           int
+
+	// Batcher is the inference scheduler's one-line summary (queue depth,
+	// in-flight batches, rolling means), or "disabled".
+	Batcher string
 }
 
 // Snapshot copies the counters.
@@ -108,6 +112,9 @@ func (sn Snapshot) String() string {
 	fmt.Fprintf(&sb, "slots: total=%d in_use=%d queue_depth=%d\n", sn.Slots, sn.SlotsInUse, sn.QueueDepth)
 	fmt.Fprintf(&sb, "model_cache: hits=%d misses=%d evictions=%d entries=%d\n",
 		sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries)
+	if sn.Batcher != "" {
+		fmt.Fprintf(&sb, "batcher: %s\n", sn.Batcher)
+	}
 	fmt.Fprintf(&sb, "rows_served: %d\n", sn.RowsServed)
 	writeHistLine(&sb, "latency", sn.Latency)
 	writeHistLine(&sb, "queued_wait", sn.QueuedWait)

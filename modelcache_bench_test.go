@@ -37,6 +37,13 @@ type modelJoinBenchReport struct {
 	// cold path: (cold ns/op − cold_norecorder ns/op) / cold_norecorder,
 	// in percent. The budget is ≤2%.
 	RecorderOverheadPct float64 `json:"recorder_overhead_pct"`
+	// Concurrent holds the concurrent-serving cells (QPS and latency
+	// percentiles per client count, batched scheduler vs direct device
+	// calls), written by BenchmarkServingConcurrentClients.
+	Concurrent []servingCell `json:"concurrent,omitempty"`
+	// SpeedupBatchedVsDirect8C is batched QPS divided by direct QPS at the
+	// 8-client cell.
+	SpeedupBatchedVsDirect8C float64 `json:"speedup_batched_vs_direct_8c,omitempty"`
 }
 
 // cacheBenchTuples is deliberately small: the cache matters for the serving

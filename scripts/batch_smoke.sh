@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Batched-inference smoke test: boot vectordbd with the demo workload and a
+# stretched coalesce window, fire MODEL JOIN queries from several concurrent
+# shell clients, then assert the scheduler actually coalesced work from more
+# than one query into a super-batch (system.inference_batches has a row with
+# requests > 1) and that the BATCHER report and STATUS line are live.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${BATCH_SMOKE_ADDR:-127.0.0.1:54331}
+CLIENTS=${BATCH_SMOKE_CLIENTS:-4}
+ROUNDS=${BATCH_SMOKE_ROUNDS:-25}
+BIN=$(mktemp -d)
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/vectordbd" ./cmd/vectordbd
+go build -o "$BIN/vectordb" ./cmd/vectordb
+
+"$BIN/vectordbd" -addr "$ADDR" -demo -batch-max-wait 5ms &
+DPID=$!
+
+up=
+for _ in $(seq 1 50); do
+    if "$BIN/vectordb" -connect "$ADDR" </dev/null >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || { echo "batch-smoke: daemon never came up on $ADDR" >&2; exit 1; }
+
+# Concurrent clients running the same MODEL JOIN: the 5ms window plus the
+# shared model artifact means their batches land in one queue and coalesce.
+client_script() {
+    for _ in $(seq 1 "$ROUNDS"); do
+        echo 'SELECT COUNT(*) AS n, AVG(prediction_0) AS p FROM iris MODEL JOIN iris_model PREDICT (sepal_length, sepal_width, petal_length, petal_width);'
+    done
+    echo '\q'
+}
+PIDS=()
+for i in $(seq 1 "$CLIENTS"); do
+    client_script | "$BIN/vectordb" -connect "$ADDR" >"$BIN/client$i.out" &
+    PIDS+=($!)
+done
+for pid in "${PIDS[@]}"; do
+    wait "$pid" || { echo "batch-smoke: client $pid failed" >&2; exit 1; }
+done
+# The shell prints SQL failures as "error: …" instead of exiting non-zero.
+if grep -l '^error:' "$BIN"/client*.out >/dev/null 2>&1; then
+    echo "batch-smoke: a client saw query errors:" >&2
+    grep '^error:' "$BIN"/client*.out >&2
+    exit 1
+fi
+
+OUT=$("$BIN/vectordb" -connect "$ADDR" <<'EOF'
+SELECT count(*) AS total_batches FROM system.inference_batches;
+SELECT count(*) AS coalesced FROM system.inference_batches WHERE requests > 1;
+STATUS;
+\batcher
+\q
+EOF
+)
+echo "$OUT"
+
+TOTAL=$(echo "$OUT" | awk '/total_batches/{getline; print $1; exit}')
+# The interactive prompt ("> ") prefixes each result header line; the query
+# outputs come before STATUS/\batcher, so the first match is the right one.
+COALESCED=$(echo "$OUT" | awk '/coalesced/{getline; print $1; exit}')
+[ -n "$TOTAL" ] && [ "$TOTAL" -gt 0 ] || {
+    echo "batch-smoke: system.inference_batches is empty (total=$TOTAL)" >&2
+    exit 1
+}
+[ -n "$COALESCED" ] && [ "$COALESCED" -gt 0 ] || {
+    echo "batch-smoke: no coalesced batch with requests > 1 (coalesced=$COALESCED)" >&2
+    exit 1
+}
+echo "$OUT" | grep -q 'batcher:' || { echo "batch-smoke: STATUS missing batcher line" >&2; exit 1; }
+echo "$OUT" | grep -q 'coalesce_wait:' || { echo "batch-smoke: \\batcher report missing coalesce_wait histogram" >&2; exit 1; }
+echo "batch-smoke OK: $TOTAL batches, $COALESCED coalesced from concurrent clients"

@@ -1,0 +1,194 @@
+package indbml
+
+// Concurrent-serving benchmark for the batched inference scheduler: N wire
+// clients hammer the same MODEL JOIN through a real server, once with the
+// per-(model, device) scheduler coalescing their batches and once with every
+// operator driving the device directly. The cells (QPS, p50/p99 latency per
+// client count) are folded into BENCH_modeljoin.json next to the cold/cached
+// cells, so `make bench` leaves the full serving story in one artifact.
+//
+// This file sorts after modelcache_bench_test.go, so it reads the report that
+// BenchmarkModelJoinColdVsCached just wrote and extends it rather than
+// clobbering it.
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indbml/internal/engine/db"
+	"indbml/internal/server"
+	"indbml/internal/server/client"
+	"indbml/internal/workload"
+)
+
+type servingCell struct {
+	Name       string  `json:"name"`
+	Clients    int     `json:"clients"`
+	Mode       string  `json:"mode"` // "batched" or "direct"
+	Iterations int     `json:"iterations"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// servingQueriesPerClient keeps one benchmark iteration short enough to rerun
+// during calibration while still giving the percentiles a real sample.
+const servingQueriesPerClient = 25
+
+func BenchmarkServingConcurrentClients(b *testing.B) {
+	fact, _ := workload.IrisTable("iris_cache_fact", cacheBenchTuples, benchPartitions)
+	query := "SELECT COUNT(*) AS n, AVG(prediction) AS avg_pred FROM iris_cache_fact MODEL JOIN bench_model PREDICT (" +
+		strings.Join(workload.IrisFeatureNames, ", ") + ")"
+
+	var cells []servingCell
+	record := func(c servingCell) {
+		for i := range cells {
+			if cells[i].Name == c.Name {
+				cells[i] = c
+				return
+			}
+		}
+		cells = append(cells, c)
+	}
+
+	run := func(mode string, clients int, opts db.Options) {
+		b.Run(mode+"/"+strconv.Itoa(clients)+"-clients", func(b *testing.B) {
+			model := workload.DenseModel(256, 4)
+			model.Name = "bench_model"
+			d := newDB(b, fact, model, opts)
+			s := server.New(d, server.Config{QueueDepth: 64, QueueWait: 30 * time.Second})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go s.Serve(ln)
+			defer s.Close()
+			for i := 0; s.Addr() == nil && i < 100; i++ {
+				time.Sleep(time.Millisecond)
+			}
+
+			conns := make([]*client.Client, clients)
+			for i := range conns {
+				c, err := client.Dial(s.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+			oneQuery := func(c *client.Client) error {
+				rows, err := c.Query(query)
+				if err != nil {
+					return err
+				}
+				return rows.Drain()
+			}
+			// Warm the model artifact cache so every measured query shares one
+			// built model — the coalescing key — and none pays the build phase.
+			for _, c := range conns {
+				if err := oneQuery(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			var lat []time.Duration
+			var elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				perClient := make([][]time.Duration, clients)
+				var wg sync.WaitGroup
+				errc := make(chan error, clients)
+				start := time.Now()
+				for ci := range conns {
+					wg.Add(1)
+					go func(ci int) {
+						defer wg.Done()
+						for q := 0; q < servingQueriesPerClient; q++ {
+							t0 := time.Now()
+							if err := oneQuery(conns[ci]); err != nil {
+								errc <- err
+								return
+							}
+							perClient[ci] = append(perClient[ci], time.Since(t0))
+						}
+					}(ci)
+				}
+				wg.Wait()
+				elapsed += time.Since(start)
+				close(errc)
+				if err := <-errc; err != nil {
+					b.Fatal(err)
+				}
+				for _, l := range perClient {
+					lat = append(lat, l...)
+				}
+			}
+			b.StopTimer()
+
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(p int) float64 {
+				idx := len(lat) * p / 100
+				if idx >= len(lat) {
+					idx = len(lat) - 1
+				}
+				return float64(lat[idx].Nanoseconds()) / 1e6
+			}
+			qps := float64(len(lat)) / elapsed.Seconds()
+			b.ReportMetric(qps, "qps")
+			b.ReportMetric(pct(50), "p50-ms")
+			b.ReportMetric(pct(99), "p99-ms")
+			record(servingCell{
+				Name:       mode + "_" + strconv.Itoa(clients) + "c",
+				Clients:    clients,
+				Mode:       mode,
+				Iterations: len(lat),
+				QPS:        qps,
+				P50Ms:      pct(50),
+				P99Ms:      pct(99),
+			})
+		})
+	}
+
+	for _, clients := range []int{1, 4, 8, 16} {
+		run("batched", clients, db.Options{})
+		run("direct", clients, db.Options{DisableInferSched: true})
+	}
+
+	// Fold the serving cells into the report the cold/cached benchmark wrote
+	// earlier in this run; tolerate running standalone against a stale file.
+	var report modelJoinBenchReport
+	if raw, err := os.ReadFile("BENCH_modeljoin.json"); err == nil {
+		_ = json.Unmarshal(raw, &report)
+	}
+	if report.Benchmark == "" {
+		report.Benchmark = "modeljoin_cold_vs_cached"
+	}
+	report.Concurrent = cells
+	find := func(name string) *servingCell {
+		for i := range cells {
+			if cells[i].Name == name {
+				return &cells[i]
+			}
+		}
+		return nil
+	}
+	if ba, di := find("batched_8c"), find("direct_8c"); ba != nil && di != nil && di.QPS > 0 {
+		report.SpeedupBatchedVsDirect8C = ba.QPS / di.QPS
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_modeljoin.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_modeljoin.json concurrent cells (8-client batched vs direct QPS: %.2fx)",
+		report.SpeedupBatchedVsDirect8C)
+}
