@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke examples experiments experiments-paper clean
+.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke stats-smoke examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -49,6 +49,13 @@ flight-smoke:
 # scheduler coalesced batches from more than one query.
 batch-smoke:
 	./scripts/batch_smoke.sh
+
+# End-to-end control-plane smoke: boot vectordbd, run one statement shape
+# with two different literals, assert system.statement_stats folded them
+# onto one fingerprint, system.sessions shows the connection, and KILL of a
+# bogus ID errors cleanly.
+stats-smoke:
+	./scripts/stats_smoke.sh
 
 examples: build
 	$(GO) run ./examples/quickstart

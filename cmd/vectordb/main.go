@@ -15,6 +15,8 @@
 //	\batcher                               inference batching scheduler report
 //	\metrics                               metrics page (shell-local or server registry)
 //	\queries                               recent statements from system.queries
+//	\active                                in-flight statements from system.active_queries
+//	\kill <query_id>                       cancel an in-flight statement
 //	\trace on|off                          run every SELECT as EXPLAIN ANALYZE
 //	\q                                     quit
 //
@@ -162,6 +164,26 @@ func newLocalSession(d *db.Database) *localSession {
 const queriesSQL = "SELECT query_id, kind, approach, latency_ns, rows_out, cache, sql " +
 	"FROM system.queries ORDER BY query_id DESC LIMIT 20"
 
+// activeSQL is what \active runs: every in-flight statement with its live
+// progress counters (the listing SELECT itself shows up too, running).
+const activeSQL = "SELECT query_id, session, state, elapsed_ns, rows_scanned, phase, sql " +
+	"FROM system.active_queries ORDER BY query_id"
+
+// parseKillArg extracts the query ID from "\kill <id>", reporting usage
+// errors itself; ok is false when nothing should be killed.
+func parseKillArg(fields []string) (uint64, bool) {
+	if len(fields) != 2 {
+		fmt.Println("usage: \\kill <query_id>")
+		return 0, false
+	}
+	id, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil || id == 0 {
+		fmt.Println("usage: \\kill <query_id>  (IDs are listed by \\active)")
+		return 0, false
+	}
+	return id, true
+}
+
 func (s *localSession) close() {}
 
 func (s *localSession) runSQL(text string) {
@@ -280,10 +302,27 @@ func (s *localSession) meta(line string) bool {
 			return true
 		}
 		printResult(res)
+	case "\\active":
+		res, err := s.d.Query(activeSQL)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		printResult(res)
+	case "\\kill":
+		id, ok := parseKillArg(fields)
+		if !ok {
+			return true
+		}
+		if err := s.d.Kill(id); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("killed query %d\n", id)
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\batcher \\metrics \\queries \\trace")
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\batcher \\metrics \\queries \\active \\kill \\trace")
 	}
 	return true
 }
@@ -446,10 +485,27 @@ func (s *remoteSession) meta(line string) bool {
 			return true
 		}
 		printRows(rows)
+	case "\\active":
+		rows, err := s.c.Query(activeSQL)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		printRows(rows)
+	case "\\kill":
+		id, ok := parseKillArg(fields)
+		if !ok {
+			return true
+		}
+		if err := s.c.Kill(id); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("killed query %d\n", id)
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\batcher \\metrics \\queries \\trace")
+		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\batcher \\metrics \\queries \\active \\kill \\trace")
 	}
 	return true
 }

@@ -168,11 +168,24 @@ func (o *Operator) Open() error {
 		o.ctrSgemm = o.span.Counter("sgemm_ns")
 		o.ctrFlops = o.span.Counter("sgemm_flops")
 		o.ctrMarshal = o.span.Counter("marshal_ns")
+		if o.Shared.Dev != nil {
+			o.span.SetLabel("device", o.Shared.Dev.Name())
+		}
 		if o.batched() {
 			o.span.SetLabel("batched", "yes")
 			o.ctrBatchWait = o.span.Counter("batch_wait_ns")
 		} else {
 			o.span.SetLabel("batched", "no")
+			// A wired scheduler that this operator bypasses is a fallback
+			// worth surfacing: recurrent models keep device state across
+			// time steps and cannot be coalesced, and sessions can opt out.
+			if o.sched != nil {
+				if o.model.layers[0].kind == nn.KindLSTM {
+					o.span.SetLabel("fallback_reason", "lstm")
+				} else if o.policy.Disabled {
+					o.span.SetLabel("fallback_reason", "batching_disabled")
+				}
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,72 @@
+package db_test
+
+import (
+	"testing"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/nn"
+)
+
+// TestVirtualTableShadowing: the binder consults virtual tables only after
+// the regular catalog lookup fails, so a user table named system.queries
+// shadows the built-in view — and dropping it brings the view back. The
+// shadow table is created, filled, queried and dropped entirely through
+// SQL, exercising the qualified-name path in every statement kind.
+func TestVirtualTableShadowing(t *testing.T) {
+	d := db.Open(db.Options{})
+	if err := d.Exec("CREATE TABLE system.queries (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Exec("INSERT INTO system.queries (a) VALUES (7), (9)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query("SELECT SUM(a) AS s FROM system.queries")
+	if err != nil {
+		t.Fatalf("shadowed table not used: %v", err)
+	}
+	if got := res.Vecs[0].Int64s()[0]; got != 16 {
+		t.Errorf("sum over shadow table = %d, want 16", got)
+	}
+	if err := d.Exec("DROP TABLE system.queries"); err != nil {
+		t.Fatal(err)
+	}
+	// With the shadow gone the virtual view resolves again: the statements
+	// above are in the flight recorder, and column sql exists only there.
+	res, err = d.Query("SELECT COUNT(*) AS n FROM system.queries WHERE sql <> ''")
+	if err != nil {
+		t.Fatalf("virtual table not restored after DROP: %v", err)
+	}
+	if got := res.Vecs[0].Int64s()[0]; got < 3 {
+		t.Errorf("system.queries rows = %d, want the shadow-table traffic recorded", got)
+	}
+}
+
+// TestFallbackReasonLSTM: a MODEL JOIN over a recurrent model keeps the
+// direct device path even with the inference scheduler enabled, and the
+// flight record says why.
+func TestFallbackReasonLSTM(t *testing.T) {
+	d := db.Open(db.Options{Parallelism: 2})
+	const rows, steps, width = 200, 3, 8
+	makeFactTable(t, d, "series", rows, steps, 2, 77)
+	model := nn.NewLSTMModel("lm", steps, width, 5)
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Query("SELECT id, prediction FROM series MODEL JOIN lm"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query("SELECT batched, fallback_reason FROM system.queries WHERE approach = 'modeljoin'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vecs[0].Len() != 1 {
+		t.Fatalf("modeljoin flight records = %d, want 1", res.Vecs[0].Len())
+	}
+	if got := res.Vecs[0].Strings()[0]; got != "no" {
+		t.Errorf("batched = %q, want no", got)
+	}
+	if got := res.Vecs[1].Strings()[0]; got != "lstm" {
+		t.Errorf("fallback_reason = %q, want lstm", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"indbml/internal/engine/storage"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/fingerprint"
 	"indbml/internal/flight"
 	"indbml/internal/infersched"
 	"indbml/internal/nn"
@@ -49,6 +50,11 @@ type Options struct {
 	// entirely — the system tables stay queryable but empty, and the
 	// per-query summary cost disappears.
 	FlightRecorderSize int
+	// DisableStatementStats turns off the cumulative fingerprinted
+	// statement-statistics store (system.statement_stats) while keeping the
+	// flight recorder itself on — the ablation cell the stats-overhead
+	// benchmark measures against.
+	DisableStatementStats bool
 	// InferSched tunes the batched inference scheduler (coalescing of
 	// concurrent MODEL JOIN batches per (model, device)); the zero value
 	// selects the defaults.
@@ -107,6 +113,11 @@ func Open(opts Options) *Database {
 	}
 	if opts.FlightRecorderSize >= 0 {
 		d.flight = flight.NewRecorder(opts.FlightRecorderSize)
+		if !opts.DisableStatementStats {
+			// Cumulative per-shape statistics survive the ring's wrap-around;
+			// fed at the recorder's publish point.
+			d.flight.SetStats(fingerprint.NewStats())
+		}
 	}
 	if !opts.DisableInferSched {
 		d.sched = infersched.New(opts.InferSched)
@@ -115,6 +126,8 @@ func Open(opts Options) *Database {
 	// they are simply empty, so monitoring SQL degrades instead of erroring.
 	d.RegisterVirtualTable(flight.QueriesTable(d.flight))
 	d.RegisterVirtualTable(flight.OperatorsTable(d.flight))
+	d.RegisterVirtualTable(flight.ActiveTable(d.flight))
+	d.RegisterVirtualTable(flight.StatementStatsTable(d.flight))
 	d.RegisterVirtualTable(modelCacheTable{d})
 	d.RegisterVirtualTable(inferBatchesTable{d})
 	return d
@@ -127,6 +140,16 @@ func (d *Database) InferSched() *infersched.Scheduler { return d.sched }
 // FlightRecorder returns the always-on query flight recorder (nil when
 // disabled via Options.FlightRecorderSize < 0).
 func (d *Database) FlightRecorder() *flight.Recorder { return d.flight }
+
+// Kill cancels the in-flight statement with the given flight-recorder query
+// ID — running mid-scan, parked in an admission queue, or waiting in an
+// inference coalesce window. It errors when the ID names no active
+// statement or query tracking is disabled. The victim unwinds with a
+// cancellation error at its next context check; KILL returns as soon as
+// cancellation is delivered, without waiting for the unwind.
+func (d *Database) Kill(id uint64) error {
+	return d.flight.Kill(id)
+}
 
 // RegisterVirtualTable adds (or replaces) a virtual system table. The
 // engine registers system.queries, system.query_operators and
@@ -496,7 +519,22 @@ func (d *Database) QueryOpTracedContext(ctx context.Context, text string) (exec.
 // plan failures are recorded too — an error'd statement is exactly the
 // kind the flight recorder exists to explain.
 func (d *Database) queryOpRecorded(ctx context.Context, text string) (exec.Operator, *trace.QueryTrace, error) {
-	fl := d.flight.Begin(text, "select", flight.ApproachFrom(ctx))
+	// The server registers statements in the live registry at admission and
+	// carries the entry in ctx; the flight adopts it so the query keeps one
+	// ID from queue to system.queries. Embedded callers have no admission
+	// layer, so the statement self-registers here — wrapped in its own
+	// cancelable context so KILL works identically. Finish releases both the
+	// registration and the cancel func.
+	live := flight.LiveFrom(ctx)
+	if live == nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		live = d.flight.Register(text, "embedded", cancel)
+	}
+	fl := d.flight.BeginFor(live, text, "select", flight.ApproachFrom(ctx))
 	fl.SetQueueWait(flight.QueueWaitFrom(ctx))
 	// Statements that die before planning can classify them still get the
 	// default tag, so per-approach aggregates never grow an "" group.
@@ -586,7 +624,7 @@ func (d *Database) Exec(text string) error {
 // the context is consulted between parse and execution rather than inside
 // row appends; a statement that has begun mutating the catalog completes.
 func (d *Database) ExecContext(ctx context.Context, text string) (err error) {
-	if fl := d.flight.Begin(text, "exec", "sql"); fl != nil {
+	if fl := d.flight.BeginFor(flight.LiveFrom(ctx), text, "exec", "sql"); fl != nil {
 		fl.SetQueueWait(flight.QueueWaitFrom(ctx))
 		defer func() { fl.Finish(err) }()
 		stmt, perr := sql.Parse(text)
@@ -621,6 +659,8 @@ func (d *Database) execStmt(stmt sql.Stmt) error {
 		return d.execUpdate(s)
 	case *sql.DropTableStmt:
 		return d.DropTable(s.Name)
+	case *sql.KillStmt:
+		return d.Kill(s.ID)
 	default:
 		return fmt.Errorf("db: Exec does not handle %T; use Query for SELECT", stmt)
 	}
@@ -639,6 +679,8 @@ func execKind(stmt sql.Stmt) string {
 		return "update"
 	case *sql.DropTableStmt:
 		return "drop"
+	case *sql.KillStmt:
+		return "kill"
 	default:
 		return "exec"
 	}

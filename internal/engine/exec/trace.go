@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sync/atomic"
 	"time"
 
 	"indbml/internal/engine/types"
@@ -19,6 +20,14 @@ import (
 type Traced struct {
 	Child Operator
 	Span  *trace.Span
+
+	// Live scanned-bytes publishing: the child's ScannedBytes() is a
+	// cumulative per-instance total, while the span counter is shared
+	// across partition instances, so each instance feeds only its delta
+	// since the previous sample. Resolved once at Open.
+	bytesSrc  interface{ ScannedBytes() int64 }
+	bytesCtr  *atomic.Int64
+	published int64
 }
 
 // NewTraced wraps child so its activity is recorded into span.
@@ -34,7 +43,23 @@ func (t *Traced) Open() error {
 	start := time.Now()
 	err := t.Child.Open()
 	t.Span.AddWall(time.Since(start))
+	if sb, ok := t.Child.(interface{ ScannedBytes() int64 }); ok {
+		t.bytesSrc = sb
+		t.bytesCtr = t.Span.Counter("scanned_bytes")
+	}
 	return err
+}
+
+// publishBytes feeds this instance's scanned-bytes growth into the shared
+// span counter, keeping system.active_queries current while the scan runs.
+func (t *Traced) publishBytes() {
+	if t.bytesSrc == nil {
+		return
+	}
+	if cur := t.bytesSrc.ScannedBytes(); cur != t.published {
+		t.bytesCtr.Add(cur - t.published)
+		t.published = cur
+	}
 }
 
 // Next implements Operator.
@@ -46,6 +71,7 @@ func (t *Traced) Next() (*vector.Batch, error) {
 		t.Span.AddRows(int64(b.Len()))
 		t.Span.AddBatches(1)
 	}
+	t.publishBytes()
 	return b, err
 }
 
@@ -57,8 +83,6 @@ func (t *Traced) Close() error {
 	if bp, ok := t.Child.(interface{ PrunedBlocks() int }); ok {
 		t.Span.Counter("pruned_blocks").Add(int64(bp.PrunedBlocks()))
 	}
-	if sb, ok := t.Child.(interface{ ScannedBytes() int64 }); ok {
-		t.Span.Counter("scanned_bytes").Add(sb.ScannedBytes())
-	}
+	t.publishBytes()
 	return err
 }

@@ -152,6 +152,13 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
+// KillStmt cancels the identified in-flight statement (KILL <query_id>).
+// The ID is the flight-recorder query ID surfaced by system.active_queries
+// and MsgDone.
+type KillStmt struct{ ID uint64 }
+
+func (*KillStmt) stmt() {}
+
 // --- Expressions ---
 
 // Ident is a possibly qualified column reference.

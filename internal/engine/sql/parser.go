@@ -111,6 +111,17 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
+	case p.at(TokKeyword, "KILL"):
+		p.next()
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		id, perr := strconv.ParseUint(t.Text, 10, 64)
+		if perr != nil || id == 0 {
+			return nil, p.errf("KILL wants a positive query id, got %q", t.Text)
+		}
+		return &KillStmt{ID: id}, nil
 	default:
 		return nil, p.errf("expected a statement, found %q", p.cur().Text)
 	}
@@ -250,6 +261,27 @@ func (p *Parser) expectIdentLike() (string, error) {
 	return "", p.errf("expected identifier, found %q", p.cur().Text)
 }
 
+// parseTableName parses a possibly qualified table name (t, system.queries,
+// "system".queries): one optional schema qualifier folded into the catalog
+// lookup name, which is how the virtual system tables are addressed. Used
+// everywhere a statement names a table — FROM, CREATE, INSERT, DELETE,
+// UPDATE, DROP — so a user table that shadows a system name can be created
+// and dropped through SQL too.
+func (p *Parser) parseTableName() (string, error) {
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return "", err
+	}
+	if p.accept(TokOp, ".") {
+		rest, err := p.expectIdentLike()
+		if err != nil {
+			return "", err
+		}
+		name = name + "." + rest
+	}
+	return name, nil
+}
+
 func (p *Parser) parseTableRefs() (TableRef, error) {
 	left, err := p.parseJoinChain()
 	if err != nil {
@@ -346,18 +378,9 @@ func (p *Parser) parsePrimaryRef() (TableRef, error) {
 		}
 		return &SubqueryRef{Select: sel, Alias: alias}, nil
 	}
-	name, err := p.expectIdentLike()
+	name, err := p.parseTableName()
 	if err != nil {
 		return nil, err
-	}
-	// Qualified table name (system.queries, system.metrics, ...): one
-	// optional schema qualifier folded into the catalog lookup name.
-	if p.accept(TokOp, ".") {
-		rest, err := p.expectIdentLike()
-		if err != nil {
-			return nil, err
-		}
-		name = name + "." + rest
 	}
 	ref := &BaseTable{Name: name}
 	if p.accept(TokKeyword, "AS") {
@@ -692,7 +715,7 @@ func (p *Parser) parseCreate() (Stmt, error) {
 	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
-	name, err := p.expectIdentLike()
+	name, err := p.parseTableName()
 	if err != nil {
 		return nil, err
 	}
@@ -751,7 +774,7 @@ func (p *Parser) parseInsert() (Stmt, error) {
 	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
 		return nil, err
 	}
-	name, err := p.expectIdentLike()
+	name, err := p.parseTableName()
 	if err != nil {
 		return nil, err
 	}
@@ -805,7 +828,7 @@ func (p *Parser) parseDelete() (Stmt, error) {
 	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
 		return nil, err
 	}
-	name, err := p.expectIdentLike()
+	name, err := p.parseTableName()
 	if err != nil {
 		return nil, err
 	}
@@ -822,7 +845,7 @@ func (p *Parser) parseDelete() (Stmt, error) {
 
 func (p *Parser) parseUpdate() (Stmt, error) {
 	p.next() // UPDATE
-	name, err := p.expectIdentLike()
+	name, err := p.parseTableName()
 	if err != nil {
 		return nil, err
 	}
@@ -863,7 +886,7 @@ func (p *Parser) parseDrop() (Stmt, error) {
 	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
-	name, err := p.expectIdentLike()
+	name, err := p.parseTableName()
 	if err != nil {
 		return nil, err
 	}

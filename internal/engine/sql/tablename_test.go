@@ -1,0 +1,134 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// Dotted (schema-qualified) table names flow through one helper shared by
+// every statement that names a table; these tests pin its edge cases.
+
+func baseName(t *testing.T, query string) string {
+	t.Helper()
+	sel, err := ParseSelect(query)
+	if err != nil {
+		t.Fatalf("%q: %v", query, err)
+	}
+	bt, ok := sel.From.(*BaseTable)
+	if !ok {
+		t.Fatalf("%q: FROM is %T, want *BaseTable", query, sel.From)
+	}
+	return bt.Name
+}
+
+func TestParseDottedNames(t *testing.T) {
+	cases := []struct {
+		query string
+		want  string
+	}{
+		{"SELECT * FROM system.queries", "system.queries"},
+		// Either or both parts may be quoted; the catalog name is the same.
+		{`SELECT * FROM "system".queries`, "system.queries"},
+		{`SELECT * FROM system."queries"`, "system.queries"},
+		{`SELECT * FROM "system"."queries"`, "system.queries"},
+		// A quoted identifier may itself contain the dot.
+		{`SELECT * FROM "system.queries"`, "system.queries"},
+		// Identifier case is preserved, not folded: SYSTEM.QUERIES is a
+		// different catalog name from system.queries.
+		{"SELECT * FROM SYSTEM.QUERIES", "SYSTEM.QUERIES"},
+		// Soft keywords work on both sides of the dot.
+		{"SELECT * FROM model.values", "model.values"},
+	}
+	for _, c := range cases {
+		if got := baseName(t, c.query); got != c.want {
+			t.Errorf("%q: name = %q, want %q", c.query, got, c.want)
+		}
+	}
+}
+
+func TestParseDottedNameAlias(t *testing.T) {
+	sel, err := ParseSelect("SELECT q.sql FROM system.queries AS q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := sel.From.(*BaseTable)
+	if bt.Name != "system.queries" || bt.Alias != "q" {
+		t.Errorf("parsed %+v, want name system.queries alias q", bt)
+	}
+}
+
+func TestParseDottedNameErrors(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT * FROM system.",          // dangling dot
+		"SELECT * FROM system..queries",  // empty middle part
+		"SELECT * FROM .queries",         // missing schema part
+		"SELECT * FROM system.queries.x", // at most one qualifier
+	} {
+		if _, err := ParseSelect(bad); err == nil {
+			t.Errorf("ParseSelect(%q) should fail", bad)
+		}
+	}
+}
+
+// TestParseDottedNamesInDDL: CREATE/INSERT/DELETE/UPDATE/DROP accept the
+// same qualified spelling, so a user table that shadows a system name can
+// be managed entirely through SQL.
+func TestParseDottedNamesInDDL(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE system.queries (a INTEGER)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := stmt.(*CreateTableStmt); ct.Name != "system.queries" {
+		t.Errorf("CREATE name = %q", ct.Name)
+	}
+	stmt, err = Parse(`INSERT INTO "system".queries (a) VALUES (1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins := stmt.(*InsertStmt); ins.Table != "system.queries" {
+		t.Errorf("INSERT table = %q", ins.Table)
+	}
+	stmt, err = Parse(`DELETE FROM system.queries WHERE a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := stmt.(*DeleteStmt); del.Table != "system.queries" {
+		t.Errorf("DELETE table = %q", del.Table)
+	}
+	stmt, err = Parse(`UPDATE system.queries SET a = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up := stmt.(*UpdateStmt); up.Table != "system.queries" {
+		t.Errorf("UPDATE table = %q", up.Table)
+	}
+	stmt, err = Parse(`DROP TABLE system.queries`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr := stmt.(*DropTableStmt); dr.Name != "system.queries" {
+		t.Errorf("DROP name = %q", dr.Name)
+	}
+}
+
+func TestParseKill(t *testing.T) {
+	stmt, err := Parse("KILL 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := stmt.(*KillStmt); k.ID != 42 {
+		t.Errorf("KILL ID = %d, want 42", k.ID)
+	}
+	if _, err := Parse("KILL 7;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+	for _, bad := range []string{"KILL", "KILL 0", "KILL abc", "KILL -1", "KILL 1 2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		} else if !strings.Contains(strings.ToLower(err.Error()), "kill") &&
+			!strings.Contains(err.Error(), "expected") &&
+			!strings.Contains(err.Error(), "trailing") {
+			t.Errorf("Parse(%q): unexpected error %v", bad, err)
+		}
+	}
+}

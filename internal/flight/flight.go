@@ -31,12 +31,14 @@ import (
 	rtmetrics "runtime/metrics"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"indbml/internal/engine/exec"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/fingerprint"
 	"indbml/internal/trace"
 )
 
@@ -50,22 +52,31 @@ const maxSQLLen = 1024
 // Summary is the per-statement flight record. All fields are final once
 // the summary is published to the ring.
 type Summary struct {
-	ID           uint64
-	Start        time.Time
-	SQL          string
-	Kind         string // select, insert, update, delete, create, drop, ...
-	Approach     string // sql, modeljoin, mltosql, pyudf, mlruntime, external
-	Error        string // "" on success
-	LatencyNS    int64
-	QueueWaitNS  int64
-	RowsOut      int64
-	RowsIn       int64 // rows produced by storage scans
+	ID          uint64
+	Start       time.Time
+	SQL         string
+	Fingerprint uint64 // statement-shape fingerprint (package fingerprint)
+	Kind        string // select, insert, update, delete, create, drop, kill, ...
+	Approach    string // sql, modeljoin, mltosql, pyudf, mlruntime, external
+	Device      string // inference device ("cpu", "gpu-sim", ...; "" without inference)
+	Error       string // "" on success
+	LatencyNS   int64
+	QueueWaitNS int64
+	RowsOut     int64
+	RowsIn      int64 // rows produced by storage scans
 	BytesScanned int64
 	BlocksPruned int64
 	Cache        string // model cache verdict: "hit", "miss", or ""
 	Batched      string // inference-scheduler verdict: "yes", "no", or ""
-	AllocBytes   int64
-	Ops          []OpStat
+	// FallbackReason explains a batched="no" verdict on a scheduler-wired
+	// operator (e.g. "lstm": recurrent models keep the direct device path).
+	FallbackReason string
+	AllocBytes     int64
+	Ops            []OpStat
+
+	// normSQL is the normalized statement text, carried to the statement-
+	// stats store at publish time (retained there as the shape exemplar).
+	normSQL string
 }
 
 // OpStat is one operator of the folded span tree, preorder-numbered.
@@ -87,6 +98,18 @@ type Recorder struct {
 	slots []atomic.Pointer[Summary]
 	next  atomic.Uint64 // total summaries ever published; next slot = next % len
 	ids   atomic.Uint64 // query ID allocator; IDs start at 1
+
+	// live is the in-flight statement registry (system.active_queries and
+	// the KILL target index). Registration traffic is two map operations
+	// per statement, far off any per-batch path; progress itself is read
+	// from the statements' atomic span counters, not under this lock.
+	liveMu sync.Mutex
+	live   map[uint64]*LiveQuery
+
+	// stats is the cumulative per-statement-shape store fed at publish
+	// time; nil leaves the stats path disabled. Set once before traffic
+	// (SetStats), never swapped afterwards.
+	stats *fingerprint.Stats
 }
 
 // NewRecorder creates a recorder with the given ring capacity
@@ -95,7 +118,26 @@ func NewRecorder(size int) *Recorder {
 	if size <= 0 {
 		size = DefaultSize
 	}
-	return &Recorder{slots: make([]atomic.Pointer[Summary], size)}
+	return &Recorder{
+		slots: make([]atomic.Pointer[Summary], size),
+		live:  make(map[uint64]*LiveQuery),
+	}
+}
+
+// SetStats attaches the cumulative statement-stats store; every summary
+// published from then on is folded into it. Call before serving traffic.
+func (r *Recorder) SetStats(s *fingerprint.Stats) {
+	if r != nil {
+		r.stats = s
+	}
+}
+
+// Stats returns the attached statement-stats store (nil when disabled).
+func (r *Recorder) Stats() *fingerprint.Stats {
+	if r == nil {
+		return nil
+	}
+	return r.stats
 }
 
 // Capacity returns the ring size.
@@ -130,29 +172,79 @@ func (r *Recorder) Snapshot() []*Summary {
 func (r *Recorder) record(s *Summary) {
 	slot := (r.next.Add(1) - 1) % uint64(len(r.slots))
 	r.slots[slot].Store(s)
+	// The cumulative per-shape stats are fed here — the single point every
+	// finished statement passes through — so they keep accumulating after
+	// the ring wraps and this summary's slot is overwritten.
+	if r.stats != nil {
+		r.stats.Observe(fingerprint.Observation{
+			Fingerprint:  s.Fingerprint,
+			NormSQL:      s.normSQL,
+			Approach:     s.Approach,
+			Device:       s.Device,
+			LatencyNS:    s.LatencyNS,
+			QueueWaitNS:  s.QueueWaitNS,
+			Err:          s.Error != "",
+			RowsIn:       s.RowsIn,
+			RowsOut:      s.RowsOut,
+			BytesScanned: s.BytesScanned,
+			CacheSeen:    s.Cache != "",
+			CacheHit:     s.Cache == "hit",
+			BatchSeen:    s.Batched != "",
+			Batched:      s.Batched == "yes",
+		})
+	}
 }
 
 // Begin opens a flight record for one statement, allocating its query ID
 // and sampling the allocation baseline. Pass the eventual outcome to
 // Finish; an abandoned flight is simply never published.
 func (r *Recorder) Begin(sqlText, kind, approach string) *Flight {
+	return r.BeginFor(nil, sqlText, kind, approach)
+}
+
+// BeginFor is Begin for a statement already entered into the live registry
+// at admission: the flight adopts the live entry's query ID (so the ID a
+// client saw in system.active_queries is the ID published to
+// system.queries), flips its state to running, and removes it from the
+// registry when the statement finishes. With a nil live entry it allocates
+// a fresh ID and touches no registry state — plain Begin.
+func (r *Recorder) BeginFor(live *LiveQuery, sqlText, kind, approach string) *Flight {
 	if r == nil {
 		return nil
 	}
 	if len(sqlText) > maxSQLLen {
 		sqlText = sqlText[:maxSQLLen]
 	}
-	return &Flight{
+	var fp uint64
+	var norm string
+	if live != nil {
+		fp, norm = live.fp, live.norm
+	} else {
+		fp, norm = fingerprint.Normalize(sqlText)
+	}
+	f := &Flight{
 		rec: r,
 		sum: &Summary{
-			ID:       r.ids.Add(1),
-			Start:    time.Now(),
-			SQL:      sqlText,
-			Kind:     kind,
-			Approach: approach,
+			Start:       time.Now(),
+			SQL:         sqlText,
+			Fingerprint: fp,
+			Kind:        kind,
+			Approach:    approach,
+			normSQL:     norm,
 		},
+		live:       live,
 		startAlloc: allocBytes(),
 	}
+	if live != nil {
+		// Adopt the live entry: same ID, queued → running. The summary's
+		// Start stays at execution begin — queue wait is charged separately
+		// via QueueWaitNS, as before.
+		f.sum.ID = live.id
+		live.state.Store(stateRunning)
+	} else {
+		f.sum.ID = r.ids.Add(1)
+	}
+	return f
 }
 
 // Flight is one in-progress statement's record. It is written by the
@@ -163,6 +255,7 @@ type Flight struct {
 	rec        *Recorder
 	sum        *Summary
 	qt         *trace.QueryTrace
+	live       *LiveQuery // adopted registry entry; nil for unregistered flights
 	startAlloc uint64
 	done       atomic.Bool
 }
@@ -213,9 +306,15 @@ func (f *Flight) AddRowsOut(n int64) {
 
 // AttachTrace hands the flight the statement's span tree; Finish folds it
 // into the per-operator breakdown and the scan-derived summary columns.
+// The root span is also published to the statement's live-registry entry,
+// which is what lets system.active_queries sample rows/bytes progress from
+// the executing operators' atomic counters.
 func (f *Flight) AttachTrace(qt *trace.QueryTrace) {
 	if f != nil {
 		f.qt = qt
+		if f.live != nil && qt != nil && qt.Root != nil {
+			f.live.root.Store(qt.Root)
+		}
 	}
 }
 
@@ -241,6 +340,15 @@ func (f *Flight) Finish(err error) {
 		foldSpans(f.sum, f.qt.Root.Stat(), 0)
 	}
 	f.rec.record(f.sum)
+	if f.live != nil {
+		// The statement is no longer killable; drop it from the live
+		// registry and release its cancel function (freeing the context's
+		// resources — a no-op if KILL or the server already canceled).
+		f.rec.Unregister(f.live)
+		if f.live.cancel != nil {
+			f.live.cancel()
+		}
+	}
 }
 
 // foldSpans flattens the span snapshot tree into preorder OpStat rows and
@@ -271,6 +379,12 @@ func foldSpans(sum *Summary, s trace.SpanStat, depth int) {
 	}
 	if v := s.Labels["batched"]; v != "" {
 		sum.Batched = v
+	}
+	if v := s.Labels["device"]; v != "" {
+		sum.Device = v
+	}
+	if v := s.Labels["fallback_reason"]; v != "" {
+		sum.FallbackReason = v
 	}
 	sum.Ops = append(sum.Ops, op)
 	for _, c := range s.Children {
@@ -356,6 +470,7 @@ type ctxKey int
 const (
 	approachKey ctxKey = iota
 	queueWaitKey
+	liveKey
 )
 
 // WithApproach tags statements run under ctx with an approach label
@@ -392,4 +507,24 @@ func QueueWaitFrom(ctx context.Context) time.Duration {
 	}
 	d, _ := ctx.Value(queueWaitKey).(time.Duration)
 	return d
+}
+
+// WithLive carries a statement's live-registry entry from the admission
+// layer (which registers before queueing, so even a statement that never
+// reaches the engine is visible and killable) to the engine's flight
+// record, which adopts it via BeginFor.
+func WithLive(ctx context.Context, q *LiveQuery) context.Context {
+	if q == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, liveKey, q)
+}
+
+// LiveFrom returns the live entry carried by ctx (nil if none).
+func LiveFrom(ctx context.Context) *LiveQuery {
+	if ctx == nil {
+		return nil
+	}
+	q, _ := ctx.Value(liveKey).(*LiveQuery)
+	return q
 }

@@ -1,0 +1,170 @@
+package flight
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"indbml/internal/fingerprint"
+)
+
+// TestLiveRegistry: Register enters a statement before admission, Live
+// snapshots it ordered by ID, Unregister removes it idempotently.
+func TestLiveRegistry(t *testing.T) {
+	r := NewRecorder(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	q1 := r.Register("SELECT 1", "embedded", cancel)
+	q2 := r.Register("SELECT 2", "127.0.0.1:99", cancel)
+	if q1.ID() == 0 || q2.ID() <= q1.ID() {
+		t.Fatalf("IDs not allocated ascending: %d, %d", q1.ID(), q2.ID())
+	}
+	if q1.State() != "queued" {
+		t.Errorf("fresh entry state = %q, want queued", q1.State())
+	}
+	live := r.Live()
+	if len(live) != 2 || live[0] != q1 || live[1] != q2 {
+		t.Fatalf("Live() = %v entries, want [q1 q2]", len(live))
+	}
+	if live[1].Session() != "127.0.0.1:99" {
+		t.Errorf("session = %q", live[1].Session())
+	}
+
+	r.Unregister(q1)
+	r.Unregister(q1) // idempotent
+	if got := r.Live(); len(got) != 1 || got[0] != q2 {
+		t.Fatalf("after unregister, Live() has %d entries", len(got))
+	}
+	_ = ctx
+}
+
+// TestLiveAdoption: BeginFor adopts the live entry — the flight publishes
+// under the live entry's query ID, flips its state to running, and Finish
+// unregisters it and fires its cancel.
+func TestLiveAdoption(t *testing.T) {
+	r := NewRecorder(8)
+	canceled := false
+	q := r.Register("SELECT * FROM t WHERE x = 42", "embedded", func() { canceled = true })
+
+	fl := r.BeginFor(q, "SELECT * FROM t WHERE x = 42", "select", "sql")
+	if fl.ID() != q.ID() {
+		t.Fatalf("flight ID %d != live ID %d", fl.ID(), q.ID())
+	}
+	if q.State() != "running" {
+		t.Errorf("state after BeginFor = %q, want running", q.State())
+	}
+	fl.Finish(nil)
+	if len(r.Live()) != 0 {
+		t.Error("live entry not unregistered by Finish")
+	}
+	if !canceled {
+		t.Error("Finish did not release the statement's cancel")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].ID != q.ID() {
+		t.Fatalf("published summary ID mismatch: %+v", snap)
+	}
+	// The fingerprint computed at registration rides through adoption.
+	wantFP, _ := fingerprint.Normalize("SELECT * FROM t WHERE x = 42")
+	if snap[0].Fingerprint != wantFP {
+		t.Errorf("fingerprint = %x, want %x", snap[0].Fingerprint, wantFP)
+	}
+}
+
+// TestKill: Recorder.Kill cancels the victim's context, flips its state to
+// "killed", and errors for unknown IDs and nil recorders.
+func TestKill(t *testing.T) {
+	r := NewRecorder(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	q := r.Register("SELECT 1", "embedded", cancel)
+
+	if err := r.Kill(q.ID() + 100); err == nil {
+		t.Error("Kill of unknown ID did not error")
+	}
+	if err := r.Kill(q.ID()); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Error("victim context not canceled")
+	}
+	if q.State() != "killed" {
+		t.Errorf("state after kill = %q, want killed", q.State())
+	}
+	q.Kill() // idempotent
+
+	var nilRec *Recorder
+	if err := nilRec.Kill(1); err == nil {
+		t.Error("nil recorder Kill did not error")
+	}
+}
+
+// TestNilLiveQuery: every accessor tolerates a nil receiver, so server code
+// can thread the nil entry of a disabled recorder without guards.
+func TestNilLiveQuery(t *testing.T) {
+	var q *LiveQuery
+	if q.ID() != 0 || q.SQL() != "" || q.Fingerprint() != 0 || q.Session() != "" || q.State() != "" {
+		t.Error("nil accessors returned non-zero values")
+	}
+	if !q.Start().IsZero() {
+		t.Error("nil Start not zero")
+	}
+	rows, bytes, phase := q.Progress()
+	if rows != 0 || bytes != 0 || phase != "" {
+		t.Error("nil Progress not zero")
+	}
+	q.Kill() // must not panic
+
+	var r *Recorder
+	if r.Register("x", "s", nil) != nil {
+		t.Error("nil recorder Register returned an entry")
+	}
+	r.Unregister(nil)
+	if r.Live() != nil {
+		t.Error("nil recorder Live returned entries")
+	}
+}
+
+// TestStatsSurviveRingWrap: the cumulative statement-stats store is fed at
+// the publish point, so a shape's call count keeps climbing after the ring
+// has overwritten every one of its summaries.
+func TestStatsSurviveRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	r.SetStats(fingerprint.NewStats())
+
+	const shape = "SELECT * FROM t WHERE x = 1"
+	for i := 0; i < 3; i++ {
+		fl := r.Begin(shape, "select", "sql")
+		fl.Finish(nil)
+	}
+	// Flush the ring with distinct statements so no summary of the shape
+	// survives.
+	for i := 0; i < 8; i++ {
+		fl := r.Begin(fmt.Sprintf("SELECT %d FROM other_%d", i, i), "select", "sql")
+		fl.Finish(nil)
+	}
+	fp, norm := fingerprint.Normalize(shape)
+	for _, s := range r.Snapshot() {
+		if s.Fingerprint == fp {
+			t.Fatal("test setup broken: shape summary still in ring")
+		}
+	}
+	var row *fingerprint.Row
+	for _, got := range r.Stats().Snapshot() {
+		if got.Fingerprint == fp {
+			r := got
+			row = &r
+		}
+	}
+	if row == nil {
+		t.Fatal("shape missing from statement stats after ring wrap")
+	}
+	if row.Calls != 3 {
+		t.Errorf("calls = %d, want 3", row.Calls)
+	}
+	if row.NormSQL != norm {
+		t.Errorf("exemplar = %q, want %q", row.NormSQL, norm)
+	}
+}

@@ -1,9 +1,12 @@
 package flight
 
 import (
+	"time"
+
 	"indbml/internal/engine/storage"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/fingerprint"
 	"indbml/internal/metrics"
 )
 
@@ -16,6 +19,8 @@ var queriesSchema = types.NewSchema(
 	types.Column{Name: "ts", Type: types.Int64}, // statement start, unix nanoseconds
 	types.Column{Name: "kind", Type: types.String},
 	types.Column{Name: "approach", Type: types.String},
+	types.Column{Name: "device", Type: types.String},
+	types.Column{Name: "fingerprint", Type: types.String}, // 16 hex digits
 	types.Column{Name: "latency_ns", Type: types.Int64},
 	types.Column{Name: "queue_wait_ns", Type: types.Int64},
 	types.Column{Name: "rows_out", Type: types.Int64},
@@ -24,6 +29,7 @@ var queriesSchema = types.NewSchema(
 	types.Column{Name: "blocks_pruned", Type: types.Int64},
 	types.Column{Name: "cache", Type: types.String},
 	types.Column{Name: "batched", Type: types.String},
+	types.Column{Name: "fallback_reason", Type: types.String},
 	types.Column{Name: "alloc_bytes", Type: types.Int64},
 	types.Column{Name: "error", Type: types.String},
 	types.Column{Name: "sql", Type: types.String},
@@ -45,6 +51,8 @@ func (t queriesTable) Snapshot() ([]*vector.Batch, error) {
 			types.Int64Datum(s.Start.UnixNano()),
 			types.StringDatum(s.Kind),
 			types.StringDatum(s.Approach),
+			types.StringDatum(s.Device),
+			types.StringDatum(hexFingerprint(s.Fingerprint)),
 			types.Int64Datum(s.LatencyNS),
 			types.Int64Datum(s.QueueWaitNS),
 			types.Int64Datum(s.RowsOut),
@@ -53,6 +61,7 @@ func (t queriesTable) Snapshot() ([]*vector.Batch, error) {
 			types.Int64Datum(s.BlocksPruned),
 			types.StringDatum(s.Cache),
 			types.StringDatum(s.Batched),
+			types.StringDatum(s.FallbackReason),
 			types.Int64Datum(s.AllocBytes),
 			types.StringDatum(s.Error),
 			types.StringDatum(s.SQL),
@@ -113,6 +122,125 @@ func (t operatorsTable) Snapshot() ([]*vector.Batch, error) {
 				)
 			}
 		}
+	}
+	return b.Batches(), nil
+}
+
+// hexFingerprint renders a statement fingerprint as the fixed-width hex
+// string used across system.queries, system.statement_stats and the
+// slow-query log, so log lines and table rows join on equal strings.
+func hexFingerprint(fp uint64) string { return fingerprint.Hex(fp) }
+
+var activeSchema = types.NewSchema(
+	types.Column{Name: "query_id", Type: types.Int64},
+	types.Column{Name: "session", Type: types.String},
+	types.Column{Name: "state", Type: types.String}, // queued, running, killed
+	types.Column{Name: "ts", Type: types.Int64},     // admission time, unix nanoseconds
+	types.Column{Name: "elapsed_ns", Type: types.Int64},
+	types.Column{Name: "rows_scanned", Type: types.Int64},
+	types.Column{Name: "bytes_scanned", Type: types.Int64},
+	types.Column{Name: "phase", Type: types.String}, // operator currently dominating busy time
+	types.Column{Name: "fingerprint", Type: types.String},
+	types.Column{Name: "sql", Type: types.String},
+)
+
+type activeTable struct{ r *Recorder }
+
+// ActiveTable exposes the live registry as system.active_queries: one row
+// per in-flight statement, with progress sampled from the statement's
+// atomic span counters at scan time — repeated SELECTs over this table
+// watch rows_scanned grow while the statement runs.
+func ActiveTable(r *Recorder) storage.VirtualTable { return activeTable{r} }
+
+func (activeTable) Name() string          { return "system.active_queries" }
+func (activeTable) Schema() *types.Schema { return activeSchema }
+func (t activeTable) Snapshot() ([]*vector.Batch, error) {
+	b := storage.NewBatchBuilder(activeSchema)
+	now := time.Now()
+	for _, q := range t.r.Live() {
+		rows, bytes, phase := q.Progress()
+		b.Append(
+			types.Int64Datum(int64(q.ID())),
+			types.StringDatum(q.Session()),
+			types.StringDatum(q.State()),
+			types.Int64Datum(q.Start().UnixNano()),
+			types.Int64Datum(int64(now.Sub(q.Start()))),
+			types.Int64Datum(rows),
+			types.Int64Datum(bytes),
+			types.StringDatum(phase),
+			types.StringDatum(hexFingerprint(q.Fingerprint())),
+			types.StringDatum(q.SQL()),
+		)
+	}
+	return b.Batches(), nil
+}
+
+// statementStatsSchema: one row per (fingerprint, approach, device) — the
+// cumulative workload profile. The latency histogram is flattened into
+// le_* columns (upper-bound-inclusive, cumulative-free counts) matching
+// fingerprint.LatencyBucketsNS.
+var statementStatsSchema = types.NewSchema(
+	types.Column{Name: "fingerprint", Type: types.String},
+	types.Column{Name: "approach", Type: types.String},
+	types.Column{Name: "device", Type: types.String},
+	types.Column{Name: "calls", Type: types.Int64},
+	types.Column{Name: "errors", Type: types.Int64},
+	types.Column{Name: "total_latency_ns", Type: types.Int64},
+	types.Column{Name: "min_latency_ns", Type: types.Int64},
+	types.Column{Name: "max_latency_ns", Type: types.Int64},
+	types.Column{Name: "total_queue_wait_ns", Type: types.Int64},
+	types.Column{Name: "rows_in", Type: types.Int64},
+	types.Column{Name: "rows_out", Type: types.Int64},
+	types.Column{Name: "bytes_scanned", Type: types.Int64},
+	types.Column{Name: "cache_hit_fraction", Type: types.Float64}, // -1: never consulted
+	types.Column{Name: "batched_fraction", Type: types.Float64},   // -1: never inferred
+	types.Column{Name: "le_10us", Type: types.Int64},
+	types.Column{Name: "le_100us", Type: types.Int64},
+	types.Column{Name: "le_1ms", Type: types.Int64},
+	types.Column{Name: "le_10ms", Type: types.Int64},
+	types.Column{Name: "le_100ms", Type: types.Int64},
+	types.Column{Name: "le_1s", Type: types.Int64},
+	types.Column{Name: "le_10s", Type: types.Int64},
+	types.Column{Name: "le_inf", Type: types.Int64},
+	types.Column{Name: "sql", Type: types.String}, // normalized exemplar
+)
+
+type statementStatsTable struct{ r *Recorder }
+
+// StatementStatsTable exposes the cumulative statement-shape statistics as
+// system.statement_stats. Unlike system.queries this is not a ring: rows
+// accumulate for the life of the process, so it answers workload-level
+// questions ("which statement shape dominates latency", "what is the
+// modeljoin cpu-vs-gpu crossover for this shape") long after individual
+// flight records have been overwritten.
+func StatementStatsTable(r *Recorder) storage.VirtualTable { return statementStatsTable{r} }
+
+func (statementStatsTable) Name() string          { return "system.statement_stats" }
+func (statementStatsTable) Schema() *types.Schema { return statementStatsSchema }
+func (t statementStatsTable) Snapshot() ([]*vector.Batch, error) {
+	b := storage.NewBatchBuilder(statementStatsSchema)
+	for _, r := range t.r.Stats().Snapshot() {
+		vals := []types.Datum{
+			types.StringDatum(hexFingerprint(r.Fingerprint)),
+			types.StringDatum(r.Approach),
+			types.StringDatum(r.Device),
+			types.Int64Datum(r.Calls),
+			types.Int64Datum(r.Errors),
+			types.Int64Datum(r.TotalLatencyNS),
+			types.Int64Datum(r.MinLatencyNS),
+			types.Int64Datum(r.MaxLatencyNS),
+			types.Int64Datum(r.TotalQueueNS),
+			types.Int64Datum(r.RowsIn),
+			types.Int64Datum(r.RowsOut),
+			types.Int64Datum(r.BytesScanned),
+			types.Float64Datum(r.CacheHitFraction),
+			types.Float64Datum(r.BatchedFraction),
+		}
+		for _, c := range r.Buckets {
+			vals = append(vals, types.Int64Datum(c))
+		}
+		vals = append(vals, types.StringDatum(r.NormSQL))
+		b.Append(vals...)
 	}
 	return b.Batches(), nil
 }

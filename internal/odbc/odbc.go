@@ -40,6 +40,11 @@ func (s *Server) serveOne(query string, bw *bufio.Writer) error {
 		return bw.Flush()
 	}
 	_, err = wire.StreamOperator(bw, op)
+	// StreamOperator leaves the final frames buffered; deliver them here so
+	// the one-shot Serve path needs no caller-side flush.
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
 	return err
 }
 

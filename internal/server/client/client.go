@@ -107,6 +107,16 @@ func (c *Client) Metrics() (string, error) { return c.command("METRICS", 0) }
 // batch-size means, coalesce-wait histogram). Bypasses admission control.
 func (c *Client) Batcher() (string, error) { return c.command("BATCHER", 0) }
 
+// Kill cancels the in-flight statement with the given query ID (as shown by
+// system.active_queries), whether it is running, queued for admission, or
+// parked in an inference coalesce window. Like STATUS, KILL bypasses
+// admission control, so a victim hogging every slot can still be killed
+// from this session. Errors if the ID names no active statement.
+func (c *Client) Kill(id uint64) error {
+	_, err := c.command(fmt.Sprintf("KILL %d", id), 0)
+	return err
+}
+
 func (c *Client) command(sql string, timeout time.Duration) (string, error) {
 	if err := c.send(sql, timeout); err != nil {
 		return "", err

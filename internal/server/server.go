@@ -34,10 +34,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/exec"
+	"indbml/internal/fingerprint"
 	"indbml/internal/flight"
 	"indbml/internal/infersched"
 	"indbml/internal/metrics"
@@ -104,6 +106,13 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 
+	// Connection registry behind system.sessions: one entry per live
+	// session, keyed by session ID. Mutated twice per connection (attach/
+	// detach); per-statement counters live on the sessions as atomics.
+	sessMu   sync.Mutex
+	sessions map[uint64]*session
+	sessSeq  atomic.Uint64
+
 	wg sync.WaitGroup // live session handlers
 }
 
@@ -121,6 +130,7 @@ func New(d *db.Database, cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		conns:      make(map[net.Conn]struct{}),
+		sessions:   make(map[uint64]*session),
 	}
 	if cfg.SlowQueryLog != nil {
 		s.slow = &slowLog{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold}
@@ -153,6 +163,10 @@ func New(d *db.Database, cfg Config) *Server {
 	// loop: a histogram spike in system.metrics carries the query ID to
 	// drill into system.queries / system.query_operators with plain SQL.
 	d.RegisterVirtualTable(flight.MetricsTable(reg))
+	// The connection registry lives here, not in the engine, so the
+	// sessions table does too: system.sessions joins to
+	// system.active_queries on current_query_id.
+	d.RegisterVirtualTable(sessionsTable{s})
 	return s
 }
 
@@ -304,9 +318,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 
+	cw := &countingWriter{w: conn}
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	sess := &session{}
+	bw := bufio.NewWriterSize(cw, 64<<10)
+	sess := s.attachSession(conn.RemoteAddr().String(), cw)
+	defer s.detachSession(sess)
 	for {
 		if s.isDraining() {
 			return
@@ -334,7 +350,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			bw.Flush()
 			return
 		}
+		sess.stmts.Add(1)
+		sess.active.Store(true)
 		s.serveStmt(bw, sess, stmt, deadlineMillis)
+		sess.active.Store(false)
 		if err := bw.Flush(); err != nil {
 			return
 		}
@@ -438,10 +457,41 @@ func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlin
 		wire.WriteOK(bw, msg)
 		return
 	}
+	if strings.HasPrefix(upper, "KILL") {
+		// KILL bypasses admission control — it must work on a server whose
+		// slots are all held by the statements it exists to cancel. It still
+		// runs through the engine's Exec path, so it is parsed, validated and
+		// flight-recorded like any other statement.
+		if err := s.db.ExecContext(s.baseCtx, text); err != nil {
+			s.stats.Failed.Add(1)
+			wire.WriteError(bw, wire.CodeError, err.Error())
+			return
+		}
+		s.stats.Completed.Add(1)
+		wire.WriteOK(bw, "ok")
+		return
+	}
 
 	start := time.Now()
 	ctx, cancel := s.queryCtx(deadlineMillis)
 	defer cancel()
+
+	// Enter the live registry before admission: a statement parked in the
+	// admission queue is already visible in system.active_queries (state
+	// "queued") and already killable — KILL's cancel fires the queue wait's
+	// ctx.Done. The engine's flight record adopts the entry (same query ID),
+	// and its Finish unregisters; the defer covers statements that never
+	// reach the engine.
+	var live *flight.LiveQuery
+	if fr := s.db.FlightRecorder(); fr != nil {
+		live = fr.Register(text, sess.remote, cancel)
+		ctx = flight.WithLive(ctx, live)
+		sess.curQID.Store(live.ID())
+		defer func() {
+			sess.curQID.Store(0)
+			fr.Unregister(live)
+		}()
+	}
 
 	token, wait, code, err := s.admit(ctx)
 	if err != nil {
@@ -547,8 +597,12 @@ func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string,
 	if qt != nil {
 		qt.Finish(err)
 		if s.slow.shouldLog(qt.Total(), err) {
+			var fp string
+			if live := flight.LiveFrom(ctx); live != nil {
+				fp = fingerprint.Hex(live.Fingerprint())
+			}
 			s.stats.SlowLogged.Add(1)
-			s.slow.log(start, verdictFor(err, canceled), rows, qt)
+			s.slow.log(start, verdictFor(err, canceled), qid, fp, rows, qt)
 		}
 	}
 	return qid

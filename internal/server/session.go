@@ -3,19 +3,46 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"indbml/internal/infersched"
 )
 
 // session is per-connection state beyond the transport: the inference
-// scheduling policy set via SET. Statements on a session run sequentially,
-// so no locking is needed around the policy.
+// scheduling policy set via SET, plus the identity and counters published
+// through system.sessions. Statements on a session run sequentially, so the
+// policy needs no locking; the counters are atomics because the sessions
+// table samples them from other goroutines while the session runs.
 type session struct {
 	policy infersched.Policy
+
+	id        uint64
+	remote    string
+	connected time.Time
+	out       *countingWriter
+
+	active atomic.Bool   // a statement is being served right now
+	stmts  atomic.Int64  // statements received on this session
+	curQID atomic.Uint64 // live query ID of the in-flight statement (0 = none)
+}
+
+// countingWriter counts bytes written to the transport. It sits between the
+// session's bufio.Writer and the net.Conn, so it sees flushed wire frames —
+// the bytes that actually left the server for this session.
+type countingWriter struct {
+	w io.Writer
+	n atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // applySet handles the session-variable statements. They execute on the

@@ -24,11 +24,16 @@ type slowLog struct {
 // statement can be diagnosed from the log alone, without re-running it
 // under EXPLAIN ANALYZE.
 type slowEntry struct {
-	TS         string            `json:"ts"`
-	Verdict    string            `json:"verdict"` // "slow", "error" or "canceled"
-	DurationMS float64           `json:"duration_ms"`
-	Rows       int64             `json:"rows,omitempty"`
-	Trace      *trace.QueryTrace `json:"trace"`
+	TS      string `json:"ts"`
+	Verdict string `json:"verdict"` // "slow", "error" or "canceled"
+	// QueryID and Fingerprint tie the log line back to the system tables:
+	// query_id matches system.queries.query_id, fingerprint matches
+	// system.statement_stats.fingerprint (16 hex digits).
+	QueryID     uint64            `json:"query_id,omitempty"`
+	Fingerprint string            `json:"fingerprint,omitempty"`
+	DurationMS  float64           `json:"duration_ms"`
+	Rows        int64             `json:"rows,omitempty"`
+	Trace       *trace.QueryTrace `json:"trace"`
 }
 
 // shouldLog reports whether a statement with the given outcome belongs in
@@ -43,13 +48,15 @@ func (l *slowLog) shouldLog(d time.Duration, err error) bool {
 
 // log writes the entry. Marshal errors are swallowed: the log is advisory
 // and must never fail a statement that already produced its result.
-func (l *slowLog) log(now time.Time, verdict string, rows int64, qt *trace.QueryTrace) {
+func (l *slowLog) log(now time.Time, verdict string, qid uint64, fp string, rows int64, qt *trace.QueryTrace) {
 	e := slowEntry{
-		TS:         now.UTC().Format(time.RFC3339Nano),
-		Verdict:    verdict,
-		DurationMS: float64(qt.Total()) / float64(time.Millisecond),
-		Rows:       rows,
-		Trace:      qt,
+		TS:          now.UTC().Format(time.RFC3339Nano),
+		Verdict:     verdict,
+		QueryID:     qid,
+		Fingerprint: fp,
+		DurationMS:  float64(qt.Total()) / float64(time.Millisecond),
+		Rows:        rows,
+		Trace:       qt,
 	}
 	line, err := json.Marshal(e)
 	if err != nil {

@@ -25,7 +25,11 @@ func classify(err error) byte {
 // schema, row chunks and the terminator to w. Failures — including
 // cancellation — are reported in-band as MsgError frames so the client
 // always sees a terminated stream; the error is also returned for
-// server-side accounting. The writer is flushed before returning.
+// server-side accounting. Error frames are flushed eagerly, but on success
+// the final chunk and Done terminator are left buffered for the caller to
+// flush — that lets the caller order post-statement bookkeeping (the
+// slow-query log line, session counters) before the client can observe
+// completion.
 //
 // Results are written batch by batch as the operator produces them: nothing
 // is materialized server-side, so a canceled or slow client stops pulling
@@ -85,7 +89,7 @@ func StreamOperator(w *bufio.Writer, op exec.Operator) (rows int64, err error) {
 		qid = q.QueryID()
 	}
 	WriteUvarint(w, qid)
-	return rows, w.Flush()
+	return rows, nil
 }
 
 // flushBoth flushes w but reports the original error, which takes

@@ -37,6 +37,10 @@ type modelJoinBenchReport struct {
 	// cold path: (cold ns/op − cold_norecorder ns/op) / cold_norecorder,
 	// in percent. The budget is ≤2%.
 	RecorderOverheadPct float64 `json:"recorder_overhead_pct"`
+	// StatsOverheadPct is the fingerprinted statement-statistics path's cost
+	// on top of the recorder (stats on vs DisableStatementStats, recorder on
+	// in both), in percent. The budget is ≤2%.
+	StatsOverheadPct float64 `json:"stats_overhead_pct"`
 	// Concurrent holds the concurrent-serving cells (QPS and latency
 	// percentiles per client count, batched scheduler vs direct device
 	// calls), written by BenchmarkServingConcurrentClients.
@@ -144,6 +148,49 @@ func BenchmarkModelJoinColdVsCached(b *testing.B) {
 		}
 	})
 
+	// The statement-stats path (normalize + fingerprint at parse, sharded
+	// cumulative update at publish) is measured the same paired way, with the
+	// recorder on in both cells so only the stats delta remains.
+	b.Run("stats-overhead", func(b *testing.B) {
+		newColdDB := func(opts db.Options) *db.Database {
+			model := workload.DenseModel(256, 4)
+			model.Name = "bench_model"
+			return newDB(b, fact, model, opts)
+		}
+		dOn := newColdDB(db.Options{ModelCacheEntries: -1})
+		dOff := newColdDB(db.Options{ModelCacheEntries: -1, DisableStatementStats: true})
+		q := "SELECT id, prediction FROM iris_cache_fact MODEL JOIN bench_model PREDICT (" +
+			strings.Join(workload.IrisFeatureNames, ", ") + ")"
+		drainQuery(b, dOn, q, cacheBenchTuples)
+		drainQuery(b, dOff, q, cacheBenchTuples)
+		b.ResetTimer()
+		var tOn, tOff time.Duration
+		for i := 0; i < b.N; i++ {
+			s := time.Now()
+			drainQuery(b, dOn, q, cacheBenchTuples)
+			tOn += time.Since(s)
+			s = time.Now()
+			drainQuery(b, dOff, q, cacheBenchTuples)
+			tOff += time.Since(s)
+		}
+		b.StopTimer()
+		if tOff > 0 {
+			pct := (float64(tOn)/float64(tOff) - 1) * 100
+			b.ReportMetric(pct, "stats-overhead-%")
+			report.StatsOverheadPct = pct
+			record(modelJoinBenchCell{
+				Name:       "cold_stats_on_paired",
+				Iterations: b.N,
+				NsPerOp:    float64(tOn.Nanoseconds()) / float64(b.N),
+			})
+			record(modelJoinBenchCell{
+				Name:       "cold_stats_off_paired",
+				Iterations: b.N,
+				NsPerOp:    float64(tOff.Nanoseconds()) / float64(b.N),
+			})
+		}
+	})
+
 	cell := func(name string) *modelJoinBenchCell {
 		for i := range report.Cells {
 			if report.Cells[i].Name == name {
@@ -163,7 +210,7 @@ func BenchmarkModelJoinColdVsCached(b *testing.B) {
 		if err := os.WriteFile("BENCH_modeljoin.json", append(out, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
-		b.Logf("wrote BENCH_modeljoin.json (speedup cached vs cold: %.2fx, recorder overhead: %.2f%%)",
-			report.SpeedupCachedVsCold, report.RecorderOverheadPct)
+		b.Logf("wrote BENCH_modeljoin.json (speedup cached vs cold: %.2fx, recorder overhead: %.2f%%, stats overhead: %.2f%%)",
+			report.SpeedupCachedVsCold, report.RecorderOverheadPct, report.StatsOverheadPct)
 	}
 }

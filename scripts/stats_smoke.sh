@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Control-plane smoke test: boot vectordbd with the demo workload, run the
+# same statement shape twice with different literals plus one distinct
+# statement, then assert over the wire that:
+#   1. system.statement_stats folded the two literal variants into one
+#      fingerprint row with calls >= 2;
+#   2. system.sessions shows the shell's connection;
+#   3. KILL of a bogus query ID errors (the verb round-trips end to end).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${STATS_SMOKE_ADDR:-127.0.0.1:54331}
+BIN=$(mktemp -d)
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/vectordbd" ./cmd/vectordbd
+go build -o "$BIN/vectordb" ./cmd/vectordb
+
+"$BIN/vectordbd" -addr "$ADDR" -demo &
+DPID=$!
+
+# Wait for the listener to come up.
+up=
+for _ in $(seq 1 50); do
+    if "$BIN/vectordb" -connect "$ADDR" </dev/null >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || { echo "stats-smoke: daemon never came up on $ADDR" >&2; exit 1; }
+
+OUT=$("$BIN/vectordb" -connect "$ADDR" <<'EOF'
+SELECT COUNT(*) AS n FROM iris WHERE sepal_length > 5.0;
+SELECT COUNT(*) AS n FROM iris WHERE sepal_length > 6.5;
+SELECT class, COUNT(*) AS n FROM iris GROUP BY class ORDER BY class;
+SELECT calls AS shape_calls, sql FROM system.statement_stats WHERE calls >= 2;
+SELECT count(*) AS live_sessions FROM system.sessions;
+KILL 999999;
+\q
+EOF
+)
+echo "$OUT"
+
+# The two literal variants must have folded into one fingerprint row whose
+# normalized exemplar carries the ? placeholder where the literals were.
+CALLS=$(echo "$OUT" | awk '/shape_calls/{getline; print $1; exit}')
+[ -n "$CALLS" ] && [ "$CALLS" -ge 2 ] || {
+    echo "stats-smoke: literal variants not folded (calls=$CALLS, want >= 2)" >&2
+    exit 1
+}
+echo "$OUT" | grep -q 'sepal_length > ?' || {
+    echo "stats-smoke: normalized exemplar lacks the ? placeholder" >&2
+    exit 1
+}
+# The shell's own connection must be visible in system.sessions.
+SESSIONS=$(echo "$OUT" | awk '/live_sessions/{getline; print $1; exit}')
+[ -n "$SESSIONS" ] && [ "$SESSIONS" -ge 1 ] || {
+    echo "stats-smoke: no session visible (sessions=$SESSIONS)" >&2
+    exit 1
+}
+# KILL of a nonexistent ID must round-trip as an error, not a crash.
+echo "$OUT" | grep -qi 'no active query' || {
+    echo "stats-smoke: KILL 999999 did not report a missing query" >&2
+    exit 1
+}
+echo "stats-smoke OK: $CALLS calls folded onto one fingerprint, $SESSIONS session(s) visible"
