@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke stats-smoke examples experiments experiments-paper clean
+.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke stats-smoke shard-smoke examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -56,6 +56,12 @@ batch-smoke:
 # bogus ID errors cleanly.
 stats-smoke:
 	./scripts/stats_smoke.sh
+
+# End-to-end scale-out smoke: boot three shard daemons plus a coordinator,
+# scatter rows into a SHARD BY table, assert distributed aggregation and
+# MODEL JOIN results and the fleet system.queries view's fragment rows.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 examples: build
 	$(GO) run ./examples/quickstart

@@ -13,9 +13,11 @@ package indbml
 
 import (
 	"fmt"
+	osexec "os/exec"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"indbml/internal/baselines"
 	"indbml/internal/bench"
@@ -482,4 +484,14 @@ func BenchmarkAblationGPUBuild(b *testing.B) {
 			reportGPU(b, d)
 		})
 	}
+}
+
+// benchProvenance stamps machine-readable bench artifacts (BENCH_*.json)
+// with the commit they were measured at and the UTC measurement time, so a
+// checked-in artifact is traceable to its code version.
+func benchProvenance() (sha, generatedAt string) {
+	if out, err := osexec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		sha = strings.TrimSpace(string(out))
+	}
+	return sha, time.Now().UTC().Format(time.RFC3339)
 }

@@ -18,9 +18,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"indbml/internal/device"
+	"indbml/internal/dist"
 	"indbml/internal/engine/db"
 	"indbml/internal/infersched"
 	"indbml/internal/server"
@@ -48,9 +51,19 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "also serve /debug/pprof/ on -metrics-addr")
 	slowLogPath := flag.String("slow-query-log", "", "append slow-query JSON lines to this file ('-' = stderr, empty = disabled)")
 	slowThreshold := flag.Duration("slow-query-threshold", 500*time.Millisecond, "log statements slower than this (errors and cancellations are always logged)")
+	shards := flag.String("shards", "", "comma-separated shard daemon addresses; when set, this daemon runs as the fleet coordinator")
+	gpuPace := flag.Bool("gpu-pace", false, "pace the simulated GPU: operations occupy their modeled time (for honest multi-process scaling experiments)")
+	gpuGemm := flag.Float64("gpu-gemm-throughput", 0, "override the simulated GPU matrix-multiply rate in FLOP/s (0 = default)")
 	flag.Parse()
 
+	gpuCfg := device.DefaultGPUConfig()
+	gpuCfg.Pace = *gpuPace
+	if *gpuGemm > 0 {
+		gpuCfg.GemmThroughput = *gpuGemm
+	}
+
 	d := db.Open(db.Options{
+		GPU:                gpuCfg,
 		DefaultPartitions:  *partitions,
 		Parallelism:        *parallelism,
 		ModelCacheEntries:  *modelCache,
@@ -67,6 +80,24 @@ func main() {
 			log.Fatalf("vectordbd: loading demo workload: %v", err)
 		}
 		log.Printf("demo workload loaded: %v", workload.DemoTables)
+	}
+
+	if *shards != "" {
+		addrs := strings.Split(*shards, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		co := dist.New(d, addrs)
+		defer co.Close()
+		log.Printf("coordinator mode: %d shards %v", co.NumShards(), addrs)
+		if *demo {
+			// Sharded MODEL JOIN runs inference shard-side, so the demo
+			// model must exist on every shard.
+			if err := co.ReplicateModel(context.Background(), "iris_model"); err != nil {
+				log.Fatalf("vectordbd: replicating demo model to shards: %v", err)
+			}
+			log.Printf("demo model iris_model replicated to %d shards", co.NumShards())
+		}
 	}
 
 	var slowLog io.Writer

@@ -179,6 +179,15 @@ type GPUConfig struct {
 	// MemoryBytes is the modeled device memory capacity (A100: 40 GB). The
 	// simulation panics if allocations exceed it, mirroring a CUDA OOM.
 	MemoryBytes int64
+	// Pace makes the simulation *occupy* modeled device time instead of
+	// only accounting for it: each operation sleeps out the portion of its
+	// modeled time not already covered by host emulation, serialized on a
+	// per-device pacing mutex so concurrent callers queue for the device
+	// exactly as CUDA streams on one GPU would. Sleeping burns no CPU, so
+	// paced GPUs let N processes on an M<N-core host scale like N real
+	// accelerators — this is what the scale-out bench uses to measure
+	// distributed speedup honestly on a small machine.
+	Pace bool
 }
 
 // DefaultGPUConfig models a PCIe-attached data-center GPU, scaled so its
@@ -201,6 +210,11 @@ func DefaultGPUConfig() GPUConfig {
 // simulation contract. It is safe for concurrent use.
 type GPU struct {
 	cfg GPUConfig
+
+	// paceMu serializes paced occupancy (see GPUConfig.Pace): one operation
+	// holds the device at a time, and the sleep happens while holding it so
+	// queued operations see realistic device-busy waits.
+	paceMu sync.Mutex
 
 	mu        sync.Mutex
 	modeled   time.Duration
@@ -250,6 +264,13 @@ func (g *GPU) Free(m blas.Mat) {
 }
 
 func (g *GPU) charge(modeled time.Duration, emulated time.Duration, kernel bool) {
+	if g.cfg.Pace {
+		if residual := modeled - emulated; residual > 0 {
+			g.paceMu.Lock()
+			time.Sleep(residual)
+			g.paceMu.Unlock()
+		}
+	}
 	g.mu.Lock()
 	g.modeled += modeled
 	g.emulation += emulated

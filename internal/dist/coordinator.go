@@ -1,0 +1,493 @@
+// Package dist is the horizontal scale-out layer: one coordinator engine
+// over N shard daemons. Tables created with SHARD BY hash-partition their
+// rows across the shards; everything else (model tables included)
+// replicates to every shard. Distributed SELECTs split into per-shard
+// fragments — scans, filters, partial aggregation and MODEL JOIN inference
+// all run shard-side against each shard's local engine and artifact cache —
+// and the coordinator merges the streams through exec.RemoteExchange,
+// finalizing partial aggregates where needed. Shards are entirely ordinary
+// vectordbd processes: the coordinator speaks the same wire protocol as any
+// client, so the distributed layer composes with admission control,
+// deadlines, KILL and the flight recorder for free.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/engine/db"
+	"indbml/internal/engine/exec"
+	"indbml/internal/engine/sql"
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+	"indbml/internal/flight"
+)
+
+// Coordinator implements db.Router over a fleet of shard daemons. The
+// coordinator's own database holds the schema of every table (sharded
+// tables stay empty locally — their rows live on the shards) plus full
+// copies of replicated tables, so local planning works uniformly.
+type Coordinator struct {
+	db     *db.Database
+	shards []*shardPool
+
+	mu      sync.RWMutex
+	sharded map[string]string // lowercased table name -> shard column
+
+	tmpSeq atomic.Uint64
+}
+
+// New attaches a coordinator for the given shard addresses to d: it
+// installs itself as the database's router and re-registers the flight
+// recorder system tables with fleet-wide versions that union every shard's
+// view (tagged by a leading "shard" column).
+func New(d *db.Database, addrs []string) *Coordinator {
+	co := &Coordinator{db: d, sharded: make(map[string]string)}
+	for i, addr := range addrs {
+		co.shards = append(co.shards, &shardPool{id: i, addr: addr})
+	}
+	d.SetRouter(co)
+	d.RegisterVirtualTable(fleetTable{co: co, local: flight.QueriesTable(d.FlightRecorder())})
+	d.RegisterVirtualTable(fleetTable{co: co, local: flight.ActiveTable(d.FlightRecorder())})
+	return co
+}
+
+// Close drops the idle pooled shard connections.
+func (co *Coordinator) Close() {
+	for _, p := range co.shards {
+		p.closeIdle()
+	}
+}
+
+// NumShards returns the fleet size.
+func (co *Coordinator) NumShards() int { return len(co.shards) }
+
+func (co *Coordinator) shardColumn(table string) (string, bool) {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	col, ok := co.sharded[strings.ToLower(table)]
+	return col, ok
+}
+
+// hashKey maps a shard-key value to a shard index (FNV-1a over the
+// canonical text of the value).
+func (co *Coordinator) hashKey(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(len(co.shards)))
+}
+
+// broadcast runs one statement on every shard concurrently and returns the
+// first error.
+func (co *Coordinator) broadcast(ctx context.Context, sqlText string) error {
+	errs := make(chan error, len(co.shards))
+	for _, p := range co.shards {
+		go func(p *shardPool) { errs <- p.exec(ctx, sqlText) }(p)
+	}
+	var first error
+	for range co.shards {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RouteExec implements db.Router for DDL/DML: replicated statements run
+// locally and broadcast to every shard; statements against sharded tables
+// scatter (INSERT) or broadcast without a local copy (DELETE/UPDATE).
+func (co *Coordinator) RouteExec(ctx context.Context, stmt sql.Stmt, text string) (bool, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		if err := co.db.ExecStmtLocal(stmt); err != nil {
+			return true, err
+		}
+		if err := co.broadcast(ctx, text); err != nil {
+			return true, err
+		}
+		if s.ShardBy != "" {
+			co.mu.Lock()
+			co.sharded[strings.ToLower(s.Name)] = strings.ToLower(s.ShardBy)
+			co.mu.Unlock()
+		}
+		return true, nil
+	case *sql.InsertStmt:
+		if col, ok := co.shardColumn(s.Table); ok {
+			return true, co.scatterInsert(ctx, s, col)
+		}
+		if err := co.db.ExecStmtLocal(stmt); err != nil {
+			return true, err
+		}
+		return true, co.broadcast(ctx, text)
+	case *sql.DeleteStmt:
+		return true, co.routeMutation(ctx, stmt, s.Table, text)
+	case *sql.UpdateStmt:
+		return true, co.routeMutation(ctx, stmt, s.Table, text)
+	case *sql.DropTableStmt:
+		if err := co.db.ExecStmtLocal(stmt); err != nil {
+			return true, err
+		}
+		if err := co.broadcast(ctx, text); err != nil {
+			return true, err
+		}
+		co.mu.Lock()
+		delete(co.sharded, strings.ToLower(s.Name))
+		co.mu.Unlock()
+		return true, nil
+	default:
+		// KILL and friends stay local; RemoteExchange teardown propagates
+		// cancellation to shard fragments.
+		return false, nil
+	}
+}
+
+// routeMutation applies a DELETE/UPDATE: on sharded tables it broadcasts
+// only (the coordinator's local copy is empty); on replicated tables it
+// runs locally then broadcasts.
+func (co *Coordinator) routeMutation(ctx context.Context, stmt sql.Stmt, table, text string) error {
+	if _, ok := co.shardColumn(table); ok {
+		return co.broadcast(ctx, text)
+	}
+	if err := co.db.ExecStmtLocal(stmt); err != nil {
+		return err
+	}
+	return co.broadcast(ctx, text)
+}
+
+// scatterInsert hash-partitions literal INSERT rows by their shard-column
+// value and issues one batched INSERT per target shard.
+func (co *Coordinator) scatterInsert(ctx context.Context, s *sql.InsertStmt, shardCol string) error {
+	keyIdx := -1
+	if len(s.Cols) > 0 {
+		for i, c := range s.Cols {
+			if strings.EqualFold(c, shardCol) {
+				keyIdx = i
+				break
+			}
+		}
+	} else {
+		tbl, err := co.db.Table(s.Table)
+		if err != nil {
+			return err
+		}
+		idx, ok := tbl.Schema.Lookup(shardCol)
+		if !ok {
+			return fmt.Errorf("dist: shard column %q missing from table %s", shardCol, s.Table)
+		}
+		keyIdx = idx
+	}
+	if keyIdx < 0 {
+		return fmt.Errorf("dist: INSERT into sharded table %s must supply shard column %q", s.Table, shardCol)
+	}
+
+	perShard := make([][][]sql.Expr, len(co.shards))
+	for ri, row := range s.Rows {
+		if keyIdx >= len(row) {
+			return fmt.Errorf("dist: INSERT row %d is missing the shard column", ri)
+		}
+		key, err := literalKey(row[keyIdx])
+		if err != nil {
+			return fmt.Errorf("dist: INSERT row %d: %w", ri, err)
+		}
+		idx := co.hashKey(key)
+		perShard[idx] = append(perShard[idx], row)
+	}
+
+	errs := make(chan error, len(co.shards))
+	n := 0
+	for i, rows := range perShard {
+		if len(rows) == 0 {
+			continue
+		}
+		n++
+		go func(p *shardPool, rows [][]sql.Expr) {
+			errs <- p.exec(ctx, renderInsert(s.Table, s.Cols, rows))
+		}(co.shards[i], rows)
+	}
+	var first error
+	for ; n > 0; n-- {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// literalKey canonicalizes a literal shard-key expression: the hash input
+// must not depend on how the value was spelled.
+func literalKey(e sql.Expr) (string, error) {
+	switch e := e.(type) {
+	case *sql.StringLit:
+		return e.Val, nil
+	case *sql.BoolLit:
+		return strconv.FormatBool(e.Val), nil
+	case *sql.NumberLit:
+		if i, err := strconv.ParseInt(e.Text, 10, 64); err == nil {
+			return strconv.FormatInt(i, 10), nil
+		}
+		f, err := strconv.ParseFloat(e.Text, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad numeric shard key %q", e.Text)
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64), nil
+	case *sql.UnaryExpr:
+		if e.Op == "-" {
+			inner, err := literalKey(e.E)
+			if err != nil {
+				return "", err
+			}
+			return "-" + inner, nil
+		}
+	}
+	return "", fmt.Errorf("shard key must be a literal, got %s", e)
+}
+
+func renderInsert(table string, cols []string, rows [][]sql.Expr) string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + table)
+	if len(cols) > 0 {
+		sb.WriteString(" (" + strings.Join(cols, ", ") + ")")
+	}
+	sb.WriteString(" VALUES ")
+	for ri, row := range rows {
+		if ri > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for ci, e := range row {
+			if ci > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// RouteSelect implements db.Router for queries: SELECTs touching no
+// sharded table fall through to purely local planning (replicated tables
+// are fully present on the coordinator); SELECTs over exactly one sharded
+// table split into shard fragments merged by a RemoteExchange.
+func (co *Coordinator) RouteSelect(ctx context.Context, sel *sql.SelectStmt, text string) (exec.Operator, bool, error) {
+	n, sub := co.countSharded(sel.From, false)
+	if n == 0 {
+		return nil, false, nil
+	}
+	if n > 1 {
+		return nil, true, fmt.Errorf("dist: a distributed query may reference one sharded table, found %d", n)
+	}
+	if sub {
+		return nil, true, fmt.Errorf("dist: sharded tables inside FROM subqueries are not supported")
+	}
+
+	plan, err := splitSelect(sel)
+	if err != nil {
+		return nil, true, err
+	}
+
+	origin := flight.LiveFrom(ctx).ID()
+	fragSQL := RenderSelect(plan.fragment)
+	fragSchema, err := co.db.PlanSchema(plan.fragment)
+	if err != nil {
+		return nil, true, fmt.Errorf("dist: planning fragment schema: %w", err)
+	}
+
+	var timeout time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+		if timeout <= 0 {
+			return nil, true, context.DeadlineExceeded
+		}
+	}
+
+	sources := make([]exec.RemoteSource, len(co.shards))
+	srcs := make([]*shardSource, len(co.shards))
+	for i, p := range co.shards {
+		src := &shardSource{
+			pool:    p,
+			sqlText: fragSQL,
+			schema:  fragSchema,
+			origin:  origin,
+			timeout: timeout,
+			ctx:     ctx,
+		}
+		srcs[i] = src
+		sources[i] = src
+	}
+	ex, err := exec.NewRemoteExchange(fragSchema, sources)
+	if err != nil {
+		return nil, true, err
+	}
+	ex.Ctx = ctx
+	ex.OnStop = func() { co.killFragments(origin, srcs) }
+
+	if plan.final == nil {
+		return ex, true, nil
+	}
+
+	// Finalization: gather the partial rows into a temp virtual table and
+	// run the recombination through the ordinary local planner.
+	tmpName := fmt.Sprintf("dist.partial_%d", co.tmpSeq.Add(1))
+	holder := &partialHolder{name: tmpName, schema: fragSchema}
+	final := *plan.final
+	final.From = &sql.BaseTable{Name: tmpName}
+	co.db.RegisterVirtualTable(holder)
+	finalOp, err := co.db.QueryOpLocal(ctx, &final)
+	if err != nil {
+		co.db.UnregisterVirtualTable(tmpName)
+		return nil, true, fmt.Errorf("dist: planning finalization: %w", err)
+	}
+	return &gatherFinalize{ex: ex, holder: holder, final: finalOp, db: co.db}, true, nil
+}
+
+// countSharded counts distinct sharded tables under ref; sub reports
+// whether any of them sits inside a subquery.
+func (co *Coordinator) countSharded(ref sql.TableRef, inSub bool) (int, bool) {
+	switch r := ref.(type) {
+	case nil:
+		return 0, false
+	case *sql.BaseTable:
+		if _, ok := co.shardColumn(r.Name); ok {
+			return 1, inSub
+		}
+		return 0, false
+	case *sql.JoinRef:
+		ln, ls := co.countSharded(r.Left, inSub)
+		rn, rs := co.countSharded(r.Right, inSub)
+		return ln + rn, ls || rs
+	case *sql.ModelJoinRef:
+		return co.countSharded(r.Fact, inSub)
+	case *sql.SubqueryRef:
+		return co.countSharded(r.Select.From, true)
+	default:
+		return 0, false
+	}
+}
+
+// killFragments sends best-effort KILL ORIGIN to every shard whose
+// fragment has not already finished — the teardown path behind coordinator
+// KILL, deadline expiry and client disconnect. Closing the streaming
+// connections (done by RemoteExchange right after this hook) aborts the
+// transport; KILL ORIGIN additionally cancels fragments still queued in
+// admission or parked in an inference coalesce window, where nobody is
+// writing to the connection yet.
+func (co *Coordinator) killFragments(origin uint64, srcs []*shardSource) {
+	if origin == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for i, src := range srcs {
+		if src.clean.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(p *shardPool) {
+			defer wg.Done()
+			c, err := p.get()
+			if err != nil {
+				return
+			}
+			err = c.KillOrigin(origin)
+			p.release(c, err)
+		}(co.shards[i])
+	}
+	wg.Wait()
+}
+
+// ReplicateModel ships a Go-API-registered model to every shard as SQL: a
+// CREATE MODEL TABLE ... META '<json>' carrying the layer metadata, plus
+// batched INSERTs of the weight rows (Sec. 4.1's relational model layout is
+// the replication format — models move as plain rows).
+func (co *Coordinator) ReplicateModel(ctx context.Context, name string) error {
+	tbl, err := co.db.Table(name)
+	if err != nil {
+		return err
+	}
+	meta, err := co.db.ModelMeta(name)
+	if err != nil {
+		return err
+	}
+	stmts, err := relmodel.LoadStatements(tbl, meta)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if err := co.broadcast(ctx, stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partialHolder is the temp virtual table that carries gathered partial
+// batches from the RemoteExchange into the finalization plan. VirtualScan
+// snapshots at Open, and gatherFinalize fills the holder before opening the
+// final operator, so the scan sees exactly the gathered rows.
+type partialHolder struct {
+	name    string
+	schema  *types.Schema
+	batches []*vector.Batch
+}
+
+func (h *partialHolder) Name() string                       { return h.name }
+func (h *partialHolder) Schema() *types.Schema              { return h.schema }
+func (h *partialHolder) Snapshot() ([]*vector.Batch, error) { return h.batches, nil }
+
+// gatherFinalize drains the RemoteExchange into the partial holder at Open,
+// then serves the finalization plan's output.
+type gatherFinalize struct {
+	ex     *exec.RemoteExchange
+	holder *partialHolder
+	final  exec.Operator
+	db     *db.Database
+
+	closed bool
+}
+
+func (g *gatherFinalize) Schema() *types.Schema { return g.final.Schema() }
+
+// Describe names the operator for EXPLAIN/trace output.
+func (g *gatherFinalize) Describe() string { return "RemoteExchange+Finalize" }
+
+func (g *gatherFinalize) Open() error {
+	if err := g.ex.Open(); err != nil {
+		g.ex.Close()
+		return err
+	}
+	for {
+		b, err := g.ex.Next()
+		if err != nil {
+			g.ex.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		g.holder.batches = append(g.holder.batches, b)
+	}
+	g.ex.Close()
+	return g.final.Open()
+}
+
+func (g *gatherFinalize) Next() (*vector.Batch, error) { return g.final.Next() }
+
+func (g *gatherFinalize) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	g.ex.Close()
+	// Close final even if its Open never ran: it carries the query's
+	// artifact-cache pins, which must release exactly once.
+	err := g.final.Close()
+	g.db.UnregisterVirtualTable(g.holder.name)
+	return err
+}

@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+	"indbml/internal/server/client"
+	"indbml/internal/wire"
+)
+
+// shardPool is one shard daemon plus a free-list of idle wire connections.
+// Sessions are sequential by protocol design, so every concurrent fragment
+// takes its own connection; clean ones return to the pool, dirty ones
+// (mid-stream teardown) are discarded.
+type shardPool struct {
+	id   int
+	addr string
+
+	mu   sync.Mutex
+	free []*client.Client
+}
+
+func (p *shardPool) label() string { return fmt.Sprintf("shard %d (%s)", p.id, p.addr) }
+
+func (p *shardPool) get() (*client.Client, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := client.Dial(p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.label(), err)
+	}
+	return c, nil
+}
+
+func (p *shardPool) put(c *client.Client) {
+	c.SetOrigin(0)
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// release returns the connection to the pool when the statement ended with
+// the stream intact (success or a server-reported error frame both leave
+// the framing clean); transport errors discard it.
+func (p *shardPool) release(c *client.Client, err error) {
+	var se *wire.ServerError
+	if err == nil || errors.As(err, &se) {
+		p.put(c)
+		return
+	}
+	c.Close()
+}
+
+// exec runs one statement on the shard, retrying admission fast-rejects
+// with jittered exponential backoff.
+func (p *shardPool) exec(ctx context.Context, sqlText string) error {
+	return client.RetryOverloaded(ctx, func() error {
+		c, err := p.get()
+		if err != nil {
+			return err
+		}
+		err = c.Exec(sqlText)
+		p.release(c, err)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.label(), err)
+		}
+		return nil
+	})
+}
+
+// closeIdle drops the pooled idle connections (coordinator shutdown).
+func (p *shardPool) closeIdle() {
+	p.mu.Lock()
+	idle := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// shardSource streams one fragment's result from one shard as an
+// exec.RemoteSource: wire rows decode straight into engine batches. The
+// fragment is stamped with the coordinator's query ID (origin) so the
+// shard's flight recorder correlates it and KILL ORIGIN can reap it.
+type shardSource struct {
+	pool    *shardPool
+	sqlText string
+	schema  *types.Schema
+	origin  uint64
+	timeout time.Duration
+	ctx     context.Context
+
+	c    *client.Client
+	rows *client.Rows
+	// clean flips once the stream reaches EOS; Close runs on another
+	// goroutine during teardown and uses it to decide pool-return vs
+	// connection discard.
+	clean  atomic.Bool
+	closed atomic.Bool
+}
+
+func (s *shardSource) Label() string { return s.pool.label() }
+
+func (s *shardSource) Open() error {
+	return client.RetryOverloaded(s.ctx, func() error {
+		c, err := s.pool.get()
+		if err != nil {
+			return err
+		}
+		c.SetOrigin(s.origin)
+		rows, err := c.QueryTimeout(s.sqlText, s.timeout)
+		if err != nil {
+			s.pool.release(c, err)
+			return err
+		}
+		s.c, s.rows = c, rows
+		return nil
+	})
+}
+
+func (s *shardSource) Next() (*vector.Batch, error) {
+	var batch *vector.Batch
+	for {
+		row := s.rows.Next()
+		if row == nil {
+			if err := s.rows.Err(); err != nil {
+				return nil, err
+			}
+			s.clean.Store(true)
+			return batch, nil
+		}
+		if batch == nil {
+			batch = vector.NewBatch(s.schema, vector.Size)
+		}
+		datums := make([]types.Datum, s.schema.Len())
+		for i := range datums {
+			datums[i] = boxedDatum(row[i], s.schema.Col(i).Type)
+		}
+		if err := batch.AppendRow(datums...); err != nil {
+			return nil, err
+		}
+		if batch.Len() >= vector.Size {
+			return batch, nil
+		}
+	}
+}
+
+func (s *shardSource) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.c == nil {
+		return nil
+	}
+	if s.clean.Load() {
+		s.pool.put(s.c)
+		return nil
+	}
+	// Mid-stream teardown: closing the connection aborts the server-side
+	// statement (its write fails) and unblocks any Next in flight.
+	return s.c.Close()
+}
+
+// boxedDatum converts one wire-decoded value into a datum of the column
+// type the coordinator planned.
+func boxedDatum(v any, t types.T) types.Datum {
+	if v == nil {
+		return types.NullDatum(t)
+	}
+	switch v := v.(type) {
+	case bool:
+		return types.BoolDatum(v)
+	case int32:
+		return types.Int32Datum(v)
+	case int64:
+		return types.Int64Datum(v)
+	case float32:
+		return types.Float32Datum(v)
+	case float64:
+		return types.Float64Datum(v)
+	case string:
+		return types.StringDatum(v)
+	default:
+		return types.NullDatum(t)
+	}
+}

@@ -68,12 +68,33 @@ type Options struct {
 	DisableParallel     bool
 }
 
+// Router intercepts parsed statements for distributed execution. A
+// coordinator installs one (SetRouter); the facade consults it after parsing
+// and before local planning, so routed statements still flow through the
+// flight recorder, tracing, EXPLAIN ANALYZE and the serving layer unchanged.
+//
+// RouteSelect returns (op, true, nil) when the statement was planned for
+// distributed execution (op is the coordinator-side merge tree, typically a
+// RemoteExchange fan-in), (nil, false, nil) to fall through to local
+// planning, or (nil, true, err) for a routed statement that failed to plan.
+//
+// RouteExec mirrors this for DDL/DML: handled=true means the router took
+// care of it (forwarding, scattering) and err is its outcome; handled=false
+// falls through to local execution.
+type Router interface {
+	RouteSelect(ctx context.Context, sel *sql.SelectStmt, text string) (exec.Operator, bool, error)
+	RouteExec(ctx context.Context, stmt sql.Stmt, text string) (bool, error)
+}
+
 // Database is an in-process analytical database instance.
 type Database struct {
 	mu       sync.RWMutex
 	tables   map[string]*storage.Table
 	models   map[string]*relmodel.Meta
 	virtuals map[string]storage.VirtualTable
+
+	// router, when set, intercepts statements for distributed execution.
+	router Router
 
 	opts Options
 	cpu  *device.CPU
@@ -151,6 +172,10 @@ func (d *Database) Kill(id uint64) error {
 	return d.flight.Kill(id)
 }
 
+// SetRouter installs a statement router (a distributed coordinator). Call
+// before serving traffic; a nil router restores purely local execution.
+func (d *Database) SetRouter(r Router) { d.router = r }
+
 // RegisterVirtualTable adds (or replaces) a virtual system table. The
 // engine registers system.queries, system.query_operators and
 // system.model_cache itself; hosts with a metrics registry add
@@ -158,6 +183,14 @@ func (d *Database) Kill(id uint64) error {
 func (d *Database) RegisterVirtualTable(vt storage.VirtualTable) {
 	d.mu.Lock()
 	d.virtuals[strings.ToLower(vt.Name())] = vt
+	d.mu.Unlock()
+}
+
+// UnregisterVirtualTable removes a virtual table registration (used by the
+// coordinator's temp tables backing partial-aggregate finalization).
+func (d *Database) UnregisterVirtualTable(name string) {
+	d.mu.Lock()
+	delete(d.virtuals, strings.ToLower(name))
 	d.mu.Unlock()
 }
 
@@ -464,6 +497,11 @@ func (d *Database) QueryOpContext(ctx context.Context, text string) (exec.Operat
 	if err != nil {
 		return nil, err
 	}
+	if d.router != nil {
+		if rop, handled, rerr := d.router.RouteSelect(ctx, sel, text); handled || rerr != nil {
+			return rop, rerr
+		}
+	}
 	pl, qc := d.planner()
 	p, err := pl.PlanSelect(sel)
 	if err != nil {
@@ -482,6 +520,41 @@ func (d *Database) QueryOpContext(ctx context.Context, text string) (exec.Operat
 	return &releaseOnClose{op, qc}, nil
 }
 
+// QueryOpLocal plans and builds a SELECT with purely local execution: no
+// router interception, no flight recording. The coordinator uses it for
+// finalization plans over already-gathered partial results (routing those
+// again would recurse) and for schema derivation of shard fragments.
+func (d *Database) QueryOpLocal(ctx context.Context, sel *sql.SelectStmt) (exec.Operator, error) {
+	pl, qc := d.planner()
+	p, err := pl.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	var op exec.Operator
+	if ctx == nil || ctx == context.Background() {
+		op, err = p.Build()
+	} else {
+		op, err = p.BuildContext(ctx)
+	}
+	if err != nil {
+		qc.release()
+		return nil, err
+	}
+	return &releaseOnClose{op, qc}, nil
+}
+
+// PlanSchema plans a SELECT locally (no physical build, no routing) and
+// returns its output schema — how the coordinator derives a shard fragment's
+// wire schema from its own replicated catalog without executing anything.
+func (d *Database) PlanSchema(sel *sql.SelectStmt) (*types.Schema, error) {
+	pl, _ := d.planner() // no physical build, so no pins to release
+	p, err := pl.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return p.Schema(), nil
+}
+
 // QueryOpTracedContext plans a SELECT and returns the physical operator
 // tree with per-operator tracing enabled, plus the QueryTrace the
 // operators record into. The caller runs the operator (Collect, Drain or
@@ -497,6 +570,15 @@ func (d *Database) QueryOpTracedContext(ctx context.Context, text string) (exec.
 	if err != nil {
 		return nil, nil, err
 	}
+	if d.router != nil {
+		if rop, handled, rerr := d.router.RouteSelect(ctx, sel, text); handled || rerr != nil {
+			if rerr != nil {
+				return nil, nil, rerr
+			}
+			op, qt := tracedRouted(rop, text)
+			return op, qt, nil
+		}
+	}
 	pl, qc := d.planner()
 	p, err := pl.PlanSelect(sel)
 	if err != nil {
@@ -509,6 +591,36 @@ func (d *Database) QueryOpTracedContext(ctx context.Context, text string) (exec.
 		return nil, nil, err
 	}
 	return &releaseOnClose{op, qc}, qt, nil
+}
+
+// tracedRouted wraps a router-built operator tree in a one-span trace so
+// EXPLAIN ANALYZE, the slow-query log and system.active_queries progress
+// sampling work for distributed statements too. The span carries the
+// operator's own description when it offers one.
+func tracedRouted(rop exec.Operator, text string) (exec.Operator, *trace.QueryTrace) {
+	name := "RemoteExchange"
+	if dsc, ok := rop.(interface{ Describe() string }); ok {
+		name = dsc.Describe()
+	}
+	qt := trace.NewQueryTrace(text)
+	qt.Root = trace.NewSpan(name)
+	return exec.NewTraced(rop, qt.Root), qt
+}
+
+// selHasModelJoin walks a parsed SELECT's FROM tree for a MODEL JOIN, which
+// is how routed statements get their approach tag without local planning.
+func selHasModelJoin(ref sql.TableRef) bool {
+	switch r := ref.(type) {
+	case *sql.ModelJoinRef:
+		return true
+	case *sql.JoinRef:
+		return selHasModelJoin(r.Left) || selHasModelJoin(r.Right)
+	case *sql.SubqueryRef:
+		if r.Select.From != nil {
+			return selHasModelJoin(r.Select.From)
+		}
+	}
+	return false
 }
 
 // queryOpRecorded is the recorder-enabled SELECT path: the plan is always
@@ -548,6 +660,25 @@ func (d *Database) queryOpRecorded(ctx context.Context, text string) (exec.Opera
 	if err != nil {
 		fail(err)
 		return nil, nil, err
+	}
+	if d.router != nil {
+		rop, handled, rerr := d.router.RouteSelect(ctx, sel, text)
+		if rerr != nil {
+			fail(rerr)
+			return nil, nil, rerr
+		}
+		if handled {
+			if fl.Approach() == "" {
+				if sel.From != nil && selHasModelJoin(sel.From) {
+					fl.SetApproach("modeljoin")
+				} else {
+					fl.SetApproach("sql")
+				}
+			}
+			top, qt := tracedRouted(rop, text)
+			fl.AttachTrace(qt)
+			return flight.Wrap(top, fl), qt, nil
+		}
 	}
 	pl, qc := d.planner()
 	p, err := pl.PlanSelect(sel)
@@ -635,7 +766,7 @@ func (d *Database) ExecContext(ctx context.Context, text string) (err error) {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
-		return d.execStmt(stmt)
+		return d.execRouted(ctx, stmt, text)
 	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
@@ -644,8 +775,34 @@ func (d *Database) ExecContext(ctx context.Context, text string) (err error) {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	return d.execRouted(ctx, stmt, text)
+}
+
+// execRouted gives an installed router first refusal on a parsed DDL/DML
+// statement (replication to shards, row scattering); unhandled statements
+// execute locally.
+func (d *Database) execRouted(ctx context.Context, stmt sql.Stmt, text string) error {
+	if d.router != nil {
+		if handled, err := d.router.RouteExec(ctx, stmt, text); handled || err != nil {
+			return err
+		}
+	}
 	return d.execStmt(stmt)
 }
+
+// ExecLocal runs a DDL/DML statement with purely local execution — no
+// router interception and no flight recording. The coordinator uses it for
+// its own catalog bookkeeping while RouteExec handles the fleet side.
+func (d *Database) ExecLocal(text string) error {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return err
+	}
+	return d.execStmt(stmt)
+}
+
+// ExecStmtLocal is ExecLocal for an already-parsed statement.
+func (d *Database) ExecStmtLocal(stmt sql.Stmt) error { return d.execStmt(stmt) }
 
 func (d *Database) execStmt(stmt sql.Stmt) error {
 	switch s := stmt.(type) {
@@ -660,6 +817,13 @@ func (d *Database) execStmt(stmt sql.Stmt) error {
 	case *sql.DropTableStmt:
 		return d.DropTable(s.Name)
 	case *sql.KillStmt:
+		if s.Origin {
+			// KILL ORIGIN targets every statement stamped with the given
+			// origin query id — how a coordinator reaps shard fragments.
+			// Matching zero statements is fine: the fragment already ended.
+			d.flight.KillOrigin(s.ID)
+			return nil
+		}
 		return d.Kill(s.ID)
 	default:
 		return fmt.Errorf("db: Exec does not handle %T; use Query for SELECT", stmt)
@@ -698,9 +862,20 @@ func (d *Database) execCreate(s *sql.CreateTableStmt) error {
 		parts = d.opts.DefaultPartitions
 	}
 	var schema *types.Schema
+	var modelMeta *relmodel.Meta
 	if s.Model {
 		// Sec. 5.5: a model table has the fixed relational model schema.
 		schema = relmodel.Schema(relmodel.LayoutPairs)
+		if s.MetaJSON != "" {
+			// META '<json>' registers the model in the catalog at create
+			// time, so a model shipped as SQL (model replication to shards)
+			// is immediately MODEL JOIN-able once its weight rows arrive.
+			m, err := relmodel.ParseMeta(s.MetaJSON)
+			if err != nil {
+				return err
+			}
+			modelMeta = m
+		}
 	} else {
 		cols := make([]types.Column, len(s.Cols))
 		for i, c := range s.Cols {
@@ -712,6 +887,13 @@ func (d *Database) execCreate(s *sql.CreateTableStmt) error {
 		}
 		schema = types.NewSchema(cols...)
 	}
+	if s.ShardBy != "" {
+		// A plain (non-coordinator) engine validates the clause and stores
+		// the whole table; the shard catalog lives in the coordinator router.
+		if _, ok := schema.Lookup(s.ShardBy); !ok {
+			return fmt.Errorf("db: SHARD BY column %q does not exist", s.ShardBy)
+		}
+	}
 	opts := storage.Options{Partitions: parts}
 	tbl := storage.NewTable(s.Name, schema, opts)
 	if s.SortedBy != "" {
@@ -722,6 +904,9 @@ func (d *Database) execCreate(s *sql.CreateTableStmt) error {
 		tbl.SetSortedBy(idx)
 	}
 	d.tables[key] = tbl
+	if modelMeta != nil {
+		d.models[key] = modelMeta
+	}
 	return nil
 }
 

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"indbml/internal/engine/types"
+	"indbml/internal/engine/vector"
+)
+
+// RemoteSource is one remote engine's contribution to a RemoteExchange: a
+// stream of batches produced by a query fragment running on another process.
+// The exec package stays transport-agnostic — the dist package implements
+// this over wire-protocol client connections.
+//
+// Sources own their batches: RemoteExchange forwards them without copying,
+// so Next must not reuse a returned batch's buffers. Close must be safe to
+// call concurrently with a blocked Next and must unblock it (closing the
+// underlying connection does both).
+type RemoteSource interface {
+	// Label names the source ("shard 2 (host:port)") for error attribution.
+	Label() string
+	Open() error
+	Next() (*vector.Batch, error)
+	Close() error
+}
+
+// RemoteExchange is the coordinator side of scatter-gather execution: it
+// fans out to one RemoteSource per shard fragment and merges their batch
+// streams concurrently, exactly as Exchange merges per-partition plans
+// within one process. Any source error fails the whole exchange; Close (or
+// Ctx cancellation) tears down every source, which is what propagates a
+// coordinator KILL into the shard fragments' connections.
+type RemoteExchange struct {
+	sources []RemoteSource
+	schema  *types.Schema
+	// Ctx, when set, fails Next fast on cancellation and stops producers.
+	Ctx context.Context
+	// OnStop, when set, runs exactly once as teardown begins — before
+	// sources are closed — whether via Close or context cancellation. The
+	// dist layer uses it to send best-effort KILL ORIGIN to the shards so
+	// fragments die immediately instead of at connection teardown.
+	OnStop func()
+
+	ch       chan *vector.Batch
+	errCh    chan error
+	wg       sync.WaitGroup
+	stopped  chan struct{}
+	stopOnce sync.Once
+	opened   bool
+}
+
+// NewRemoteExchange builds an exchange over shard sources producing rows of
+// the given schema.
+func NewRemoteExchange(schema *types.Schema, sources []RemoteSource) (*RemoteExchange, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("exec: remote exchange requires at least one source")
+	}
+	return &RemoteExchange{sources: sources, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (e *RemoteExchange) Schema() *types.Schema { return e.schema }
+
+// Describe names the operator for EXPLAIN/trace output.
+func (e *RemoteExchange) Describe() string {
+	return fmt.Sprintf("RemoteExchange(%d shards)", len(e.sources))
+}
+
+func (e *RemoteExchange) done() <-chan struct{} {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.Ctx.Done()
+}
+
+// stop begins teardown once: fire OnStop, then unblock and close every
+// source. Producer goroutines blocked inside src.Next return with errors
+// which are discarded once stopped is closed.
+func (e *RemoteExchange) stop() {
+	e.stopOnce.Do(func() {
+		close(e.stopped)
+		if e.OnStop != nil {
+			e.OnStop()
+		}
+		for _, src := range e.sources {
+			src.Close()
+		}
+	})
+}
+
+// Open implements Operator: it launches one goroutine per shard source.
+func (e *RemoteExchange) Open() error {
+	e.ch = make(chan *vector.Batch, len(e.sources))
+	e.errCh = make(chan error, len(e.sources))
+	e.stopped = make(chan struct{})
+	e.opened = true
+
+	for _, src := range e.sources {
+		e.wg.Add(1)
+		go func(src RemoteSource) {
+			defer e.wg.Done()
+			fail := func(err error) {
+				select {
+				case <-e.stopped:
+					// Teardown already under way; the error is a symptom
+					// (closed connection), not a cause worth reporting.
+				default:
+					e.errCh <- fmt.Errorf("%s: %w", src.Label(), err)
+				}
+			}
+			if err := src.Open(); err != nil {
+				fail(err)
+				return
+			}
+			for {
+				b, err := src.Next()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if b == nil {
+					return
+				}
+				select {
+				case e.ch <- b:
+				case <-e.stopped:
+					return
+				case <-e.done():
+					fail(e.Ctx.Err())
+					return
+				}
+			}
+		}(src)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.ch)
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (e *RemoteExchange) Next() (*vector.Batch, error) {
+	select {
+	case err := <-e.errCh:
+		e.stop()
+		return nil, err
+	case b, ok := <-e.ch:
+		if !ok {
+			select {
+			case err := <-e.errCh:
+				e.stop()
+				return nil, err
+			default:
+				return nil, nil
+			}
+		}
+		return b, nil
+	case <-e.done():
+		e.stop()
+		return nil, e.Ctx.Err()
+	}
+}
+
+// Close implements Operator: it tears down sources (killing remote
+// fragments via closed connections) and drains producers.
+func (e *RemoteExchange) Close() error {
+	if !e.opened {
+		return nil
+	}
+	e.stop()
+	for range e.ch {
+		// Unblock producers and drain.
+	}
+	e.wg.Wait()
+	e.opened = false
+	return nil
+}

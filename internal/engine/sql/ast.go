@@ -98,6 +98,16 @@ type CreateTableStmt struct {
 	Cols       []ColDef
 	Partitions int    // 0 = default
 	SortedBy   string // optional sorted-by column name
+	// ShardBy is the hash-partitioning column from SHARD BY (col). A plain
+	// (non-coordinator) engine records it as metadata only; the coordinator's
+	// shard catalog uses it to scatter rows across shard daemons.
+	ShardBy string
+	// MetaJSON carries relational-model metadata for CREATE MODEL TABLE ...
+	// META '<json>' (a serialized relmodel.Meta). The activation functions
+	// per layer live only in the metadata, not the weight rows, so shipping
+	// a model over plain SQL needs this clause to make the table
+	// MODEL JOIN-able on the receiving engine.
+	MetaJSON string
 }
 
 func (*CreateTableStmt) stmt() {}
@@ -152,10 +162,16 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
-// KillStmt cancels the identified in-flight statement (KILL <query_id>).
-// The ID is the flight-recorder query ID surfaced by system.active_queries
-// and MsgDone.
-type KillStmt struct{ ID uint64 }
+// KillStmt cancels in-flight statements. KILL <query_id> cancels the one
+// statement with that flight-recorder query ID (surfaced by
+// system.active_queries and MsgDone). KILL ORIGIN <query_id> (Origin set)
+// cancels every statement whose *origin* — the coordinator query ID stamped
+// on distributed shard fragments — matches, which is how coordinator-side
+// KILL reaches all fragments of a scattered query.
+type KillStmt struct {
+	ID     uint64
+	Origin bool
+}
 
 func (*KillStmt) stmt() {}
 
@@ -190,8 +206,10 @@ type StringLit struct{ Val string }
 
 func (*StringLit) expr() {}
 
-// String implements fmt.Stringer.
-func (s *StringLit) String() string { return "'" + s.Val + "'" }
+// String implements fmt.Stringer. Embedded quotes are doubled, so the
+// rendering re-parses to the same literal (distributed fragments are
+// rendered back to SQL text before shipping to shards).
+func (s *StringLit) String() string { return "'" + strings.ReplaceAll(s.Val, "'", "''") + "'" }
 
 // BoolLit is TRUE or FALSE.
 type BoolLit struct{ Val bool }

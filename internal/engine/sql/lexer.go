@@ -45,7 +45,8 @@ var keywords = map[string]bool{
 	"ALL": true, "DISTINCT": true, "BETWEEN": true, "IN": true, "IS": true,
 	"DROP": true, "EXPLAIN": true, "DEVICE": true, "PREDICT": true,
 	"HAVING": true, "DELETE": true, "UPDATE": true, "SET": true,
-	"ANALYZE": true, "KILL": true,
+	"ANALYZE": true, "KILL": true, "SHARD": true, "META": true,
+	"ORIGIN": true,
 }
 
 // Lex tokenizes a SQL string. It returns an error on unterminated strings

@@ -113,6 +113,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
 	case p.at(TokKeyword, "KILL"):
 		p.next()
+		origin := p.accept(TokKeyword, "ORIGIN")
 		t, err := p.expect(TokNumber, "")
 		if err != nil {
 			return nil, err
@@ -121,7 +122,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if perr != nil || id == 0 {
 			return nil, p.errf("KILL wants a positive query id, got %q", t.Text)
 		}
-		return &KillStmt{ID: id}, nil
+		return &KillStmt{ID: id, Origin: origin}, nil
 	default:
 		return nil, p.errf("expected a statement, found %q", p.cur().Text)
 	}
@@ -644,7 +645,8 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			return &Ident{Table: t.Text, Name: name}, nil
 		}
 		return &Ident{Name: t.Text}, nil
-	case t.Kind == TokKeyword && (t.Text == "MODEL" || t.Text == "DEVICE" || t.Text == "PREDICT"):
+	case t.Kind == TokKeyword && (t.Text == "MODEL" || t.Text == "DEVICE" || t.Text == "PREDICT" ||
+		t.Text == "SHARD" || t.Text == "META" || t.Text == "ORIGIN"):
 		// Soft keywords usable as bare column references.
 		p.next()
 		name := strings.ToLower(t.Text)
@@ -763,6 +765,34 @@ func (p *Parser) parseCreate() (Stmt, error) {
 				return nil, err
 			}
 			stmt.SortedBy = col
+		case p.accept(TokKeyword, "SHARD"):
+			if isModel {
+				return nil, p.errf("model tables are replicated, not sharded")
+			}
+			if _, err := p.expect(TokKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			// Parenthesized or bare single column: SHARD BY (col) / SHARD BY col.
+			paren := p.accept(TokOp, "(")
+			col, err := p.expectIdentLike()
+			if err != nil {
+				return nil, err
+			}
+			if paren {
+				if _, err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+			}
+			stmt.ShardBy = col
+		case p.accept(TokKeyword, "META"):
+			if !isModel {
+				return nil, p.errf("META is only valid on CREATE MODEL TABLE")
+			}
+			t, err := p.expect(TokString, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.MetaJSON = t.Text
 		default:
 			return stmt, nil
 		}

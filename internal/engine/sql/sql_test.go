@@ -272,3 +272,59 @@ func TestParseIsNullAndIn(t *testing.T) {
 		t.Errorf("found %d IS NULL and %d IN constructs", isNulls, ins)
 	}
 }
+
+func TestParseShardByAndMeta(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE ev (id INTEGER, v DOUBLE) PARTITIONS 2 SHARD BY (id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := stmt.(*CreateTableStmt); ct.ShardBy != "id" || ct.Partitions != 2 {
+		t.Errorf("SHARD BY parsed wrong: %+v", ct)
+	}
+	stmt, err = Parse("CREATE TABLE ev2 (id INTEGER) SHARD BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := stmt.(*CreateTableStmt); ct.ShardBy != "id" {
+		t.Errorf("bare SHARD BY parsed wrong: %+v", ct)
+	}
+	stmt, err = Parse(`CREATE MODEL TABLE m META '{"name":"m"}'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := stmt.(*CreateTableStmt); !ct.Model || ct.MetaJSON != `{"name":"m"}` {
+		t.Errorf("META parsed wrong: %+v", ct)
+	}
+	if _, err := Parse("CREATE MODEL TABLE m SHARD BY (a)"); err == nil {
+		t.Error("SHARD BY on a model table must be rejected")
+	}
+}
+
+func TestParseKillOrigin(t *testing.T) {
+	stmt, err := Parse("KILL 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := stmt.(*KillStmt); k.ID != 42 || k.Origin {
+		t.Errorf("KILL parsed wrong: %+v", k)
+	}
+	stmt, err = Parse("KILL ORIGIN 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := stmt.(*KillStmt); k.ID != 42 || !k.Origin {
+		t.Errorf("KILL ORIGIN parsed wrong: %+v", k)
+	}
+}
+
+func TestParseShardAsColumnName(t *testing.T) {
+	// shard/meta/origin are soft keywords — system tables use them as
+	// column names (system.queries has a shard column in fleet mode).
+	sel, err := ParseSelect("SELECT shard, origin_qid FROM system.queries WHERE shard = 'coordinator'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := sel.Items[0].Expr.(*Ident); !ok || id.Name != "shard" {
+		t.Errorf("shard as column parsed wrong: %+v", sel.Items[0].Expr)
+	}
+}

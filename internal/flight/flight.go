@@ -52,9 +52,14 @@ const maxSQLLen = 1024
 // Summary is the per-statement flight record. All fields are final once
 // the summary is published to the ring.
 type Summary struct {
-	ID          uint64
-	Start       time.Time
-	SQL         string
+	ID uint64
+	// Origin is the coordinator query ID when this statement executed as a
+	// distributed shard fragment (0 otherwise); system.queries exposes it
+	// as origin_qid so a fleet view can group fragments by coordinator
+	// query.
+	Origin uint64
+	Start  time.Time
+	SQL    string
 	Fingerprint uint64 // statement-shape fingerprint (package fingerprint)
 	Kind        string // select, insert, update, delete, create, drop, kill, ...
 	Approach    string // sql, modeljoin, mltosql, pyudf, mlruntime, external
@@ -240,6 +245,7 @@ func (r *Recorder) BeginFor(live *LiveQuery, sqlText, kind, approach string) *Fl
 		// Start stays at execution begin — queue wait is charged separately
 		// via QueueWaitNS, as before.
 		f.sum.ID = live.id
+		f.sum.Origin = live.origin
 		live.state.Store(stateRunning)
 	} else {
 		f.sum.ID = r.ids.Add(1)

@@ -29,6 +29,7 @@ type LiveQuery struct {
 	fp      uint64
 	norm    string
 	session string
+	origin  uint64 // coordinator query ID for distributed shard fragments
 	start   time.Time
 	cancel  context.CancelFunc
 
@@ -77,6 +78,15 @@ func (q *LiveQuery) Session() string {
 		return ""
 	}
 	return q.session
+}
+
+// Origin returns the coordinator query ID this statement is a shard
+// fragment of (0 for ordinary statements).
+func (q *LiveQuery) Origin() uint64 {
+	if q == nil {
+		return 0
+	}
+	return q.origin
 }
 
 // Start returns the registration time (admission, not execution start).
@@ -162,6 +172,16 @@ func (q *LiveQuery) Progress() (rowsScanned, bytesScanned int64, phase string) {
 // unregisters). A nil recorder returns nil; all LiveQuery methods and
 // Unregister tolerate nil.
 func (r *Recorder) Register(sqlText, session string, cancel context.CancelFunc) *LiveQuery {
+	return r.RegisterOrigin(sqlText, session, 0, cancel)
+}
+
+// RegisterOrigin is Register for statements arriving as distributed shard
+// fragments: origin is the coordinator's query ID stamped on the statement
+// frame (0 for ordinary statements). KILL ORIGIN <origin> cancels every
+// registered statement carrying the tag, and system.queries exposes it as
+// origin_qid so fleet observability can correlate fragments with their
+// coordinator query.
+func (r *Recorder) RegisterOrigin(sqlText, session string, origin uint64, cancel context.CancelFunc) *LiveQuery {
 	if r == nil {
 		return nil
 	}
@@ -175,6 +195,7 @@ func (r *Recorder) Register(sqlText, session string, cancel context.CancelFunc) 
 		fp:      fp,
 		norm:    norm,
 		session: session,
+		origin:  origin,
 		start:   time.Now(),
 		cancel:  cancel,
 	}
@@ -225,4 +246,26 @@ func (r *Recorder) Kill(id uint64) error {
 	}
 	q.Kill()
 	return nil
+}
+
+// KillOrigin cancels every live statement whose origin tag matches,
+// returning how many were killed. Zero matches is not an error: the
+// coordinator's cancel path races benignly against fragments finishing on
+// their own.
+func (r *Recorder) KillOrigin(origin uint64) int {
+	if r == nil || origin == 0 {
+		return 0
+	}
+	r.liveMu.Lock()
+	var victims []*LiveQuery
+	for _, q := range r.live {
+		if q.origin == origin {
+			victims = append(victims, q)
+		}
+	}
+	r.liveMu.Unlock()
+	for _, q := range victims {
+		q.Kill()
+	}
+	return len(victims)
 }

@@ -16,7 +16,8 @@ import (
 
 var queriesSchema = types.NewSchema(
 	types.Column{Name: "query_id", Type: types.Int64},
-	types.Column{Name: "ts", Type: types.Int64}, // statement start, unix nanoseconds
+	types.Column{Name: "origin_qid", Type: types.Int64}, // coordinator query ID for shard fragments, 0 otherwise
+	types.Column{Name: "ts", Type: types.Int64},         // statement start, unix nanoseconds
 	types.Column{Name: "kind", Type: types.String},
 	types.Column{Name: "approach", Type: types.String},
 	types.Column{Name: "device", Type: types.String},
@@ -48,6 +49,7 @@ func (t queriesTable) Snapshot() ([]*vector.Batch, error) {
 	for _, s := range t.r.Snapshot() {
 		b.Append(
 			types.Int64Datum(int64(s.ID)),
+			types.Int64Datum(int64(s.Origin)),
 			types.Int64Datum(s.Start.UnixNano()),
 			types.StringDatum(s.Kind),
 			types.StringDatum(s.Approach),
@@ -133,6 +135,7 @@ func hexFingerprint(fp uint64) string { return fingerprint.Hex(fp) }
 
 var activeSchema = types.NewSchema(
 	types.Column{Name: "query_id", Type: types.Int64},
+	types.Column{Name: "origin_qid", Type: types.Int64},
 	types.Column{Name: "session", Type: types.String},
 	types.Column{Name: "state", Type: types.String}, // queued, running, killed
 	types.Column{Name: "ts", Type: types.Int64},     // admission time, unix nanoseconds
@@ -161,6 +164,7 @@ func (t activeTable) Snapshot() ([]*vector.Batch, error) {
 		rows, bytes, phase := q.Progress()
 		b.Append(
 			types.Int64Datum(int64(q.ID())),
+			types.Int64Datum(int64(q.Origin())),
 			types.StringDatum(q.Session()),
 			types.StringDatum(q.State()),
 			types.Int64Datum(q.Start().UnixNano()),

@@ -341,7 +341,15 @@ func (q *queue) run() {
 		oldest := q.pending[0]
 		deadline := oldest.enq.Add(oldest.maxWait)
 		now := time.Now()
+		// Launch immediately whenever the device gate has idle capacity:
+		// with a free in-flight slot there is nothing for later arrivals to
+		// coalesce behind, so making the oldest request sit out its full
+		// MaxWait only adds latency (the 4-client regression — the gate
+		// [MaxInFlight=2] was never saturated, yet every request paid the
+		// coalesce window). Under saturation (8+ clients) the gate is full
+		// and the original coalesce-while-busy policy is preserved.
 		launch := q.inflight == 0 ||
+			len(q.gate) < cap(q.gate) ||
 			q.pendingRows >= oldest.maxRows ||
 			!now.Before(deadline)
 		if !launch {

@@ -22,6 +22,10 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	cur  *Rows // unfinished cursor, drained before the next statement
+
+	// origin stamps every outgoing statement frame with a coordinator query
+	// ID (see SetOrigin); 0 for ordinary clients.
+	origin uint64
 }
 
 // Dial connects to a server at addr ("host:port").
@@ -46,6 +50,13 @@ func NewClient(conn net.Conn) *Client {
 // Close tears down the session.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetOrigin tags every subsequent statement on this session with the given
+// coordinator query ID. The server stamps the ID onto its flight-recorder
+// entries (origin_qid in system.queries) and KILL ORIGIN <id> cancels every
+// statement carrying it — the mechanism a coordinator uses to correlate and
+// cancel the shard fragments of one distributed query. Pass 0 to clear.
+func (c *Client) SetOrigin(id uint64) { c.origin = id }
+
 // send frames one statement, draining any unfinished previous cursor so
 // request and response streams stay in lock step.
 func (c *Client) send(sql string, timeout time.Duration) error {
@@ -60,7 +71,7 @@ func (c *Client) send(sql string, timeout time.Duration) error {
 			millis = 1
 		}
 	}
-	wire.WriteStmt(c.bw, sql, millis)
+	wire.WriteStmt(c.bw, sql, millis, c.origin)
 	return c.bw.Flush()
 }
 
@@ -114,6 +125,15 @@ func (c *Client) Batcher() (string, error) { return c.command("BATCHER", 0) }
 // from this session. Errors if the ID names no active statement.
 func (c *Client) Kill(id uint64) error {
 	_, err := c.command(fmt.Sprintf("KILL %d", id), 0)
+	return err
+}
+
+// KillOrigin cancels every in-flight statement whose origin tag (see
+// SetOrigin) matches id — all shard fragments of one distributed query.
+// Unlike Kill it does not error when nothing matches: the races between a
+// coordinator's cancel path and fragments finishing on their own are benign.
+func (c *Client) KillOrigin(id uint64) error {
+	_, err := c.command(fmt.Sprintf("KILL ORIGIN %d", id), 0)
 	return err
 }
 

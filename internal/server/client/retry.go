@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff retries an operation rejected by admission control with jittered
+// exponential backoff. The server's fast-reject (CodeOverloaded) is cheap by
+// design — every slot busy and the wait queue full — so the polite client
+// response is to back off and retry rather than hammer the accept loop. The
+// zero value selects the defaults.
+type Backoff struct {
+	// Base is the first retry delay. Default 5ms.
+	Base time.Duration
+	// Max caps the delay between attempts. Default 500ms.
+	Max time.Duration
+	// Attempts bounds the total tries (the first call counts). Default 8;
+	// negative means retry until the context expires.
+	Attempts int
+	// Multiplier grows the delay between attempts. Default 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay drawn uniformly at random
+	// (full jitter decorrelates retry storms from N clients rejected at
+	// once). Default 1.0, i.e. each sleep is uniform in [0, delay];
+	// set a small value (e.g. 0.1) for near-deterministic pacing in tests.
+	Jitter float64
+
+	// Rand supplies randomness for jitter; nil uses the package-level
+	// source. Tests inject a seeded source for reproducibility.
+	Rand *rand.Rand
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 5 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 500 * time.Millisecond
+	}
+	if b.Attempts == 0 {
+		b.Attempts = 8
+	}
+	if b.Multiplier <= 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 1
+	} else if b.Jitter == 0 {
+		b.Jitter = 1
+	}
+	return b
+}
+
+// Do runs fn, retrying while it reports overload (IsOverloaded) with
+// jittered exponential backoff. Any other error — and success — returns
+// immediately. Do returns the last overload error when attempts run out,
+// or ctx.Err() if the context expires first (a nil ctx never expires).
+func (b Backoff) Do(ctx context.Context, fn func() error) error {
+	b = b.withDefaults()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	delay := b.Base
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || !IsOverloaded(err) {
+			return err
+		}
+		if b.Attempts > 0 && attempt >= b.Attempts {
+			return err
+		}
+		sleep := delay
+		if b.Jitter > 0 {
+			span := float64(delay) * b.Jitter
+			var u float64
+			if b.Rand != nil {
+				u = b.Rand.Float64()
+			} else {
+				u = rand.Float64()
+			}
+			sleep = delay - time.Duration(span) + time.Duration(u*span)
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-t.C:
+		case <-done:
+			t.Stop()
+			return ctx.Err()
+		}
+		delay = time.Duration(float64(delay) * b.Multiplier)
+		if delay > b.Max {
+			delay = b.Max
+		}
+	}
+}
+
+// RetryOverloaded is the convenience form of Backoff.Do with defaults:
+// jittered exponential backoff starting at 5ms, at most 8 attempts.
+func RetryOverloaded(ctx context.Context, fn func() error) error {
+	return Backoff{}.Do(ctx, fn)
+}

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"indbml/internal/wire"
+)
+
+func overloaded() error {
+	return &wire.ServerError{Code: wire.CodeOverloaded, Msg: "server overloaded"}
+}
+
+func TestBackoffRetriesOverloadUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Backoff{Base: time.Microsecond, Rand: rand.New(rand.NewSource(1))}.
+		Do(context.Background(), func() error {
+			calls++
+			if calls < 3 {
+				return overloaded()
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+func TestBackoffStopsOnNonOverloadError(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Backoff{Base: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1 (no retry on a plain error)", calls)
+	}
+}
+
+func TestBackoffExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Backoff{Base: time.Microsecond, Attempts: 4}.
+		Do(context.Background(), func() error { calls++; return overloaded() })
+	if !IsOverloaded(err) {
+		t.Fatalf("Do = %v, want the final overload error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("fn ran %d times, want 4", calls)
+	}
+}
+
+func TestBackoffHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Backoff{Base: time.Hour, Attempts: -1}.Do(ctx, func() error {
+		calls++
+		cancel() // expire while the retry loop sleeps
+		return overloaded()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	// Jitter 1e-9 makes each sleep essentially the deterministic delay;
+	// measure that the second gap is roughly double the first.
+	b := Backoff{Base: 10 * time.Millisecond, Max: 15 * time.Millisecond,
+		Attempts: 3, Jitter: 1e-9, Rand: rand.New(rand.NewSource(2))}
+	var stamps []time.Time
+	b.Do(context.Background(), func() error {
+		stamps = append(stamps, time.Now())
+		return overloaded()
+	})
+	if len(stamps) != 3 {
+		t.Fatalf("fn ran %d times, want 3", len(stamps))
+	}
+	first, second := stamps[1].Sub(stamps[0]), stamps[2].Sub(stamps[1])
+	if first < 9*time.Millisecond {
+		t.Fatalf("first retry after %v, want >= ~10ms", first)
+	}
+	if second < 13*time.Millisecond {
+		t.Fatalf("second retry after %v, want >= ~15ms (doubled then capped)", second)
+	}
+}
+
+func TestRetryOverloadedConvenience(t *testing.T) {
+	calls := 0
+	if err := RetryOverloaded(context.Background(), func() error {
+		calls++
+		if calls == 1 {
+			return overloaded()
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("RetryOverloaded: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+}

@@ -332,7 +332,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		} else {
 			conn.SetReadDeadline(time.Time{})
 		}
-		stmt, deadlineMillis, err := wire.ReadStmt(br)
+		stmt, deadlineMillis, origin, err := wire.ReadStmt(br)
 		if err != nil {
 			// EOF: client hung up. Deadline: idle timeout or drain poke.
 			// Either way the session ends; an idle-timeout gets a courtesy
@@ -352,7 +352,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		sess.stmts.Add(1)
 		sess.active.Store(true)
-		s.serveStmt(bw, sess, stmt, deadlineMillis)
+		s.serveStmt(bw, sess, stmt, deadlineMillis, origin)
 		sess.active.Store(false)
 		if err := bw.Flush(); err != nil {
 			return
@@ -429,7 +429,7 @@ func (s *Server) admit(ctx context.Context) (token *slotToken, wait time.Duratio
 // serveStmt dispatches one statement. STATUS, METRICS and BATCHER bypass
 // admission control so operators can observe an overloaded server; SET
 // mutates the session and touches neither the engine nor a slot.
-func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlineMillis uint64) {
+func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlineMillis, origin uint64) {
 	text := strings.TrimSpace(stmt)
 	upper := strings.ToUpper(text)
 	if upper == "" {
@@ -484,7 +484,7 @@ func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlin
 	// reach the engine.
 	var live *flight.LiveQuery
 	if fr := s.db.FlightRecorder(); fr != nil {
-		live = fr.Register(text, sess.remote, cancel)
+		live = fr.RegisterOrigin(text, sess.remote, origin, cancel)
 		ctx = flight.WithLive(ctx, live)
 		sess.curQID.Store(live.ID())
 		defer func() {

@@ -205,27 +205,36 @@ func ReadOKBody(r *bufio.Reader) (string, error) { return readString(r) }
 
 // WriteStmt writes a MsgStmt request frame. deadlineMillis of 0 means the
 // client imposes no deadline (the server may still apply its own cap).
-func WriteStmt(w *bufio.Writer, sql string, deadlineMillis uint64) {
+// origin is the coordinator-side query ID when this statement is a
+// distributed shard fragment (0 for ordinary clients); the receiving server
+// stamps it on its flight-recorder entry so fleet observability and
+// KILL ORIGIN can correlate fragments with the coordinator query.
+func WriteStmt(w *bufio.Writer, sql string, deadlineMillis, origin uint64) {
 	w.WriteByte(MsgStmt)
 	WriteUvarint(w, deadlineMillis)
+	WriteUvarint(w, origin)
 	writeString(w, sql)
 }
 
 // ReadStmt reads a full MsgStmt frame including the kind byte.
-func ReadStmt(r *bufio.Reader) (sql string, deadlineMillis uint64, err error) {
+func ReadStmt(r *bufio.Reader) (sql string, deadlineMillis, origin uint64, err error) {
 	kind, err := r.ReadByte()
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	if kind != MsgStmt {
-		return "", 0, fmt.Errorf("wire: expected statement frame, got 0x%x", kind)
+		return "", 0, 0, fmt.Errorf("wire: expected statement frame, got 0x%x", kind)
 	}
 	deadlineMillis, err = binary.ReadUvarint(r)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
+	}
+	origin, err = binary.ReadUvarint(r)
+	if err != nil {
+		return "", 0, 0, err
 	}
 	sql, err = readString(r)
-	return sql, deadlineMillis, err
+	return sql, deadlineMillis, origin, err
 }
 
 // EncodeRow pivots one row out of the columnar batch, formatting every

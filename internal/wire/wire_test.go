@@ -108,18 +108,18 @@ func TestSchemaFrameRoundTrip(t *testing.T) {
 func TestStmtFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	WriteStmt(w, "SELECT 1", 1500)
-	WriteStmt(w, "STATUS", 0)
+	WriteStmt(w, "SELECT 1", 1500, 0)
+	WriteStmt(w, "STATUS", 0, 42)
 	w.Flush()
 
 	r := bufio.NewReader(&buf)
-	sql, millis, err := ReadStmt(r)
-	if err != nil || sql != "SELECT 1" || millis != 1500 {
-		t.Fatalf("stmt 1 = %q/%d/%v", sql, millis, err)
+	sql, millis, origin, err := ReadStmt(r)
+	if err != nil || sql != "SELECT 1" || millis != 1500 || origin != 0 {
+		t.Fatalf("stmt 1 = %q/%d/%d/%v", sql, millis, origin, err)
 	}
-	sql, millis, err = ReadStmt(r)
-	if err != nil || sql != "STATUS" || millis != 0 {
-		t.Fatalf("stmt 2 = %q/%d/%v", sql, millis, err)
+	sql, millis, origin, err = ReadStmt(r)
+	if err != nil || sql != "STATUS" || millis != 0 || origin != 42 {
+		t.Fatalf("stmt 2 = %q/%d/%d/%v", sql, millis, origin, err)
 	}
 }
 
@@ -155,10 +155,11 @@ func TestFrameLengthLimit(t *testing.T) {
 	w := bufio.NewWriter(&buf)
 	w.WriteByte(MsgStmt)
 	WriteUvarint(w, 0)             // deadline
+	WriteUvarint(w, 0)             // origin
 	WriteUvarint(w, maxFrameLen+1) // hostile length, no payload follows
 	w.Flush()
 
-	if _, _, err := ReadStmt(bufio.NewReader(&buf)); err == nil {
+	if _, _, _, err := ReadStmt(bufio.NewReader(&buf)); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 }

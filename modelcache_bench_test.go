@@ -26,11 +26,14 @@ type modelJoinBenchCell struct {
 }
 
 type modelJoinBenchReport struct {
-	Benchmark  string               `json:"benchmark"`
-	Tuples     int                  `json:"tuples"`
-	Partitions int                  `json:"partitions"`
-	Model      string               `json:"model"`
-	Cells      []modelJoinBenchCell `json:"cells"`
+	Benchmark string `json:"benchmark"`
+	GitSHA    string `json:"git_sha,omitempty"`
+	// GeneratedAtUTC stamps when the cells were measured (RFC 3339, UTC).
+	GeneratedAtUTC string               `json:"generated_at_utc,omitempty"`
+	Tuples         int                  `json:"tuples"`
+	Partitions     int                  `json:"partitions"`
+	Model          string               `json:"model"`
+	Cells          []modelJoinBenchCell `json:"cells"`
 	// SpeedupCachedVsCold is cold ns/op divided by cached ns/op.
 	SpeedupCachedVsCold float64 `json:"speedup_cached_vs_cold,omitempty"`
 	// RecorderOverheadPct is the always-on flight recorder's cost on the
@@ -203,6 +206,7 @@ func BenchmarkModelJoinColdVsCached(b *testing.B) {
 		report.SpeedupCachedVsCold = cold.NsPerOp / cached.NsPerOp
 	}
 	if len(report.Cells) > 0 {
+		report.GitSHA, report.GeneratedAtUTC = benchProvenance()
 		out, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			b.Fatal(err)

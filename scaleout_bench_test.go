@@ -1,0 +1,302 @@
+package indbml
+
+// Scale-out benchmark: the same MODEL JOIN serving workload (8 concurrent
+// wire clients, aggregate-over-inference query) against a single paced-GPU
+// node and against a 4-shard cluster behind a coordinator. Every daemon
+// runs with device pacing on (GPUConfig.Pace): operations *occupy* their
+// modeled device time, so a fleet of N engines scales like N accelerators
+// even though the whole benchmark shares one small host — the sleeps burn
+// no CPU. The distributed plan runs inference shard-side and ships only
+// partial aggregates, so the expected win at 4 shards is ~4x device
+// throughput minus coordinator overhead.
+//
+// The cells land in BENCH_scaleout.json, and the run also asserts the fleet
+// observability contract: the coordinator's system.queries view must show
+// per-shard fragment rows (origin_qid) for a distributed query it just ran.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indbml/internal/core/relmodel"
+	"indbml/internal/device"
+	"indbml/internal/dist"
+	"indbml/internal/engine/db"
+	"indbml/internal/server"
+	"indbml/internal/server/client"
+	"indbml/internal/workload"
+)
+
+const (
+	scaleoutTuples  = 2_000
+	scaleoutShards  = 4
+	scaleoutClients = 8
+	// scaleoutQueriesPerClient keeps one iteration short while giving the
+	// QPS estimate a real sample.
+	scaleoutQueriesPerClient = 4
+	// scaleoutGemm throttles the simulated GPU so the modeled inference
+	// time (~50ms per full-table query) dwarfs both the Go emulation cost
+	// and the coordinator's merge work; pacing then makes device time the
+	// honest bottleneck on both sides of the comparison.
+	scaleoutGemm = 2.5e7
+)
+
+type scaleoutBenchReport struct {
+	Benchmark string `json:"benchmark"`
+	GitSHA    string `json:"git_sha,omitempty"`
+	// GeneratedAtUTC stamps when the cells were measured (RFC 3339, UTC).
+	GeneratedAtUTC string `json:"generated_at_utc"`
+	Tuples         int    `json:"tuples"`
+	Shards         int    `json:"shards"`
+	Clients        int    `json:"clients"`
+	Model          string `json:"model"`
+	// GemmThroughput and Pacing document the simulated-device setup that
+	// makes the multi-engine scaling honest on a shared host.
+	GemmThroughput float64       `json:"gemm_throughput_flops"`
+	Pacing         bool          `json:"pacing"`
+	PacingNote     string        `json:"pacing_note"`
+	Cells          []servingCell `json:"cells"`
+	// SpeedupDistVsSingle8C is distributed QPS divided by single-node QPS
+	// at the 8-client cell.
+	SpeedupDistVsSingle8C float64 `json:"speedup_dist_vs_single_8c,omitempty"`
+	// FragmentShards counts the distinct shards whose flight recorders
+	// reported fragment rows (origin_qid) for one distributed query, via
+	// the coordinator's fleet system.queries view.
+	FragmentShards int `json:"fragment_shards"`
+}
+
+func scaleoutOptions() db.Options {
+	cfg := device.DefaultGPUConfig()
+	cfg.Pace = true
+	cfg.GemmThroughput = scaleoutGemm
+	return db.Options{GPU: cfg, DefaultPartitions: 2, Parallelism: 2}
+}
+
+func scaleoutServer(b *testing.B, d *db.Database) *server.Server {
+	b.Helper()
+	s := server.New(d, server.Config{QuerySlots: scaleoutClients, QueueDepth: 64, QueueWait: 30 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(ln)
+	b.Cleanup(func() { s.Close() })
+	for i := 0; s.Addr() == nil && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	return s
+}
+
+// scaleoutSeed creates the fact table through the SQL front door (the
+// coordinator scatters rows by hash of id) and registers the model.
+func scaleoutSeed(b *testing.B, d *db.Database, ddlSuffix string) {
+	b.Helper()
+	if err := d.Exec("CREATE TABLE ev (id INTEGER, f1 DOUBLE, f2 DOUBLE, f3 DOUBLE, f4 DOUBLE)" + ddlSuffix); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const batch = 250
+	for lo := 0; lo < scaleoutTuples; lo += batch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO ev VALUES ")
+		for i := lo; i < lo+batch && i < scaleoutTuples; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %g, %g, %g, %g)",
+				i, rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		}
+		if err := d.Exec(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	model := workload.DenseModel(32, 2)
+	model.Name = "scale_model"
+	if _, err := d.RegisterModel(model, relmodel.ExportOptions{Partitions: 2}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// scaleoutDrive hammers the server with the serving workload and returns
+// the measured cell.
+func scaleoutDrive(b *testing.B, addr, name string, clients int) servingCell {
+	b.Helper()
+	query := "SELECT COUNT(*) AS n, AVG(prediction) AS p FROM ev MODEL JOIN scale_model PREDICT (f1, f2, f3, f4) USING DEVICE 'gpu'"
+	conns := make([]*client.Client, clients)
+	for i := range conns {
+		c, err := client.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	oneQuery := func(c *client.Client) error {
+		rows, err := c.Query(query)
+		if err != nil {
+			return err
+		}
+		return rows.Drain()
+	}
+	// Warm model artifact caches so measured queries share built models.
+	for _, c := range conns {
+		if err := oneQuery(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var lat []time.Duration
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perClient := make([][]time.Duration, clients)
+		var wg sync.WaitGroup
+		errc := make(chan error, clients)
+		start := time.Now()
+		for ci := range conns {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				for q := 0; q < scaleoutQueriesPerClient; q++ {
+					t0 := time.Now()
+					if err := oneQuery(conns[ci]); err != nil {
+						errc <- err
+						return
+					}
+					perClient[ci] = append(perClient[ci], time.Since(t0))
+				}
+			}(ci)
+		}
+		wg.Wait()
+		elapsed += time.Since(start)
+		close(errc)
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range perClient {
+			lat = append(lat, l...)
+		}
+	}
+	b.StopTimer()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p int) float64 {
+		idx := len(lat) * p / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return float64(lat[idx].Nanoseconds()) / 1e6
+	}
+	qps := float64(len(lat)) / elapsed.Seconds()
+	b.ReportMetric(qps, "qps")
+	b.ReportMetric(pct(50), "p50-ms")
+	b.ReportMetric(pct(99), "p99-ms")
+	return servingCell{
+		Name:       name,
+		Clients:    clients,
+		Mode:       strings.SplitN(name, "_", 2)[0],
+		Iterations: len(lat),
+		QPS:        qps,
+		P50Ms:      pct(50),
+		P99Ms:      pct(99),
+	}
+}
+
+func BenchmarkScaleoutModelJoin(b *testing.B) {
+	report := scaleoutBenchReport{
+		Benchmark:      "scaleout_modeljoin",
+		Tuples:         scaleoutTuples,
+		Shards:         scaleoutShards,
+		Clients:        scaleoutClients,
+		Model:          "dense 32x2",
+		GemmThroughput: scaleoutGemm,
+		Pacing:         true,
+		PacingNote: "GPUConfig.Pace makes simulated-device operations occupy their modeled time " +
+			"(sleeping, not spinning), so N engine processes scale like N accelerators on one host; " +
+			"the same throttled device config applies to baseline and shards alike",
+	}
+	record := func(c servingCell) {
+		for i := range report.Cells {
+			if report.Cells[i].Name == c.Name {
+				report.Cells[i] = c
+				return
+			}
+		}
+		report.Cells = append(report.Cells, c)
+	}
+
+	b.Run("single/8-clients", func(b *testing.B) {
+		d := db.Open(scaleoutOptions())
+		scaleoutSeed(b, d, "")
+		s := scaleoutServer(b, d)
+		record(scaleoutDrive(b, s.Addr().String(), "single_8c", scaleoutClients))
+	})
+
+	b.Run(fmt.Sprintf("dist%d/8-clients", scaleoutShards), func(b *testing.B) {
+		addrs := make([]string, scaleoutShards)
+		for i := range addrs {
+			sh := db.Open(scaleoutOptions())
+			addrs[i] = scaleoutServer(b, sh).Addr().String()
+		}
+		coord := db.Open(scaleoutOptions())
+		co := dist.New(coord, addrs)
+		b.Cleanup(co.Close)
+		s := scaleoutServer(b, coord)
+
+		scaleoutSeed(b, coord, " SHARD BY (id)")
+		if err := co.ReplicateModel(context.Background(), "scale_model"); err != nil {
+			b.Fatal(err)
+		}
+		record(scaleoutDrive(b, s.Addr().String(), fmt.Sprintf("dist%d_8c", scaleoutShards), scaleoutClients))
+
+		// Fleet observability: the coordinator's system.queries view must
+		// show fragment rows on every shard for the distributed queries
+		// that just ran, correlated by origin_qid.
+		batch, err := coord.Query(
+			"SELECT DISTINCT shard FROM system.queries WHERE shard <> 'coordinator' AND origin_qid > 0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report.FragmentShards = batch.Len()
+		if report.FragmentShards < scaleoutShards {
+			b.Fatalf("fleet system.queries shows fragments on %d shards, want %d",
+				report.FragmentShards, scaleoutShards)
+		}
+	})
+
+	find := func(name string) *servingCell {
+		for i := range report.Cells {
+			if report.Cells[i].Name == name {
+				return &report.Cells[i]
+			}
+		}
+		return nil
+	}
+	single := find("single_8c")
+	dst := find(fmt.Sprintf("dist%d_8c", scaleoutShards))
+	if single != nil && dst != nil && single.QPS > 0 {
+		report.SpeedupDistVsSingle8C = dst.QPS / single.QPS
+	}
+	if len(report.Cells) == 0 {
+		return
+	}
+	report.GitSHA, report.GeneratedAtUTC = benchProvenance()
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scaleout.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_scaleout.json (%d-shard vs single-node QPS at %d clients: %.2fx)",
+		scaleoutShards, scaleoutClients, report.SpeedupDistVsSingle8C)
+}

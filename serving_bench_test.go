@@ -182,6 +182,7 @@ func BenchmarkServingConcurrentClients(b *testing.B) {
 	if ba, di := find("batched_8c"), find("direct_8c"); ba != nil && di != nil && di.QPS > 0 {
 		report.SpeedupBatchedVsDirect8C = ba.QPS / di.QPS
 	}
+	report.GitSHA, report.GeneratedAtUTC = benchProvenance()
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		b.Fatal(err)
