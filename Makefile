@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke stats-smoke shard-smoke examples experiments experiments-paper clean
+.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke stats-smoke shard-smoke dist-trace-smoke examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -62,6 +62,12 @@ stats-smoke:
 # MODEL JOIN results and the fleet system.queries view's fragment rows.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# End-to-end distributed-tracing smoke: boot a 3-shard cluster, run EXPLAIN
+# ANALYZE on a sharded MODEL JOIN, assert the stitched per-shard subtrees,
+# fan-out/skew counters, and the fleet system.query_operators rows.
+dist-trace-smoke:
+	./scripts/dist_trace_smoke.sh
 
 examples: build
 	$(GO) run ./examples/quickstart

@@ -16,6 +16,7 @@
 //	\metrics                               metrics page (shell-local or server registry)
 //	\queries                               recent statements from system.queries
 //	\active                                in-flight statements from system.active_queries
+//	\shards                                fleet health from system.shards (-connect mode)
 //	\kill <query_id>                       cancel an in-flight statement
 //	\trace on|off                          run every SELECT as EXPLAIN ANALYZE
 //	\q                                     quit
@@ -168,6 +169,11 @@ const queriesSQL = "SELECT query_id, kind, approach, latency_ns, rows_out, cache
 // progress counters (the listing SELECT itself shows up too, running).
 const activeSQL = "SELECT query_id, session, state, elapsed_ns, rows_scanned, phase, sql " +
 	"FROM system.active_queries ORDER BY query_id"
+
+// shardsSQL is what \shards runs against a coordinator: the fleet health
+// table (liveness probe, pool state, cumulative fragment errors).
+const shardsSQL = "SELECT shard_id, addr, reachable, idle_conns, fragments, fragment_errors, last_error " +
+	"FROM system.shards ORDER BY shard_id"
 
 // parseKillArg extracts the query ID from "\kill <id>", reporting usage
 // errors itself; ok is false when nothing should be killed.
@@ -492,6 +498,13 @@ func (s *remoteSession) meta(line string) bool {
 			return true
 		}
 		printRows(rows)
+	case "\\shards":
+		rows, err := s.c.Query(shardsSQL)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		printRows(rows)
 	case "\\kill":
 		id, ok := parseKillArg(fields)
 		if !ok {
@@ -505,7 +518,7 @@ func (s *remoteSession) meta(line string) bool {
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\batcher \\metrics \\queries \\active \\kill \\trace")
+		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\batcher \\metrics \\queries \\active \\shards \\kill \\trace")
 	}
 	return true
 }

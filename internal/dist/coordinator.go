@@ -25,10 +25,23 @@ import (
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/exec"
 	"indbml/internal/engine/sql"
+	"indbml/internal/engine/storage"
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
 	"indbml/internal/flight"
+	"indbml/internal/metrics"
+	"indbml/internal/trace"
 )
+
+// exchStats are the coordinator-wide scatter-gather counters, exported as
+// vectordb_exchange_* metrics and folded into the STATUS shards line.
+type exchStats struct {
+	fanouts      atomic.Int64 // distributed SELECTs planned
+	fragments    atomic.Int64 // fragment streams opened (fanouts × shards)
+	fragmentErrs atomic.Int64 // fragment open/stream failures
+	bytesIn      atomic.Int64 // row payload bytes gathered off the wire
+	rowsMerged   atomic.Int64 // rows merged through RemoteExchange
+}
 
 // Coordinator implements db.Router over a fleet of shard daemons. The
 // coordinator's own database holds the schema of every table (sharded
@@ -42,21 +55,81 @@ type Coordinator struct {
 	sharded map[string]string // lowercased table name -> shard column
 
 	tmpSeq atomic.Uint64
+	exch   exchStats
+}
+
+// fleetTables names the local system tables that get the fleet-wide
+// fan-out treatment (a leading "shard" column unioning every shard's view).
+// Everything else — including the coordinator's dist.partial_* temp tables —
+// stays local.
+var fleetTables = map[string]bool{
+	"system.queries":           true,
+	"system.active_queries":    true,
+	"system.query_operators":   true,
+	"system.statement_stats":   true,
+	"system.metrics":           true,
+	"system.inference_batches": true,
 }
 
 // New attaches a coordinator for the given shard addresses to d: it
-// installs itself as the database's router and re-registers the flight
-// recorder system tables with fleet-wide versions that union every shard's
-// view (tagged by a leading "shard" column).
+// installs itself as the database's router and installs a virtual-table
+// wrapper that upgrades the flight-recorder system tables — present and
+// future registrations alike, so the serving layer's system.metrics gets
+// wrapped even though the server attaches after the coordinator — to
+// fleet-wide versions that union every shard's view (tagged by a leading
+// "shard" column). It also registers the system.shards health table.
 func New(d *db.Database, addrs []string) *Coordinator {
 	co := &Coordinator{db: d, sharded: make(map[string]string)}
 	for i, addr := range addrs {
 		co.shards = append(co.shards, &shardPool{id: i, addr: addr})
 	}
 	d.SetRouter(co)
-	d.RegisterVirtualTable(fleetTable{co: co, local: flight.QueriesTable(d.FlightRecorder())})
-	d.RegisterVirtualTable(fleetTable{co: co, local: flight.ActiveTable(d.FlightRecorder())})
+	d.SetVirtualWrapper(co.wrapVirtual)
+	d.RegisterVirtualTable(shardsTable{co})
 	return co
+}
+
+// wrapVirtual is the registration hook: whitelisted system tables become
+// fleet-wide, already-fleet tables pass through untouched (re-registration
+// must not double-wrap).
+func (co *Coordinator) wrapVirtual(vt storage.VirtualTable) storage.VirtualTable {
+	if _, ok := vt.(fleetTable); ok {
+		return vt
+	}
+	if fleetTables[strings.ToLower(vt.Name())] {
+		return fleetTable{co: co, local: vt}
+	}
+	return vt
+}
+
+// AttachMetrics exports the exchange counters on a server registry; the
+// serving layer calls this when its database has a coordinator router.
+func (co *Coordinator) AttachMetrics(reg *metrics.Registry) {
+	reg.NewGaugeFunc("vectordb_shards", "Configured shard count behind this coordinator.",
+		func() float64 { return float64(len(co.shards)) })
+	mirror := func(name, help string, v *atomic.Int64) {
+		reg.NewGaugeFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	mirror("vectordb_exchange_fanouts_total", "Distributed SELECTs planned by the coordinator.", &co.exch.fanouts)
+	mirror("vectordb_exchange_fragments_total", "Shard fragment streams opened.", &co.exch.fragments)
+	mirror("vectordb_exchange_fragment_errors_total", "Shard fragment open/stream failures.", &co.exch.fragmentErrs)
+	mirror("vectordb_exchange_bytes_in_total", "Row payload bytes gathered from shards.", &co.exch.bytesIn)
+	mirror("vectordb_exchange_rows_merged_total", "Rows merged through RemoteExchange.", &co.exch.rowsMerged)
+}
+
+// StatusLine renders the fleet summary for the coordinator's STATUS
+// "shards:" line: configured count, live reachability, and cumulative
+// fragment traffic. Reachability is an active STATUS probe per shard.
+func (co *Coordinator) StatusLine() string {
+	reachable := 0
+	for _, p := range co.shards {
+		if p.probe() {
+			reachable++
+		}
+	}
+	return fmt.Sprintf("count=%d reachable=%d fanouts=%d fragments=%d fragment_errors=%d",
+		len(co.shards), reachable, co.exch.fanouts.Load(), co.exch.fragments.Load(),
+		co.exch.fragmentErrs.Load())
 }
 
 // Close drops the idle pooled shard connections.
@@ -308,6 +381,7 @@ func (co *Coordinator) RouteSelect(ctx context.Context, sel *sql.SelectStmt, tex
 		}
 	}
 
+	co.exch.fanouts.Add(1)
 	sources := make([]exec.RemoteSource, len(co.shards))
 	srcs := make([]*shardSource, len(co.shards))
 	for i, p := range co.shards {
@@ -318,6 +392,7 @@ func (co *Coordinator) RouteSelect(ctx context.Context, sel *sql.SelectStmt, tex
 			origin:  origin,
 			timeout: timeout,
 			ctx:     ctx,
+			stats:   &co.exch,
 		}
 		srcs[i] = src
 		sources[i] = src
@@ -456,6 +531,15 @@ func (g *gatherFinalize) Schema() *types.Schema { return g.final.Schema() }
 
 // Describe names the operator for EXPLAIN/trace output.
 func (g *gatherFinalize) Describe() string { return "RemoteExchange+Finalize" }
+
+// SetSpan implements trace.SpanCarrier: the exchange hangs its per-shard
+// source spans off s, and the finalization plan records into a "Finalize"
+// child, so a finalized distributed query renders gather and recombination
+// separately.
+func (g *gatherFinalize) SetSpan(s *trace.Span) {
+	g.ex.SetSpan(s)
+	g.final = exec.NewTraced(g.final, s.NewChild("Finalize"))
+}
 
 func (g *gatherFinalize) Open() error {
 	if err := g.ex.Open(); err != nil {

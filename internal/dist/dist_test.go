@@ -24,6 +24,7 @@ import (
 // listener address.
 type shardProc struct {
 	db   *db.Database
+	srv  *server.Server
 	addr string
 }
 
@@ -40,7 +41,7 @@ func startShard(t *testing.T, opts db.Options) *shardProc {
 	for i := 0; s.Addr() == nil && i < 100; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	return &shardProc{db: d, addr: s.Addr().String()}
+	return &shardProc{db: d, srv: s, addr: s.Addr().String()}
 }
 
 // newCluster boots n shard daemons plus a coordinator engine routed over

@@ -102,3 +102,50 @@ func (t fleetTable) appendShard(out *storage.BatchBuilder, p *shardPool, base *t
 	}
 	p.release(c, rows.Err())
 }
+
+// shardsSchema describes system.shards, the fleet health table: one row per
+// configured shard with liveness (an active STATUS probe at scan time),
+// connection-pool state, cumulative fragment traffic and the last fragment
+// error.
+var shardsSchema = types.NewSchema(
+	types.Column{Name: "shard_id", Type: types.Int32},
+	types.Column{Name: "addr", Type: types.String},
+	types.Column{Name: "reachable", Type: types.Bool},
+	types.Column{Name: "idle_conns", Type: types.Int32},
+	types.Column{Name: "fragments", Type: types.Int64},
+	types.Column{Name: "fragment_errors", Type: types.Int64},
+	types.Column{Name: "last_error", Type: types.String},
+	types.Column{Name: "last_error_age_ns", Type: types.Int64},
+)
+
+// shardsTable is the coordinator-local system.shards virtual table.
+type shardsTable struct {
+	co *Coordinator
+}
+
+func (t shardsTable) Name() string          { return "system.shards" }
+func (t shardsTable) Schema() *types.Schema { return shardsSchema }
+
+func (t shardsTable) Snapshot() ([]*vector.Batch, error) {
+	out := storage.NewBatchBuilder(shardsSchema)
+	for _, p := range t.co.shards {
+		lastErr, age, hasErr := p.lastError()
+		errDatum := types.NullDatum(types.String)
+		ageDatum := types.NullDatum(types.Int64)
+		if hasErr {
+			errDatum = types.StringDatum(lastErr)
+			ageDatum = types.Int64Datum(int64(age))
+		}
+		out.Append(
+			types.Int32Datum(int32(p.id)),
+			types.StringDatum(p.addr),
+			types.BoolDatum(p.probe()),
+			types.Int32Datum(int32(p.idleConns())),
+			types.Int64Datum(p.fragments.Load()),
+			types.Int64Datum(p.fragErrs.Load()),
+			errDatum,
+			ageDatum,
+		)
+	}
+	return out.Batches(), nil
+}

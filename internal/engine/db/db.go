@@ -95,6 +95,10 @@ type Database struct {
 
 	// router, when set, intercepts statements for distributed execution.
 	router Router
+	// virtualWrap, when set, wraps every virtual-table registration — the
+	// coordinator installs one to give local system tables fleet-wide
+	// (per-shard) fan-out. Guarded by mu.
+	virtualWrap func(storage.VirtualTable) storage.VirtualTable
 
 	opts Options
 	cpu  *device.CPU
@@ -176,12 +180,47 @@ func (d *Database) Kill(id uint64) error {
 // before serving traffic; a nil router restores purely local execution.
 func (d *Database) SetRouter(r Router) { d.router = r }
 
+// Router returns the installed statement router (nil for purely local
+// databases). Hosts interface-assert it for optional coordinator surfaces
+// (metrics attachment, fleet status).
+func (d *Database) Router() Router { return d.router }
+
+// RouterStatus returns the router's one-line fleet summary ("" when no
+// router is installed or it offers none) — the STATUS "shards:" line.
+func (d *Database) RouterStatus() string {
+	if sl, ok := d.router.(interface{ StatusLine() string }); ok {
+		return sl.StatusLine()
+	}
+	return ""
+}
+
+// SetVirtualWrapper installs a hook that wraps virtual-table registrations
+// (the coordinator uses it to give local system tables fleet-wide fan-out
+// with a shard column). Already-registered tables are re-wrapped, and every
+// later registration passes through the hook, so registration order between
+// the coordinator and the serving layer does not matter. The hook decides
+// which tables to wrap; returning its argument leaves a table local.
+func (d *Database) SetVirtualWrapper(w func(storage.VirtualTable) storage.VirtualTable) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.virtualWrap = w
+	if w == nil {
+		return
+	}
+	for name, vt := range d.virtuals {
+		d.virtuals[name] = w(vt)
+	}
+}
+
 // RegisterVirtualTable adds (or replaces) a virtual system table. The
 // engine registers system.queries, system.query_operators and
 // system.model_cache itself; hosts with a metrics registry add
 // system.metrics (the server and the embedded shell both do).
 func (d *Database) RegisterVirtualTable(vt storage.VirtualTable) {
 	d.mu.Lock()
+	if d.virtualWrap != nil {
+		vt = d.virtualWrap(vt)
+	}
 	d.virtuals[strings.ToLower(vt.Name())] = vt
 	d.mu.Unlock()
 }
@@ -593,10 +632,12 @@ func (d *Database) QueryOpTracedContext(ctx context.Context, text string) (exec.
 	return &releaseOnClose{op, qc}, qt, nil
 }
 
-// tracedRouted wraps a router-built operator tree in a one-span trace so
-// EXPLAIN ANALYZE, the slow-query log and system.active_queries progress
-// sampling work for distributed statements too. The span carries the
-// operator's own description when it offers one.
+// tracedRouted wraps a router-built operator tree in a trace so EXPLAIN
+// ANALYZE, the slow-query log and system.active_queries progress sampling
+// work for distributed statements too. The span carries the operator's own
+// description when it offers one, and operators that implement SpanCarrier
+// (RemoteExchange) get the root handed to them so they can hang per-shard
+// exchange spans — and stitched fragment subtrees — underneath it.
 func tracedRouted(rop exec.Operator, text string) (exec.Operator, *trace.QueryTrace) {
 	name := "RemoteExchange"
 	if dsc, ok := rop.(interface{ Describe() string }); ok {
@@ -604,6 +645,9 @@ func tracedRouted(rop exec.Operator, text string) (exec.Operator, *trace.QueryTr
 	}
 	qt := trace.NewQueryTrace(text)
 	qt.Root = trace.NewSpan(name)
+	if sc, ok := rop.(trace.SpanCarrier); ok {
+		sc.SetSpan(qt.Root)
+	}
 	return exec.NewTraced(rop, qt.Root), qt
 }
 
@@ -645,6 +689,10 @@ func (d *Database) queryOpRecorded(ctx context.Context, text string) (exec.Opera
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithCancel(ctx)
 		live = d.flight.Register(text, "embedded", cancel)
+		// Carry the registration in ctx so downstream consumers — the
+		// router stamping shard fragments with their origin query ID, KILL
+		// ORIGIN reaping — see the same identity the server path provides.
+		ctx = flight.WithLive(ctx, live)
 	}
 	fl := d.flight.BeginFor(live, text, "select", flight.ApproachFrom(ctx))
 	fl.SetQueueWait(flight.QueueWaitFrom(ctx))

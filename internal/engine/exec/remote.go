@@ -7,6 +7,7 @@ import (
 
 	"indbml/internal/engine/types"
 	"indbml/internal/engine/vector"
+	"indbml/internal/trace"
 )
 
 // RemoteSource is one remote engine's contribution to a RemoteExchange: a
@@ -66,6 +67,22 @@ func (e *RemoteExchange) Schema() *types.Schema { return e.schema }
 // Describe names the operator for EXPLAIN/trace output.
 func (e *RemoteExchange) Describe() string {
 	return fmt.Sprintf("RemoteExchange(%d shards)", len(e.sources))
+}
+
+// SetSpan implements trace.SpanCarrier: one child span per shard source is
+// hung off the exchange's span, and each source that can record (the dist
+// layer's shard sources) gets its child handed down. The source records
+// fan-out latency, wire bytes, first/last-row skew there, and grafts the
+// shard's own operator subtree under it when the fragment's trace trailer
+// arrives — which is how distributed EXPLAIN ANALYZE renders one stitched
+// tree.
+func (e *RemoteExchange) SetSpan(s *trace.Span) {
+	for _, src := range e.sources {
+		child := s.NewChild(src.Label())
+		if sc, ok := src.(trace.SpanCarrier); ok {
+			sc.SetSpan(child)
+		}
+	}
 }
 
 func (e *RemoteExchange) done() <-chan struct{} {

@@ -484,13 +484,13 @@ func TestOperatorsTable(t *testing.T) {
 	}
 	b := batches[0]
 	// Row 0 is the base operator row, row 1 the pruned_blocks counter.
-	if got := b.Vecs[4].Strings(); got[0] != "" || got[1] != "pruned_blocks" {
+	if got := b.Vecs[5].Strings(); got[0] != "" || got[1] != "pruned_blocks" {
 		t.Errorf("counter column = %v", got)
 	}
-	if rows := b.Vecs[6].Int64s()[0]; rows != 10 {
+	if rows := b.Vecs[7].Int64s()[0]; rows != 10 {
 		t.Errorf("base row rows = %d", rows)
 	}
-	if val := b.Vecs[8].Int64s()[1]; val != 2 {
+	if val := b.Vecs[9].Int64s()[1]; val != 2 {
 		t.Errorf("counter value = %d", val)
 	}
 }

@@ -74,6 +74,7 @@ func (t queriesTable) Snapshot() ([]*vector.Batch, error) {
 
 var operatorsSchema = types.NewSchema(
 	types.Column{Name: "query_id", Type: types.Int64},
+	types.Column{Name: "origin_qid", Type: types.Int64}, // coordinator query ID for shard fragments, 0 otherwise
 	types.Column{Name: "op_seq", Type: types.Int32},
 	types.Column{Name: "depth", Type: types.Int32},
 	types.Column{Name: "op", Type: types.String},
@@ -101,6 +102,7 @@ func (t operatorsTable) Snapshot() ([]*vector.Batch, error) {
 		for _, op := range s.Ops {
 			b.Append(
 				types.Int64Datum(int64(s.ID)),
+				types.Int64Datum(int64(s.Origin)),
 				types.Int32Datum(int32(op.Seq)),
 				types.Int32Datum(int32(op.Depth)),
 				types.StringDatum(op.Op),
@@ -113,6 +115,7 @@ func (t operatorsTable) Snapshot() ([]*vector.Batch, error) {
 			for _, c := range op.Counters {
 				b.Append(
 					types.Int64Datum(int64(s.ID)),
+					types.Int64Datum(int64(s.Origin)),
 					types.Int32Datum(int32(op.Seq)),
 					types.Int32Datum(int32(op.Depth)),
 					types.StringDatum(op.Op),

@@ -56,7 +56,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	for {
-		query, _, _, err := wire.ReadStmt(br)
+		query, _, _, _, err := wire.ReadStmt(br)
 		if err != nil {
 			if err == io.EOF {
 				return nil
@@ -152,7 +152,7 @@ func (s *Session) Query(query string) (*Rows, error) {
 		s.cur.cur.Drain()
 		s.cur = nil
 	}
-	wire.WriteStmt(s.bw, query, 0, 0)
+	wire.WriteStmt(s.bw, query, 0, 0, 0)
 	if err := s.bw.Flush(); err != nil {
 		return nil, err
 	}

@@ -59,7 +59,7 @@ func (c *Client) SetOrigin(id uint64) { c.origin = id }
 
 // send frames one statement, draining any unfinished previous cursor so
 // request and response streams stay in lock step.
-func (c *Client) send(sql string, timeout time.Duration) error {
+func (c *Client) send(sql string, timeout time.Duration, flags uint64) error {
 	if c.cur != nil {
 		c.cur.cur.Drain()
 		c.cur = nil
@@ -71,7 +71,7 @@ func (c *Client) send(sql string, timeout time.Duration) error {
 			millis = 1
 		}
 	}
-	wire.WriteStmt(c.bw, sql, millis, c.origin)
+	wire.WriteStmt(c.bw, sql, millis, c.origin, flags)
 	return c.bw.Flush()
 }
 
@@ -82,12 +82,31 @@ func (c *Client) Query(sql string) (*Rows, error) { return c.QueryTimeout(sql, 0
 // the server cancels the query mid-scan and terminates the stream with a
 // cancellation error (surfaced through Rows.Err).
 func (c *Client) QueryTimeout(sql string, timeout time.Duration) (*Rows, error) {
-	if err := c.send(sql, timeout); err != nil {
+	return c.query(sql, timeout, 0)
+}
+
+// QueryTraced issues a SELECT with StmtFlagTrace set: the server executes
+// the statement traced and appends the serialized span tree as a trailer
+// after the final row frame. The payload is available from Rows.Trace once
+// the stream finishes cleanly. The coordinator uses this on shard fragments
+// to stitch per-shard operator subtrees into distributed EXPLAIN ANALYZE.
+func (c *Client) QueryTraced(sql string) (*Rows, error) { return c.QueryTracedTimeout(sql, 0) }
+
+// QueryTracedTimeout is QueryTraced with a server-enforced deadline.
+func (c *Client) QueryTracedTimeout(sql string, timeout time.Duration) (*Rows, error) {
+	return c.query(sql, timeout, wire.StmtFlagTrace)
+}
+
+func (c *Client) query(sql string, timeout time.Duration, flags uint64) (*Rows, error) {
+	if err := c.send(sql, timeout, flags); err != nil {
 		return nil, err
 	}
 	cur, err := wire.ReadResultHeader(c.br)
 	if err != nil {
 		return nil, err
+	}
+	if flags&wire.StmtFlagTrace != 0 {
+		cur.ExpectTrace()
 	}
 	c.cur = &Rows{cur: cur}
 	return c.cur, nil
@@ -138,7 +157,7 @@ func (c *Client) KillOrigin(id uint64) error {
 }
 
 func (c *Client) command(sql string, timeout time.Duration) (string, error) {
-	if err := c.send(sql, timeout); err != nil {
+	if err := c.send(sql, timeout, 0); err != nil {
 		return "", err
 	}
 	kind, err := c.br.ReadByte()
@@ -185,6 +204,15 @@ func (r *Rows) Drain() error { return r.cur.Drain() }
 // available once the stream has finished cleanly (0 before that, or when
 // the server's recorder is disabled). It keys into system.queries.
 func (r *Rows) QueryID() uint64 { return r.cur.QueryID() }
+
+// Trace returns the serialized span tree from the MsgTrace trailer, nil
+// until a QueryTraced stream has finished cleanly. Decode it with
+// trace.DecodeSpan.
+func (r *Rows) Trace() []byte { return r.cur.Trace() }
+
+// BytesRead returns the total row payload bytes this cursor has consumed —
+// the wire-transfer cost of the result so far.
+func (r *Rows) BytesRead() int64 { return r.cur.BytesRead() }
 
 // IsOverloaded reports whether err is an admission-control fast-reject.
 func IsOverloaded(err error) bool {

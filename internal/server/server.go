@@ -158,6 +158,12 @@ func New(d *db.Database, cfg Config) *Server {
 	if sc := d.InferSched(); sc != nil {
 		sc.AttachMetrics(reg)
 	}
+	// A coordinator database exports its scatter-gather counters
+	// (vectordb_exchange_*) on the serving registry too; dist attaches its
+	// router before the server starts, so the assertion sees it.
+	if rm, ok := d.Router().(interface{ AttachMetrics(*metrics.Registry) }); ok {
+		rm.AttachMetrics(reg)
+	}
 	metrics.RegisterRuntime(reg)
 	// Expose this server's registry in-database, completing the exemplar
 	// loop: a histogram spike in system.metrics carries the query ID to
@@ -296,6 +302,7 @@ func (s *Server) StatusText() string {
 	mc := s.db.ModelCacheStats()
 	sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries = mc.Hits, mc.Misses, mc.Evictions, mc.Entries
 	sn.Batcher = s.db.InferSched().StatusLine()
+	sn.Shards = s.db.RouterStatus()
 	return sn.String()
 }
 
@@ -332,7 +339,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		} else {
 			conn.SetReadDeadline(time.Time{})
 		}
-		stmt, deadlineMillis, origin, err := wire.ReadStmt(br)
+		stmt, deadlineMillis, origin, flags, err := wire.ReadStmt(br)
 		if err != nil {
 			// EOF: client hung up. Deadline: idle timeout or drain poke.
 			// Either way the session ends; an idle-timeout gets a courtesy
@@ -352,7 +359,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		sess.stmts.Add(1)
 		sess.active.Store(true)
-		s.serveStmt(bw, sess, stmt, deadlineMillis, origin)
+		s.serveStmt(bw, sess, stmt, deadlineMillis, origin, flags)
 		sess.active.Store(false)
 		if err := bw.Flush(); err != nil {
 			return
@@ -429,7 +436,7 @@ func (s *Server) admit(ctx context.Context) (token *slotToken, wait time.Duratio
 // serveStmt dispatches one statement. STATUS, METRICS and BATCHER bypass
 // admission control so operators can observe an overloaded server; SET
 // mutates the session and touches neither the engine nor a slot.
-func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlineMillis, origin uint64) {
+func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlineMillis, origin, flags uint64) {
 	text := strings.TrimSpace(stmt)
 	upper := strings.ToUpper(text)
 	if upper == "" {
@@ -540,7 +547,7 @@ func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlin
 		s.stats.Completed.Add(1)
 		wire.WriteOK(bw, plan)
 	case strings.HasPrefix(upper, "SELECT"):
-		exemplarID = s.serveSelect(bw, ctx, text, start)
+		exemplarID = s.serveSelect(bw, ctx, text, start, flags&wire.StmtFlagTrace != 0)
 	default:
 		if err := s.db.ExecContext(ctx, text); err != nil {
 			if wire.IsCancellation(err) {
@@ -563,13 +570,19 @@ func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlin
 // slow-query log enabled the statement runs traced, so a slow or failing
 // query leaves a JSON line embedding its per-operator span tree; the
 // flight recorder independently builds traced whenever it is enabled.
-func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string, start time.Time) uint64 {
+//
+// When the client set StmtFlagTrace, the statement always runs traced and
+// a MsgTrace trailer carrying the serialized span tree follows the final
+// MsgDone — the mechanism a coordinator uses to stitch shard fragment
+// subtrees into distributed EXPLAIN ANALYZE. Error-terminated streams
+// carry no trailer.
+func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string, start time.Time, traced bool) uint64 {
 	var (
 		op  exec.Operator
 		qt  *trace.QueryTrace
 		err error
 	)
-	if s.slow != nil {
+	if traced || s.slow != nil {
 		op, qt, err = s.db.QueryOpTracedContext(ctx, text)
 	} else {
 		op, err = s.db.QueryOpContext(ctx, text)
@@ -585,6 +598,15 @@ func (s *Server) serveSelect(bw *bufio.Writer, ctx context.Context, text string,
 	}
 	rows, err := wire.StreamOperator(bw, op)
 	s.stats.RowsServed.Add(rows)
+	if traced && err == nil {
+		// StreamOperator has closed the operator, so the span totals are
+		// final; the trailer rides the same flush as MsgDone.
+		var payload []byte
+		if qt != nil && qt.Root != nil {
+			payload, _ = trace.EncodeSpan(qt.Root)
+		}
+		wire.WriteTrace(bw, payload)
+	}
 	canceled := wire.IsCancellation(err)
 	switch {
 	case err == nil:

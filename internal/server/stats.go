@@ -84,6 +84,10 @@ type Snapshot struct {
 	// Batcher is the inference scheduler's one-line summary (queue depth,
 	// in-flight batches, rolling means), or "disabled".
 	Batcher string
+
+	// Shards is the distributed coordinator's fleet summary (shard count,
+	// reachability, cumulative fragment errors); empty on non-coordinators.
+	Shards string
 }
 
 // Snapshot copies the counters.
@@ -114,6 +118,9 @@ func (sn Snapshot) String() string {
 		sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries)
 	if sn.Batcher != "" {
 		fmt.Fprintf(&sb, "batcher: %s\n", sn.Batcher)
+	}
+	if sn.Shards != "" {
+		fmt.Fprintf(&sb, "shards: %s\n", sn.Shards)
 	}
 	fmt.Fprintf(&sb, "rows_served: %d\n", sn.RowsServed)
 	writeHistLine(&sb, "latency", sn.Latency)

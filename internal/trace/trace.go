@@ -41,10 +41,11 @@ type Span struct {
 	rows    atomic.Int64
 	batches atomic.Int64
 
-	mu     sync.Mutex
-	extras []*extra          // named counters, creation-ordered
-	byName map[string]*extra // lookup for Counter
-	labels map[string]string
+	mu      sync.Mutex
+	extras  []*extra          // named counters, creation-ordered
+	byName  map[string]*extra // lookup for Counter
+	labels  map[string]string
+	adopted []*Span // grafted subtrees (remote shard fragments), mu-guarded
 }
 
 type extra struct {
@@ -63,6 +64,33 @@ func (s *Span) NewChild(name string) *Span {
 	c := NewSpan(name)
 	s.Children = append(s.Children, c)
 	return c
+}
+
+// Adopt grafts a fully-built subtree (typically a remote shard fragment's
+// decoded span tree) under s. Unlike NewChild it is safe to call while the
+// query is executing: live consumers (Progress sampling, EXPLAIN ANALYZE
+// rendering) read adopted subtrees under the same lock. The adopted tree
+// must not be mutated after the call.
+func (s *Span) Adopt(child *Span) {
+	if child == nil {
+		return
+	}
+	s.mu.Lock()
+	s.adopted = append(s.adopted, child)
+	s.mu.Unlock()
+}
+
+// adoptedSnapshot copies the adopted-subtree slice under the lock so tree
+// walkers never race with a concurrent Adopt.
+func (s *Span) adoptedSnapshot() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.adopted) == 0 {
+		return nil
+	}
+	out := make([]*Span, len(s.adopted))
+	copy(out, s.adopted)
+	return out
 }
 
 // AddWall accumulates busy time. Operators call this from Next/Open/Close
@@ -231,6 +259,9 @@ func renderSpan(sb *strings.Builder, s *Span, depth int) {
 	for _, c := range s.Children {
 		renderSpan(sb, c, depth+1)
 	}
+	for _, c := range s.adoptedSnapshot() {
+		renderSpan(sb, c, depth+1)
+	}
 }
 
 // spanJSON is the compact wire form for the slow-query log.
@@ -266,6 +297,9 @@ func (s *Span) toJSON() spanJSON {
 	}
 	s.mu.Unlock()
 	for _, c := range s.Children {
+		j.Children = append(j.Children, c.toJSON())
+	}
+	for _, c := range s.adoptedSnapshot() {
 		j.Children = append(j.Children, c.toJSON())
 	}
 	return j
@@ -317,7 +351,58 @@ func (s *Span) Stat() SpanStat {
 	for _, c := range s.Children {
 		st.Children = append(st.Children, c.Stat())
 	}
+	for _, c := range s.adoptedSnapshot() {
+		st.Children = append(st.Children, c.Stat())
+	}
 	return st
+}
+
+// EncodeSpan serializes a span subtree into the same compact JSON form the
+// slow-query log embeds. It is the payload of the wire trailer that ships a
+// shard fragment's operator tree back to the coordinator.
+func EncodeSpan(s *Span) ([]byte, error) {
+	if s == nil {
+		return nil, nil
+	}
+	return json.Marshal(s.toJSON())
+}
+
+// DecodeSpan rebuilds a span subtree from EncodeSpan output. The result is
+// a fresh, fully-owned tree: counters, labels, and totals are restored so
+// Render/Stat/toJSON on the grafted tree reproduce the remote annotations.
+func DecodeSpan(data []byte) (*Span, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var j spanJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("trace: decoding span: %w", err)
+	}
+	return spanFromJSON(&j), nil
+}
+
+func spanFromJSON(j *spanJSON) *Span {
+	s := NewSpan(j.Op)
+	s.wallNS.Store(j.WallNS)
+	s.rows.Store(j.Rows)
+	s.batches.Store(j.Batches)
+	for k, v := range j.Labels {
+		s.SetLabel(k, v)
+	}
+	// Counter order is lost through the JSON map; restore alphabetically so
+	// re-rendered annotations are deterministic.
+	names := make([]string, 0, len(j.Counters))
+	for name := range j.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Counter(name).Store(j.Counters[name])
+	}
+	for i := range j.Children {
+		s.Children = append(s.Children, spanFromJSON(&j.Children[i]))
+	}
+	return s
 }
 
 // MarshalJSON emits the compact trace record embedded in the slow-query

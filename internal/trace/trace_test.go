@@ -161,6 +161,117 @@ func TestJSONForm(t *testing.T) {
 	}
 }
 
+// TestAdoptGraftsSubtree: adopted subtrees appear in Render, Stat and the
+// JSON form after Children, and Adopt is safe against concurrent walkers —
+// the graft pattern used to stitch remote shard fragments.
+func TestAdoptGraftsSubtree(t *testing.T) {
+	qt := NewQueryTrace("SELECT * FROM t")
+	root := NewSpan("RemoteExchange")
+	qt.Root = root
+	src := root.NewChild("shard 0 (127.0.0.1:1)")
+
+	remote := NewSpan("Scan t")
+	remote.AddRows(7)
+	remote.SetLabel("cache", "hit")
+	src.Adopt(remote)
+	src.Adopt(nil) // nil graft is a no-op
+
+	out := qt.Render()
+	for _, want := range []string{"RemoteExchange", "-> shard 0", "    -> Scan t", "rows=7", "cache=hit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	st := src.Stat()
+	if len(st.Children) != 1 || st.Children[0].Name != "Scan t" || st.Children[0].Rows != 7 {
+		t.Fatalf("Stat did not include adopted subtree: %+v", st)
+	}
+	j := src.toJSON()
+	if len(j.Children) != 1 || j.Children[0].Op != "Scan t" {
+		t.Fatalf("toJSON did not include adopted subtree: %+v", j)
+	}
+
+	// Concurrent Adopt vs. concurrent Stat/Render must be race-clean (run
+	// under -race): live Progress sampling walks the tree while fragments
+	// finish and graft.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				src.Adopt(NewSpan("late"))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = src.Stat()
+				_ = qt.Render()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEncodeDecodeSpanRoundTrip: the wire-trailer serialization reproduces
+// the full subtree — totals, labels, counters, nesting — so the stitched
+// EXPLAIN ANALYZE renders remote annotations verbatim.
+func TestEncodeDecodeSpanRoundTrip(t *testing.T) {
+	root := NewSpan("Finalize")
+	root.AddWall(3 * time.Millisecond)
+	root.AddRows(100)
+	root.AddBatches(2)
+	scan := root.NewChild("Scan events")
+	scan.AddRows(1000)
+	scan.SetLabel("pruned", "3/8")
+	scan.Counter("pruned_blocks").Store(3)
+	mj := root.NewChild("ModelJoin m [cpu]")
+	mj.SetLabel("cache", "hit")
+	mj.Counter("sgemm_ns").Store(int64(250 * time.Microsecond))
+	mj.Counter("sgemm_flops").Store(1 << 20)
+
+	data, err := EncodeSpan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "Finalize" || got.Wall() != 3*time.Millisecond || got.Rows() != 100 || got.Batches() != 2 {
+		t.Fatalf("root round trip wrong: %+v", got.Stat())
+	}
+	if len(got.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(got.Children))
+	}
+	gs, gm := got.Children[0], got.Children[1]
+	if gs.Name != "Scan events" || gs.Rows() != 1000 || gs.Label("pruned") != "3/8" ||
+		gs.Counter("pruned_blocks").Load() != 3 {
+		t.Fatalf("scan child wrong: %+v", gs.Stat())
+	}
+	if gm.Label("cache") != "hit" || gm.Counter("sgemm_flops").Load() != 1<<20 {
+		t.Fatalf("modeljoin child wrong: %+v", gm.Stat())
+	}
+	// Re-rendered annotations carry the remote counters (with the _ns
+	// duration convention intact).
+	if ann := gm.annotations(); !strings.Contains(ann, "sgemm=250.0µs") || !strings.Contains(ann, "sgemm_flops=1048576") {
+		t.Fatalf("re-rendered annotations wrong: %s", ann)
+	}
+
+	// Encode/Decode of nothing are clean no-ops.
+	if b, err := EncodeSpan(nil); err != nil || b != nil {
+		t.Fatalf("EncodeSpan(nil) = %v/%v", b, err)
+	}
+	if s, err := DecodeSpan(nil); err != nil || s != nil {
+		t.Fatalf("DecodeSpan(nil) = %v/%v", s, err)
+	}
+	if _, err := DecodeSpan([]byte("{not json")); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+}
+
 // TestFmtDuration pins the compact duration format used in rendered plans.
 func TestFmtDuration(t *testing.T) {
 	cases := []struct {

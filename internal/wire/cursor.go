@@ -23,6 +23,10 @@ type Cursor struct {
 	pending uint64 // rows left in the current chunk
 	rowBuf  []byte
 	queryID uint64 // flight-recorder ID from the MsgDone terminator
+
+	expectTrace bool   // statement was sent with StmtFlagTrace
+	trace       []byte // MsgTrace trailer payload (nil until MsgDone)
+	bytesRead   int64  // total row payload bytes decoded
 }
 
 // NewCursor builds a cursor over a stream whose MsgSchema frame has
@@ -67,6 +71,20 @@ func (c *Cursor) Finished() bool { return c.done }
 // system.queries / system.query_operators.
 func (c *Cursor) QueryID() uint64 { return c.queryID }
 
+// ExpectTrace arms the cursor to consume a MsgTrace trailer after MsgDone.
+// Call it when the statement was sent with StmtFlagTrace; without it the
+// trailer frame would desynchronize the connection.
+func (c *Cursor) ExpectTrace() { c.expectTrace = true }
+
+// Trace returns the MsgTrace trailer payload (trace.EncodeSpan output),
+// nil until the stream finished cleanly or when no trailer was requested.
+func (c *Cursor) Trace() []byte { return c.trace }
+
+// BytesRead returns the total row payload bytes consumed so far — the
+// wire-transfer cost of the result, used by the coordinator to attribute
+// bytes-in per shard.
+func (c *Cursor) BytesRead() int64 { return c.bytesRead }
+
 // Next returns the next row as boxed values, or nil at end of stream.
 func (c *Cursor) Next() []any {
 	if c.done || c.err != nil {
@@ -94,6 +112,12 @@ func (c *Cursor) Next() []any {
 					return nil
 				}
 				c.queryID = qid
+				if c.expectTrace {
+					if err := c.readTrailer(); err != nil {
+						c.fail(err)
+						return nil
+					}
+				}
 				c.done = true
 				return nil
 			case MsgError:
@@ -111,6 +135,7 @@ func (c *Cursor) Next() []any {
 			c.fail(err)
 			return nil
 		}
+		c.bytesRead += int64(n)
 		if cap(c.rowBuf) < n {
 			c.rowBuf = make([]byte, n)
 		}
@@ -134,6 +159,26 @@ func (c *Cursor) Drain() error {
 	for c.Next() != nil {
 	}
 	return c.err
+}
+
+// readTrailer consumes the MsgTrace frame that follows MsgDone on traced
+// statements.
+func (c *Cursor) readTrailer() error {
+	kind, err := c.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if kind != MsgTrace {
+		return fmt.Errorf("wire: expected trace trailer, got 0x%x", kind)
+	}
+	payload, err := ReadTraceBody(c.r)
+	if err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		c.trace = payload
+	}
+	return nil
 }
 
 func (c *Cursor) fail(err error) {

@@ -22,13 +22,15 @@
 //	MsgRows    nrows (len rowbytes)×nrows
 //	MsgDone    query_id               (terminates a result stream; query_id
 //	           is the server's flight-recorder ID, 0 when disabled)
+//	MsgTrace   len json                (trailer after MsgDone when the
+//	           statement requested tracing: the serialized span tree)
 //	MsgOK      len text                (statement acknowledged, no rows)
 //	MsgError   code len text           (in-band failure, terminates stream)
 //
 // Client → server (package server only; the odbc baseline pushes one
 // result per connection and needs no requests):
 //
-//	MsgStmt    deadline_millis len sql
+//	MsgStmt    deadline_millis origin flags len sql
 //
 // A row is the concatenation of its values: TagNull, or TagText followed by
 // a little-endian uint32 length and the value formatted as text.
@@ -60,9 +62,19 @@ const (
 	MsgRows   = 0xA2
 	MsgDone   = 0xA3
 	MsgOK     = 0xA4
+	MsgTrace  = 0xA5
 	MsgError  = 0xAE
 
 	MsgStmt = 0xB1
+)
+
+// Statement flags carried on MsgStmt after the origin field.
+const (
+	// StmtFlagTrace asks the server to execute the statement traced and to
+	// append a MsgTrace trailer (the serialized span tree) after the final
+	// MsgDone. The trailer is only sent on successful streams: a stream
+	// terminated by MsgError carries no trailer.
+	StmtFlagTrace uint64 = 1 << 0
 )
 
 // Error codes carried by MsgError frames, so clients can react to overload
@@ -208,33 +220,63 @@ func ReadOKBody(r *bufio.Reader) (string, error) { return readString(r) }
 // origin is the coordinator-side query ID when this statement is a
 // distributed shard fragment (0 for ordinary clients); the receiving server
 // stamps it on its flight-recorder entry so fleet observability and
-// KILL ORIGIN can correlate fragments with the coordinator query.
-func WriteStmt(w *bufio.Writer, sql string, deadlineMillis, origin uint64) {
+// KILL ORIGIN can correlate fragments with the coordinator query. flags is
+// a bitset of StmtFlag* values.
+func WriteStmt(w *bufio.Writer, sql string, deadlineMillis, origin, flags uint64) {
 	w.WriteByte(MsgStmt)
 	WriteUvarint(w, deadlineMillis)
 	WriteUvarint(w, origin)
+	WriteUvarint(w, flags)
 	writeString(w, sql)
 }
 
 // ReadStmt reads a full MsgStmt frame including the kind byte.
-func ReadStmt(r *bufio.Reader) (sql string, deadlineMillis, origin uint64, err error) {
+func ReadStmt(r *bufio.Reader) (sql string, deadlineMillis, origin, flags uint64, err error) {
 	kind, err := r.ReadByte()
 	if err != nil {
-		return "", 0, 0, err
+		return "", 0, 0, 0, err
 	}
 	if kind != MsgStmt {
-		return "", 0, 0, fmt.Errorf("wire: expected statement frame, got 0x%x", kind)
+		return "", 0, 0, 0, fmt.Errorf("wire: expected statement frame, got 0x%x", kind)
 	}
 	deadlineMillis, err = binary.ReadUvarint(r)
 	if err != nil {
-		return "", 0, 0, err
+		return "", 0, 0, 0, err
 	}
 	origin, err = binary.ReadUvarint(r)
 	if err != nil {
-		return "", 0, 0, err
+		return "", 0, 0, 0, err
+	}
+	flags, err = binary.ReadUvarint(r)
+	if err != nil {
+		return "", 0, 0, 0, err
 	}
 	sql, err = readString(r)
-	return sql, deadlineMillis, origin, err
+	return sql, deadlineMillis, origin, flags, err
+}
+
+// WriteTrace writes a MsgTrace trailer frame carrying a serialized span
+// tree (trace.EncodeSpan output). An empty payload is legal: it means the
+// statement ran untraceable (no plan root) but the client asked for a
+// trailer, and keeps the framing deterministic.
+func WriteTrace(w *bufio.Writer, payload []byte) {
+	w.WriteByte(MsgTrace)
+	WriteUvarint(w, uint64(len(payload)))
+	w.Write(payload)
+}
+
+// ReadTraceBody parses a MsgTrace payload; the kind byte must already be
+// consumed.
+func ReadTraceBody(r *bufio.Reader) ([]byte, error) {
+	n, err := readLen(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // EncodeRow pivots one row out of the columnar batch, formatting every

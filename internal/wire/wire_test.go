@@ -108,18 +108,18 @@ func TestSchemaFrameRoundTrip(t *testing.T) {
 func TestStmtFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	WriteStmt(w, "SELECT 1", 1500, 0)
-	WriteStmt(w, "STATUS", 0, 42)
+	WriteStmt(w, "SELECT 1", 1500, 0, StmtFlagTrace)
+	WriteStmt(w, "STATUS", 0, 42, 0)
 	w.Flush()
 
 	r := bufio.NewReader(&buf)
-	sql, millis, origin, err := ReadStmt(r)
-	if err != nil || sql != "SELECT 1" || millis != 1500 || origin != 0 {
-		t.Fatalf("stmt 1 = %q/%d/%d/%v", sql, millis, origin, err)
+	sql, millis, origin, flags, err := ReadStmt(r)
+	if err != nil || sql != "SELECT 1" || millis != 1500 || origin != 0 || flags != StmtFlagTrace {
+		t.Fatalf("stmt 1 = %q/%d/%d/%d/%v", sql, millis, origin, flags, err)
 	}
-	sql, millis, origin, err = ReadStmt(r)
-	if err != nil || sql != "STATUS" || millis != 0 || origin != 42 {
-		t.Fatalf("stmt 2 = %q/%d/%d/%v", sql, millis, origin, err)
+	sql, millis, origin, flags, err = ReadStmt(r)
+	if err != nil || sql != "STATUS" || millis != 0 || origin != 42 || flags != 0 {
+		t.Fatalf("stmt 2 = %q/%d/%d/%d/%v", sql, millis, origin, flags, err)
 	}
 }
 
@@ -150,16 +150,121 @@ func TestErrorAndOKFrames(t *testing.T) {
 	}
 }
 
+// writeRowStream emits a complete result stream (schema, one row chunk,
+// MsgDone) for the test schema, returning the encoded row length.
+func writeRowStream(t *testing.T, w *bufio.Writer, qid uint64) int {
+	t.Helper()
+	schema := testSchema()
+	b := vector.NewBatch(schema, 1)
+	if err := b.AppendRow(
+		types.Int64Datum(1), types.Int32Datum(2), types.Float32Datum(3),
+		types.Float64Datum(4), types.StringDatum("five"), types.BoolDatum(true),
+	); err != nil {
+		t.Fatal(err)
+	}
+	WriteSchema(w, schema)
+	enc := EncodeRow(nil, b, 0)
+	w.WriteByte(MsgRows)
+	WriteUvarint(w, 1)
+	WriteUvarint(w, uint64(len(enc)))
+	w.Write(enc)
+	w.WriteByte(MsgDone)
+	WriteUvarint(w, qid)
+	return len(enc)
+}
+
+// TestCursorTraceTrailer: an armed cursor consumes the MsgTrace trailer
+// after MsgDone, exposes its payload, and leaves the reader positioned at
+// the next result; row payload bytes are accounted in BytesRead.
+func TestCursorTraceTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	rowLen := writeRowStream(t, w, 7)
+	WriteTrace(w, []byte(`{"op":"Scan t"}`))
+	WriteOK(w, "next result") // proves the trailer was fully consumed
+	w.Flush()
+
+	r := bufio.NewReader(&buf)
+	cur, err := ReadResultHeader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.ExpectTrace()
+	if cur.Next() == nil {
+		t.Fatalf("no row: %v", cur.Err())
+	}
+	if cur.Next() != nil || cur.Err() != nil {
+		t.Fatalf("stream did not end cleanly: %v", cur.Err())
+	}
+	if cur.QueryID() != 7 {
+		t.Errorf("query id = %d", cur.QueryID())
+	}
+	if got := string(cur.Trace()); got != `{"op":"Scan t"}` {
+		t.Errorf("trace payload = %q", got)
+	}
+	if cur.BytesRead() != int64(rowLen) {
+		t.Errorf("bytes read = %d, want %d", cur.BytesRead(), rowLen)
+	}
+	kind, _ := r.ReadByte()
+	if kind != MsgOK {
+		t.Fatalf("reader desynchronized after trailer: next kind = 0x%x", kind)
+	}
+}
+
+// TestCursorEmptyTraceTrailer: a traced statement whose server produced no
+// span tree ships an empty trailer; the cursor reports nil.
+func TestCursorEmptyTraceTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	writeRowStream(t, w, 0)
+	WriteTrace(w, nil)
+	w.Flush()
+
+	cur, err := ReadResultHeader(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.ExpectTrace()
+	if err := cur.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Trace() != nil {
+		t.Errorf("trace = %q, want nil", cur.Trace())
+	}
+}
+
+// TestCursorUnarmedIgnoresTrailer: without ExpectTrace the cursor stops at
+// MsgDone — the trailer protocol only engages when the statement asked for
+// it, so untraced streams never pay the extra read.
+func TestCursorUnarmedIgnoresTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	writeRowStream(t, w, 0)
+	w.Flush()
+
+	cur, err := ReadResultHeader(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Trace() != nil {
+		t.Error("unarmed cursor surfaced a trace")
+	}
+}
+
 func TestFrameLengthLimit(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
 	w.WriteByte(MsgStmt)
 	WriteUvarint(w, 0)             // deadline
 	WriteUvarint(w, 0)             // origin
+	WriteUvarint(w, 0)             // flags
 	WriteUvarint(w, maxFrameLen+1) // hostile length, no payload follows
 	w.Flush()
 
-	if _, _, _, err := ReadStmt(bufio.NewReader(&buf)); err == nil {
+	if _, _, _, _, err := ReadStmt(bufio.NewReader(&buf)); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 }

@@ -72,6 +72,11 @@ type scaleoutBenchReport struct {
 	// reported fragment rows (origin_qid) for one distributed query, via
 	// the coordinator's fleet system.queries view.
 	FragmentShards int `json:"fragment_shards"`
+	// TraceOverheadDist8C is (untraced QPS - traced QPS) / untraced QPS for
+	// the distributed 8-client cell: the cost of full distributed tracing —
+	// traced shard fragments, span-tree trailers on every fragment stream,
+	// coordinator-side stitching. Budget: <= 2%.
+	TraceOverheadDist8C float64 `json:"trace_overhead_dist_8c,omitempty"`
 }
 
 func scaleoutOptions() db.Options {
@@ -128,7 +133,7 @@ func scaleoutSeed(b *testing.B, d *db.Database, ddlSuffix string) {
 
 // scaleoutDrive hammers the server with the serving workload and returns
 // the measured cell.
-func scaleoutDrive(b *testing.B, addr, name string, clients int) servingCell {
+func scaleoutDrive(b *testing.B, addr, name string, clients int, traced bool) servingCell {
 	b.Helper()
 	query := "SELECT COUNT(*) AS n, AVG(prediction) AS p FROM ev MODEL JOIN scale_model PREDICT (f1, f2, f3, f4) USING DEVICE 'gpu'"
 	conns := make([]*client.Client, clients)
@@ -141,11 +146,25 @@ func scaleoutDrive(b *testing.B, addr, name string, clients int) servingCell {
 		conns[i] = c
 	}
 	oneQuery := func(c *client.Client) error {
-		rows, err := c.Query(query)
+		var rows *client.Rows
+		var err error
+		if traced {
+			// The traced path ships the full span tree back in the wire
+			// trailer (and, distributed, traces every shard fragment too).
+			rows, err = c.QueryTraced(query)
+		} else {
+			rows, err = c.Query(query)
+		}
 		if err != nil {
 			return err
 		}
-		return rows.Drain()
+		if err := rows.Drain(); err != nil {
+			return err
+		}
+		if traced && rows.Trace() == nil {
+			return fmt.Errorf("traced statement returned no span-tree trailer")
+		}
+		return nil
 	}
 	// Warm model artifact caches so measured queries share built models.
 	for _, c := range conns {
@@ -238,7 +257,7 @@ func BenchmarkScaleoutModelJoin(b *testing.B) {
 		d := db.Open(scaleoutOptions())
 		scaleoutSeed(b, d, "")
 		s := scaleoutServer(b, d)
-		record(scaleoutDrive(b, s.Addr().String(), "single_8c", scaleoutClients))
+		record(scaleoutDrive(b, s.Addr().String(), "single_8c", scaleoutClients, false))
 	})
 
 	b.Run(fmt.Sprintf("dist%d/8-clients", scaleoutShards), func(b *testing.B) {
@@ -256,7 +275,7 @@ func BenchmarkScaleoutModelJoin(b *testing.B) {
 		if err := co.ReplicateModel(context.Background(), "scale_model"); err != nil {
 			b.Fatal(err)
 		}
-		record(scaleoutDrive(b, s.Addr().String(), fmt.Sprintf("dist%d_8c", scaleoutShards), scaleoutClients))
+		record(scaleoutDrive(b, s.Addr().String(), fmt.Sprintf("dist%d_8c", scaleoutShards), scaleoutClients, false))
 
 		// Fleet observability: the coordinator's system.queries view must
 		// show fragment rows on every shard for the distributed queries
@@ -273,6 +292,28 @@ func BenchmarkScaleoutModelJoin(b *testing.B) {
 		}
 	})
 
+	// The paired traced cell: the identical distributed workload with full
+	// distributed tracing on every statement — traced shard fragments,
+	// span-tree trailers, coordinator stitching. Its QPS against the
+	// untraced distributed cell is the measured tracing overhead.
+	b.Run(fmt.Sprintf("dist%d/8-clients-traced", scaleoutShards), func(b *testing.B) {
+		addrs := make([]string, scaleoutShards)
+		for i := range addrs {
+			sh := db.Open(scaleoutOptions())
+			addrs[i] = scaleoutServer(b, sh).Addr().String()
+		}
+		coord := db.Open(scaleoutOptions())
+		co := dist.New(coord, addrs)
+		b.Cleanup(co.Close)
+		s := scaleoutServer(b, coord)
+
+		scaleoutSeed(b, coord, " SHARD BY (id)")
+		if err := co.ReplicateModel(context.Background(), "scale_model"); err != nil {
+			b.Fatal(err)
+		}
+		record(scaleoutDrive(b, s.Addr().String(), fmt.Sprintf("dist%d_8c_traced", scaleoutShards), scaleoutClients, true))
+	})
+
 	find := func(name string) *servingCell {
 		for i := range report.Cells {
 			if report.Cells[i].Name == name {
@@ -285,6 +326,10 @@ func BenchmarkScaleoutModelJoin(b *testing.B) {
 	dst := find(fmt.Sprintf("dist%d_8c", scaleoutShards))
 	if single != nil && dst != nil && single.QPS > 0 {
 		report.SpeedupDistVsSingle8C = dst.QPS / single.QPS
+	}
+	traced := find(fmt.Sprintf("dist%d_8c_traced", scaleoutShards))
+	if dst != nil && traced != nil && dst.QPS > 0 {
+		report.TraceOverheadDist8C = (dst.QPS - traced.QPS) / dst.QPS
 	}
 	if len(report.Cells) == 0 {
 		return

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Distributed-tracing smoke test: boot three shard daemons plus a
+# coordinator, run EXPLAIN ANALYZE on a sharded MODEL JOIN through the real
+# shell, and assert the stitched output shows (a) one exchange source span
+# per shard with the fan-out/skew counters (fanout_connect, first_row,
+# last_row, wire_bytes_in), (b) each shard's grafted operator subtree with
+# the ModelJoin phase detail (cache verdict, sgemm time), and (c) the
+# fleet-wide system.query_operators view carrying shard-attributed rows.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_PORT=${DIST_TRACE_SMOKE_PORT:-54360}
+COORD=127.0.0.1:$BASE_PORT
+S1=127.0.0.1:$((BASE_PORT + 1))
+S2=127.0.0.1:$((BASE_PORT + 2))
+S3=127.0.0.1:$((BASE_PORT + 3))
+BIN=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/vectordbd" ./cmd/vectordbd
+go build -o "$BIN/vectordb" ./cmd/vectordb
+
+for a in "$S1" "$S2" "$S3"; do
+    "$BIN/vectordbd" -addr "$a" &
+    PIDS+=($!)
+done
+
+wait_up() {
+    for _ in $(seq 1 50); do
+        if "$BIN/vectordb" -connect "$1" </dev/null >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "dist-trace-smoke: daemon never came up on $1" >&2
+    exit 1
+}
+for a in "$S1" "$S2" "$S3"; do wait_up "$a"; done
+
+"$BIN/vectordbd" -addr "$COORD" -demo -shards "$S1,$S2,$S3" &
+PIDS+=($!)
+wait_up "$COORD"
+
+INSERT=$(python3 - <<'PY' 2>/dev/null || awk 'BEGIN{
+    printf "INSERT INTO ev VALUES "
+    for (i = 0; i < 600; i++) printf "%s(%d, %g, %g)", (i ? ", " : ""), i, i * 0.5, i * 0.25
+    print ";"
+}'
+rows = ", ".join(f"({i}, {i*0.5}, {i*0.25})" for i in range(600))
+print(f"INSERT INTO ev VALUES {rows};")
+PY
+)
+
+OUT=$("$BIN/vectordb" -connect "$COORD" <<EOF
+CREATE TABLE ev (id INTEGER, x DOUBLE, y DOUBLE) SHARD BY (id);
+$INSERT
+EXPLAIN ANALYZE SELECT COUNT(*) AS n, AVG(prediction_0) AS p FROM ev MODEL JOIN iris_model PREDICT (x, y, x, y);
+SELECT COUNT(*) AS shard_op_rows FROM system.query_operators WHERE shard <> 'coordinator' AND origin_qid > 0;
+\q
+EOF
+)
+echo "$OUT"
+
+# One stitched tree: every shard's exchange source span is present...
+for i in 0 1 2; do
+    echo "$OUT" | grep -q "shard $i (" || {
+        echo "dist-trace-smoke: stitched plan missing the shard $i source span" >&2
+        exit 1
+    }
+done
+# ...carrying the fan-out and straggler-skew counters...
+for c in fanout_connect first_row last_row wire_bytes_in; do
+    echo "$OUT" | grep -q "$c=" || {
+        echo "dist-trace-smoke: exchange source spans missing the $c counter" >&2
+        exit 1
+    }
+done
+# ...with each shard's grafted subtree exposing the ModelJoin phase detail.
+echo "$OUT" | grep -q 'ModelJoin' || {
+    echo "dist-trace-smoke: no shard-side ModelJoin span in the stitched plan" >&2
+    exit 1
+}
+echo "$OUT" | grep -q 'cache=' || {
+    echo "dist-trace-smoke: no model-cache verdict in the stitched plan" >&2
+    exit 1
+}
+echo "$OUT" | grep -q 'sgemm' || {
+    echo "dist-trace-smoke: no sgemm timing in the stitched plan" >&2
+    exit 1
+}
+# The fleet operators view has shard-attributed rows for the fragments.
+OPROWS=$(echo "$OUT" | awk '/shard_op_rows/{getline; print $1; exit}')
+[ -n "$OPROWS" ] && [ "$OPROWS" -ge 3 ] || {
+    echo "dist-trace-smoke: fleet system.query_operators shows $OPROWS shard rows, want >= 3" >&2
+    exit 1
+}
+echo "dist-trace-smoke OK: 3 shard subtrees stitched, skew counters present, $OPROWS fleet operator rows"
