@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke stats-smoke shard-smoke dist-trace-smoke examples experiments experiments-paper clean
+.PHONY: all build test race vet bench trace-smoke flight-smoke batch-smoke stats-smoke shard-smoke dist-trace-smoke alert-smoke examples experiments experiments-paper clean
 
 all: build vet test
 
@@ -12,8 +12,10 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# surface in CI instead of in production.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The serving layer is concurrency-heavy; run the whole suite under the
 # race detector.
@@ -62,6 +64,12 @@ stats-smoke:
 # MODEL JOIN results and the fleet system.queries view's fragment rows.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# End-to-end alert smoke: boot vectordbd with a fast telemetry tick and a
+# low-threshold -alert rule, drive traffic until \alerts shows it firing,
+# quiesce, and assert it resolves with both transitions in the JSON log.
+alert-smoke:
+	./scripts/alert_smoke.sh
 
 # End-to-end distributed-tracing smoke: boot a 3-shard cluster, run EXPLAIN
 # ANALYZE on a sharded MODEL JOIN, assert the stitched per-shard subtrees,

@@ -13,7 +13,8 @@
 //	\demo                                  load a small iris demo setup (embedded mode)
 //	\status                                server stats snapshot (-connect mode)
 //	\batcher                               inference batching scheduler report
-//	\metrics                               metrics page (shell-local or server registry)
+//	\metrics [prefix]                      metrics page (shell-local or server registry), optionally filtered
+//	\alerts                                alert rules and live state from system.alerts
 //	\queries                               recent statements from system.queries
 //	\active                                in-flight statements from system.active_queries
 //	\shards                                fleet health from system.shards (-connect mode)
@@ -43,6 +44,7 @@ import (
 	"indbml/internal/engine/db"
 	"indbml/internal/engine/vector"
 	"indbml/internal/flight"
+	"indbml/internal/telemetry"
 	"indbml/internal/metrics"
 	"indbml/internal/nn"
 	"indbml/internal/server/client"
@@ -137,6 +139,7 @@ type localSession struct {
 	// without a server: statement latency plus model-cache effectiveness.
 	reg     *metrics.Registry
 	latency *metrics.Histogram
+	tel     *telemetry.Sampler
 }
 
 func newLocalSession(d *db.Database) *localSession {
@@ -157,6 +160,14 @@ func newLocalSession(d *db.Database) *localSession {
 	// Expose the shell-local registry as system.metrics so the same SQL
 	// drill-down workflow works without a server.
 	d.RegisterVirtualTable(flight.MetricsTable(reg))
+	// And sample it, so CREATE ALERT / \alerts / system.metrics_history
+	// work in the embedded shell too.
+	s.tel = telemetry.New(reg, telemetry.Config{})
+	d.SetAlertEngine(s.tel.Alerts())
+	d.RegisterVirtualTable(telemetry.HistoryTable(s.tel))
+	d.RegisterVirtualTable(telemetry.LatencyTable(s.tel))
+	d.RegisterVirtualTable(telemetry.AlertsTable(s.tel))
+	s.tel.Start()
 	return s
 }
 
@@ -175,6 +186,20 @@ const activeSQL = "SELECT query_id, session, state, elapsed_ns, rows_scanned, ph
 const shardsSQL = "SELECT shard_id, addr, reachable, idle_conns, fragments, fragment_errors, last_error " +
 	"FROM system.shards ORDER BY shard_id"
 
+// alertsSQL is what \alerts runs: every declared rule with its live state
+// (fleet-wide with a shard column when connected to a coordinator).
+const alertsSQL = "SELECT name, state, value, threshold, fired_count, expr " +
+	"FROM system.alerts ORDER BY name"
+
+// metricsPrefixArg extracts the optional name-prefix filter from
+// "\metrics [prefix]" ("" = full page).
+func metricsPrefixArg(fields []string) string {
+	if len(fields) > 1 {
+		return fields[1]
+	}
+	return ""
+}
+
 // parseKillArg extracts the query ID from "\kill <id>", reporting usage
 // errors itself; ok is false when nothing should be killed.
 func parseKillArg(fields []string) (uint64, bool) {
@@ -190,7 +215,11 @@ func parseKillArg(fields []string) (uint64, bool) {
 	return id, true
 }
 
-func (s *localSession) close() {}
+func (s *localSession) close() {
+	if s.tel != nil {
+		s.tel.Stop()
+	}
+}
 
 func (s *localSession) runSQL(text string) {
 	start := time.Now()
@@ -298,7 +327,14 @@ func (s *localSession) meta(line string) bool {
 		fmt.Printf("model cache: hits=%d misses=%d evictions=%d entries=%d\n",
 			st.Hits, st.Misses, st.Evictions, st.Entries)
 	case "\\metrics":
-		fmt.Print(s.reg.Text())
+		fmt.Print(s.reg.TextFiltered(metricsPrefixArg(fields)))
+	case "\\alerts":
+		res, err := s.d.Query(alertsSQL)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		printResult(res)
 	case "\\batcher":
 		fmt.Print(d.InferSched().StatsText())
 	case "\\queries":
@@ -328,7 +364,7 @@ func (s *localSession) meta(line string) bool {
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\batcher \\metrics \\queries \\active \\kill \\trace")
+		fmt.Println("unknown meta command; available: \\q \\tables \\demo \\load-model \\costs \\cache \\batcher \\metrics \\alerts \\queries \\active \\kill \\trace")
 	}
 	return true
 }
@@ -471,12 +507,19 @@ func (s *remoteSession) meta(line string) bool {
 		}
 		fmt.Println(out)
 	case "\\metrics":
-		out, err := s.c.Metrics()
+		out, err := s.c.MetricsFiltered(metricsPrefixArg(fields))
 		if err != nil {
 			fmt.Println("error:", err)
 			return true
 		}
 		fmt.Print(out)
+	case "\\alerts":
+		rows, err := s.c.Query(alertsSQL)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		printRows(rows)
 	case "\\batcher":
 		out, err := s.c.Batcher()
 		if err != nil {
@@ -518,7 +561,7 @@ func (s *remoteSession) meta(line string) bool {
 	case "\\trace":
 		s.traceOn = parseTraceArg(fields, s.traceOn)
 	default:
-		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\batcher \\metrics \\queries \\active \\shards \\kill \\trace")
+		fmt.Println("unknown meta command; available in -connect mode: \\q \\status \\batcher \\metrics \\alerts \\queries \\active \\shards \\kill \\trace")
 	}
 	return true
 }

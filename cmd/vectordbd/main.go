@@ -52,6 +52,10 @@ func main() {
 	slowLogPath := flag.String("slow-query-log", "", "append slow-query JSON lines to this file ('-' = stderr, empty = disabled)")
 	slowThreshold := flag.Duration("slow-query-threshold", 500*time.Millisecond, "log statements slower than this (errors and cancellations are always logged)")
 	shards := flag.String("shards", "", "comma-separated shard daemon addresses; when set, this daemon runs as the fleet coordinator")
+	telemetryInterval := flag.Duration("telemetry-interval", 0, "metrics-history sampling tick (0 = default 1s, negative = disabled)")
+	alertLogPath := flag.String("alert-log", "", "append alert-transition JSON lines to this file ('-' = stderr, empty = disabled)")
+	var alertRules multiFlag
+	flag.Var(&alertRules, "alert", "declare an alert rule at startup, e.g. 'hot_p99 ON p99(vectordb_statement_seconds) > 0.5 FOR 30s' (repeatable)")
 	gpuPace := flag.Bool("gpu-pace", false, "pace the simulated GPU: operations occupy their modeled time (for honest multi-process scaling experiments)")
 	gpuGemm := flag.Float64("gpu-gemm-throughput", 0, "override the simulated GPU matrix-multiply rate in FLOP/s (0 = default)")
 	flag.Parse()
@@ -100,19 +104,8 @@ func main() {
 		}
 	}
 
-	var slowLog io.Writer
-	switch *slowLogPath {
-	case "":
-	case "-":
-		slowLog = os.Stderr
-	default:
-		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			log.Fatalf("vectordbd: opening slow-query log: %v", err)
-		}
-		defer f.Close()
-		slowLog = f
-	}
+	slowLog := openLogSink(*slowLogPath, "slow-query log")
+	alertLog := openLogSink(*alertLogPath, "alert log")
 
 	s := server.New(d, server.Config{
 		QuerySlots:         *slots,
@@ -122,8 +115,20 @@ func main() {
 		MaxQueryDuration:   *maxQuery,
 		SlowQueryLog:       slowLog,
 		SlowQueryThreshold: *slowThreshold,
+		TelemetryInterval:  *telemetryInterval,
+		AlertLog:           alertLog,
 	})
 
+	// -alert rules run through the full CREATE ALERT path, so a coordinator
+	// broadcasts them to its shards exactly like SQL-declared ones.
+	for _, rule := range alertRules {
+		if err := d.Exec("CREATE ALERT " + rule); err != nil {
+			log.Fatalf("vectordbd: -alert %q: %v", rule, err)
+		}
+		log.Printf("alert rule installed: %s", rule)
+	}
+
+	var metricsSrv *http.Server
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", s.Metrics().Handler())
@@ -134,8 +139,9 @@ func main() {
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		}
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("vectordbd: metrics listener: %v", err)
 			}
 		}()
@@ -158,10 +164,52 @@ func main() {
 		log.Printf("received %s; draining (budget %s)", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := s.Shutdown(ctx); err != nil {
+		err := s.Shutdown(ctx)
+		// The wire listener is down; close the metrics port too so drain
+		// leaves nothing serving (it previously leaked past shutdown).
+		shutdownMetrics(ctx, metricsSrv)
+		if err != nil {
 			log.Printf("drain budget exceeded; in-flight queries canceled: %v", err)
 			os.Exit(1)
 		}
 		log.Printf("drained cleanly")
+	}
+}
+
+// multiFlag collects a repeatable string flag (-alert can be given once per
+// rule).
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// openLogSink resolves a log-path flag: "" = disabled, "-" = stderr,
+// anything else = append to that file.
+func openLogSink(path, what string) io.Writer {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return os.Stderr
+	default:
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("vectordbd: opening %s: %v", what, err)
+		}
+		return f
+	}
+}
+
+// shutdownMetrics gracefully stops the -metrics-addr HTTP server within
+// the remaining drain budget, force-closing if that expires.
+func shutdownMetrics(ctx context.Context, srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
 	}
 }

@@ -69,6 +69,9 @@ var fleetTables = map[string]bool{
 	"system.statement_stats":   true,
 	"system.metrics":           true,
 	"system.inference_batches": true,
+	"system.metrics_history":   true,
+	"system.latency_history":   true,
+	"system.alerts":            true,
 }
 
 // New attaches a coordinator for the given shard addresses to d: it
@@ -214,6 +217,14 @@ func (co *Coordinator) RouteExec(ctx context.Context, stmt sql.Stmt, text string
 		delete(co.sharded, strings.ToLower(s.Name))
 		co.mu.Unlock()
 		return true, nil
+	case *sql.CreateAlertStmt, *sql.DropAlertStmt:
+		// Alert DDL is broadcast like other DDL: every shard evaluates its
+		// own copy against its own telemetry, and the fleet system.alerts
+		// view shows per-shard state under the shard column.
+		if err := co.db.ExecStmtLocal(stmt); err != nil {
+			return true, err
+		}
+		return true, co.broadcast(ctx, text)
 	default:
 		// KILL and friends stay local; RemoteExchange teardown propagates
 		// cancellation to shard fragments.

@@ -1,0 +1,152 @@
+package dist_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"indbml/internal/dist"
+	"indbml/internal/engine/db"
+	"indbml/internal/metrics"
+	"indbml/internal/server"
+	"indbml/internal/telemetry"
+)
+
+// Fleet telemetry end-to-end: a coordinator over three shard daemons, each
+// node running its own sampler, with CREATE ALERT broadcast to every shard
+// and the fleet system.alerts / system.metrics_history views unioning all
+// four nodes under a leading shard column.
+
+// startTelemetryShard boots a shard daemon with a fast sampling tick (the
+// stock startShard hardcodes a config without telemetry).
+func startTelemetryShard(t *testing.T, opts db.Options, tick time.Duration) *shardProc {
+	t.Helper()
+	d := db.Open(opts)
+	s := server.New(d, server.Config{
+		QuerySlots: 4, QueueDepth: 32, IdleTimeout: time.Minute,
+		TelemetryInterval: tick,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	for i := 0; s.Addr() == nil && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	return &shardProc{db: d, srv: s, addr: s.Addr().String()}
+}
+
+func TestFleetAlertsAndHistory(t *testing.T) {
+	const tick = 25 * time.Millisecond
+	opts := db.Options{DefaultPartitions: 2, Parallelism: 2}
+	const n = 3
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = startTelemetryShard(t, opts, tick).addr
+	}
+	coord := db.Open(opts)
+	co := dist.New(coord, addrs)
+	t.Cleanup(co.Close)
+
+	// The coordinator engine has no serving layer in this test, so attach
+	// its sampler by hand — after dist.New, so the virtual-table wrapper
+	// upgrades the history/alert tables to fleet-wide views.
+	reg := metrics.NewRegistry()
+	metrics.RegisterRuntime(reg)
+	tel := telemetry.New(reg, telemetry.Config{Interval: tick})
+	coord.SetAlertEngine(tel.Alerts())
+	coord.RegisterVirtualTable(telemetry.HistoryTable(tel))
+	coord.RegisterVirtualTable(telemetry.LatencyTable(tel))
+	coord.RegisterVirtualTable(telemetry.AlertsTable(tel))
+	tel.Start()
+	t.Cleanup(tel.Stop)
+
+	// Deterministic rule: uptime is positive on every node from the first
+	// tick, and FOR defaults to 0, so all four nodes fire immediately.
+	if err := coord.Exec("CREATE ALERT up ON vectordb_uptime_seconds > 0"); err != nil {
+		t.Fatalf("CREATE ALERT on coordinator: %v", err)
+	}
+
+	// Shard labels render as "shard <i> (<addr>)"; normalize to the stable
+	// prefix so expectations don't depend on ephemeral ports.
+	wantShards := map[string]bool{"coordinator": true}
+	for i := 0; i < n; i++ {
+		wantShards[fmt.Sprintf("shard %d", i)] = true
+	}
+	normalize := func(label string) string {
+		if i := strings.Index(label, " ("); i >= 0 {
+			return label[:i]
+		}
+		return label
+	}
+
+	// Poll the fleet view until every node reports the broadcast rule
+	// firing under its own shard label.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		firing := map[string]bool{}
+		b, err := coord.Query("SELECT shard, name, state FROM system.alerts WHERE name = 'up' AND state = 'firing'")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < b.Len(); r++ {
+			firing[normalize(b.Vecs[0].Datum(r).S)] = true
+		}
+		missing := 0
+		for sh := range wantShards {
+			if !firing[sh] {
+				missing++
+			}
+		}
+		if missing == 0 {
+			for sh := range firing {
+				if !wantShards[sh] {
+					t.Errorf("unexpected shard label %q in fleet system.alerts", sh)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet alert never fired on all nodes; firing on %v, want %v", firing, wantShards)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The fleet history view attributes every sampled series to its node.
+	sawHistory := map[string]bool{}
+	b, err := coord.Query("SELECT shard, metric FROM system.metrics_history WHERE metric = 'vectordb_uptime_seconds'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < b.Len(); r++ {
+		sawHistory[normalize(b.Vecs[0].Datum(r).S)] = true
+	}
+	for sh := range wantShards {
+		if !sawHistory[sh] {
+			t.Errorf("fleet system.metrics_history has no rows for %q", sh)
+		}
+	}
+
+	// DROP ALERT broadcasts too: the rule disappears fleet-wide.
+	if err := coord.Exec("DROP ALERT up"); err != nil {
+		t.Fatalf("DROP ALERT on coordinator: %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		b, err := coord.Query("SELECT shard FROM system.alerts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet system.alerts still has %d rows after DROP ALERT", b.Len())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

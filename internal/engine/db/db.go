@@ -110,6 +110,30 @@ type Database struct {
 	flight *flight.Recorder
 	// sched is the batched inference scheduler; nil when disabled.
 	sched *infersched.Scheduler
+	// alerts, when set, receives CREATE/DROP ALERT DDL — the telemetry
+	// sampler's rule set, wired in by the hosting server. Guarded by mu.
+	alerts AlertEngine
+}
+
+// AlertEngine receives SQL-declared alert rules. Implemented by
+// telemetry.AlertSet; an interface here keeps the engine facade free of a
+// telemetry dependency (same direction as the flight recorder wiring).
+type AlertEngine interface {
+	CreateAlert(stmt *sql.CreateAlertStmt) error
+	DropAlert(name string) error
+}
+
+// SetAlertEngine wires CREATE/DROP ALERT statements to an alert rule set.
+func (d *Database) SetAlertEngine(e AlertEngine) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.alerts = e
+}
+
+func (d *Database) alertEngine() AlertEngine {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.alerts
 }
 
 // Open creates an empty database.
@@ -873,6 +897,16 @@ func (d *Database) execStmt(stmt sql.Stmt) error {
 			return nil
 		}
 		return d.Kill(s.ID)
+	case *sql.CreateAlertStmt:
+		if e := d.alertEngine(); e != nil {
+			return e.CreateAlert(s)
+		}
+		return fmt.Errorf("db: CREATE ALERT requires telemetry (disabled on this node)")
+	case *sql.DropAlertStmt:
+		if e := d.alertEngine(); e != nil {
+			return e.DropAlert(s.Name)
+		}
+		return fmt.Errorf("db: DROP ALERT requires telemetry (disabled on this node)")
 	default:
 		return fmt.Errorf("db: Exec does not handle %T; use Query for SELECT", stmt)
 	}
@@ -893,6 +927,10 @@ func execKind(stmt sql.Stmt) string {
 		return "drop"
 	case *sql.KillStmt:
 		return "kill"
+	case *sql.CreateAlertStmt:
+		return "create_alert"
+	case *sql.DropAlertStmt:
+		return "drop_alert"
 	default:
 		return "exec"
 	}

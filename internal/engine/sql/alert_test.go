@@ -1,0 +1,89 @@
+package sql
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseCreateAlert(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CreateAlertStmt
+	}{
+		{"CREATE ALERT hot ON queue_depth > 5 FOR 2s",
+			CreateAlertStmt{Name: "hot", Metric: "queue_depth", Op: ">", Threshold: 5, For: 2 * time.Second}},
+		{"create alert qps on rate(reqs_total) >= 0.5 for 500ms",
+			CreateAlertStmt{Name: "qps", Fn: "rate", Metric: "reqs_total", Op: ">=", Threshold: 0.5, For: 500 * time.Millisecond}},
+		{"CREATE ALERT slow ON p99(vectordb_statement_seconds) > 0.25 FOR 1m30s",
+			CreateAlertStmt{Name: "slow", Fn: "p99", Metric: "vectordb_statement_seconds", Op: ">", Threshold: 0.25, For: 90 * time.Second}},
+		{"CREATE ALERT mid ON P50(lat) <= -1.5",
+			CreateAlertStmt{Name: "mid", Fn: "p50", Metric: "lat", Op: "<=", Threshold: -1.5}},
+		{"CREATE ALERT s ON x < 3 FOR '2h45m'",
+			CreateAlertStmt{Name: "s", Metric: "x", Op: "<", Threshold: 3, For: 2*time.Hour + 45*time.Minute}},
+		{"CREATE ALERT bare ON x > 1 FOR 2;", // bare number = seconds
+			CreateAlertStmt{Name: "bare", Metric: "x", Op: ">", Threshold: 1, For: 2 * time.Second}},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		got, ok := stmt.(*CreateAlertStmt)
+		if !ok {
+			t.Errorf("Parse(%q) = %T, want *CreateAlertStmt", c.in, stmt)
+			continue
+		}
+		if *got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, *got, c.want)
+		}
+	}
+}
+
+func TestParseCreateAlertErrors(t *testing.T) {
+	bad := []string{
+		"CREATE ALERT",                            // no name
+		"CREATE ALERT a queue_depth > 5",          // missing ON
+		"CREATE ALERT a ON avg(x) > 5",            // unknown function
+		"CREATE ALERT a ON x ! 5",                 // bad operator
+		"CREATE ALERT a ON x > bananas",           // non-numeric threshold
+		"CREATE ALERT a ON x > 5 FOR -3s",         // negative duration
+		"CREATE ALERT a ON x > 5 FOR 'bogus'",     // unparsable duration
+		"CREATE ALERT a ON rate(x > 5",            // unclosed paren
+		"CREATE ALERT a ON x > 5 trailing_extras", // trailing input
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): want error", q)
+		}
+	}
+}
+
+func TestParseDropAlert(t *testing.T) {
+	stmt, err := Parse("DROP ALERT hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := stmt.(*DropAlertStmt); !ok || got.Name != "hot" {
+		t.Fatalf("got %#v, want DropAlertStmt{hot}", stmt)
+	}
+	if _, err := Parse("DROP ALERT"); err == nil {
+		t.Error("DROP ALERT without a name: want error")
+	}
+}
+
+// TestAlertSoftWords: ALERT and FOR stay plain identifiers everywhere
+// else, so existing schemas using them as column or table names keep
+// parsing.
+func TestAlertSoftWords(t *testing.T) {
+	for _, q := range []string{
+		"SELECT alert, for FROM t",
+		"SELECT * FROM alert WHERE for > 3",
+		"CREATE TABLE alert (for INT, alert TEXT)",
+		"DROP TABLE alert",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v (ALERT/FOR must stay usable as identifiers)", q, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Stmt is any parsed SQL statement.
@@ -151,6 +152,32 @@ func (*UpdateStmt) stmt() {}
 type DropTableStmt struct{ Name string }
 
 func (*DropTableStmt) stmt() {}
+
+// CreateAlertStmt declares an SLO alert rule evaluated against the
+// telemetry sampler's metrics history each tick:
+//
+//	CREATE ALERT name ON <signal> <op> <threshold> [FOR <duration>]
+//
+// where <signal> is a bare metric name (its latest value) or fn(metric)
+// with fn one of rate (per-second delta between adjacent samples), p50, or
+// p99 (interval quantiles from histogram-bucket deltas, in the histogram's
+// native unit). ALERT and FOR are soft words — plain identifiers to the
+// lexer — so existing queries can keep using them as column names.
+type CreateAlertStmt struct {
+	Name      string
+	Fn        string // "", "rate", "p50", "p99"
+	Metric    string
+	Op        string // ">", "<", ">=", "<="
+	Threshold float64
+	For       time.Duration // 0 = fire on the first true evaluation
+}
+
+func (*CreateAlertStmt) stmt() {}
+
+// DropAlertStmt removes an alert rule by name.
+type DropAlertStmt struct{ Name string }
+
+func (*DropAlertStmt) stmt() {}
 
 // ExplainStmt wraps a SELECT for plan display. With Analyze set (EXPLAIN
 // ANALYZE) the statement is executed and the plan is annotated with

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Parser is a recursive-descent parser over the token stream.
@@ -711,8 +712,18 @@ func (p *Parser) parseTypeName() (string, error) {
 	return t, nil
 }
 
+// atSoftWord reports whether the current token is the given soft keyword:
+// a word the lexer leaves as a plain identifier (ALERT, FOR) so it stays
+// usable as a column or table name everywhere else.
+func (p *Parser) atSoftWord(word string) bool {
+	return p.cur().Kind == TokIdent && strings.EqualFold(p.cur().Text, word)
+}
+
 func (p *Parser) parseCreate() (Stmt, error) {
 	p.next() // CREATE
+	if p.atSoftWord("ALERT") {
+		return p.parseCreateAlert()
+	}
 	isModel := p.accept(TokKeyword, "MODEL")
 	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
 		return nil, err
@@ -913,6 +924,14 @@ func (p *Parser) parseUpdate() (Stmt, error) {
 
 func (p *Parser) parseDrop() (Stmt, error) {
 	p.next() // DROP
+	if p.atSoftWord("ALERT") {
+		p.next()
+		name, err := p.expectIdentLike()
+		if err != nil {
+			return nil, err
+		}
+		return &DropAlertStmt{Name: name}, nil
+	}
 	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
@@ -921,4 +940,97 @@ func (p *Parser) parseDrop() (Stmt, error) {
 		return nil, err
 	}
 	return &DropTableStmt{Name: name}, nil
+}
+
+// parseCreateAlert parses the tail of CREATE ALERT name ON <signal> <op>
+// <threshold> [FOR <duration>]; see CreateAlertStmt for the grammar.
+func (p *Parser) parseCreateAlert() (Stmt, error) {
+	p.next() // ALERT
+	name, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateAlertStmt{Name: name}
+	sig, err := p.expectIdentLike()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokOp, "(") {
+		fn := strings.ToLower(sig)
+		switch fn {
+		case "rate", "p50", "p99":
+		default:
+			return nil, p.errf("unknown alert function %q (want rate, p50, or p99)", sig)
+		}
+		stmt.Fn = fn
+		m, err := p.expectIdentLike()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		stmt.Metric = m
+	} else {
+		stmt.Metric = sig
+	}
+	op := p.cur()
+	if op.Kind != TokOp || (op.Text != ">" && op.Text != "<" && op.Text != ">=" && op.Text != "<=") {
+		return nil, p.errf("expected a comparison operator (> < >= <=), found %q", op.Text)
+	}
+	p.next()
+	stmt.Op = op.Text
+	neg := p.accept(TokOp, "-")
+	t, err := p.expect(TokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	thr, perr := strconv.ParseFloat(t.Text, 64)
+	if perr != nil {
+		return nil, p.errf("invalid alert threshold %q", t.Text)
+	}
+	if neg {
+		thr = -thr
+	}
+	stmt.Threshold = thr
+	if p.atSoftWord("FOR") {
+		p.next()
+		d, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		stmt.For = d
+	}
+	return stmt, nil
+}
+
+// parseDuration accepts 10s / 500ms / 1m30s (lexed as number + unit
+// identifier), a bare number of seconds, or a quoted Go duration string.
+func (p *Parser) parseDuration() (time.Duration, error) {
+	if p.cur().Kind == TokString {
+		d, err := time.ParseDuration(p.next().Text)
+		if err != nil || d < 0 {
+			return 0, p.errf("invalid duration: %v", err)
+		}
+		return d, nil
+	}
+	t, err := p.expect(TokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	if p.cur().Kind == TokIdent {
+		d, derr := time.ParseDuration(t.Text + p.next().Text)
+		if derr != nil || d < 0 {
+			return 0, p.errf("invalid duration %q", t.Text)
+		}
+		return d, nil
+	}
+	secs, perr := strconv.ParseFloat(t.Text, 64)
+	if perr != nil || secs < 0 {
+		return 0, p.errf("invalid duration %q", t.Text)
+	}
+	return time.Duration(secs * float64(time.Second)), nil
 }

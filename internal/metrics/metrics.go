@@ -26,9 +26,10 @@ import (
 // Registry holds named collectors and renders them in text exposition
 // format. All methods are safe for concurrent use.
 type Registry struct {
-	mu   sync.Mutex
-	byID map[string]collector
-	ord  []collector // registration order for stable output
+	mu          sync.Mutex
+	byID        map[string]collector
+	ord         []collector  // registration order for stable output
+	gaugePanics atomic.Int64 // recovered gauge-func panics (see GaugePanics)
 }
 
 type collector interface {
@@ -100,9 +101,29 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 
 // NewGaugeFunc registers a gauge whose value is computed at scrape time —
 // the natural fit for "current queue depth" style readings that already
-// live somewhere else.
+// live somewhere else. A panicking fn is recovered at read time and
+// reported as NaN (and counted — see GaugePanics) rather than killing the
+// scraper or the telemetry sampler tick.
 func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
-	r.register(&gaugeFunc{nm: name, hp: help, fn: fn})
+	r.register(&gaugeFunc{nm: name, hp: help, fn: fn, panics: &r.gaugePanics})
+}
+
+// GaugePanics reports how many gauge-func reads have panicked and been
+// recovered since the registry was created.
+func (r *Registry) GaugePanics() int64 { return r.gaugePanics.Load() }
+
+// NewInfo registers a constant info-style gauge: value 1 with a fixed
+// label set, the Prometheus convention for build/version metadata
+// (name{k="v",...} 1).
+func (r *Registry) NewInfo(name, help string, labels []Label) {
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	r.register(&infoGauge{nm: name, hp: help, labels: ls})
+}
+
+// Label is one key=value pair on an info gauge.
+type Label struct {
+	Key, Value string
 }
 
 // NewHistogram registers and returns a histogram with the given ascending
@@ -115,11 +136,21 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 
 // WriteText renders every collector in registration order.
 func (r *Registry) WriteText(w io.Writer) {
+	r.WriteTextFiltered(w, "")
+}
+
+// WriteTextFiltered renders only the collectors whose name starts with
+// prefix ("" renders everything) — the exposition page is long enough that
+// shell inspection (\metrics <prefix>, METRICS <prefix>) wants a filter.
+func (r *Registry) WriteTextFiltered(w io.Writer, prefix string) {
 	r.mu.Lock()
 	ord := make([]collector, len(r.ord))
 	copy(ord, r.ord)
 	r.mu.Unlock()
 	for _, c := range ord {
+		if prefix != "" && !strings.HasPrefix(c.name(), prefix) {
+			continue
+		}
 		fmt.Fprintf(w, "# HELP %s %s\n", c.name(), c.help())
 		c.write(w)
 	}
@@ -129,6 +160,13 @@ func (r *Registry) WriteText(w io.Writer) {
 func (r *Registry) Text() string {
 	var sb strings.Builder
 	r.WriteText(&sb)
+	return sb.String()
+}
+
+// TextFiltered renders the collectors matching prefix as a string.
+func (r *Registry) TextFiltered(prefix string) string {
+	var sb strings.Builder
+	r.WriteTextFiltered(&sb, prefix)
 	return sb.String()
 }
 
@@ -184,15 +222,63 @@ func (g *Gauge) samples(dst []Sample) []Sample {
 type gaugeFunc struct {
 	nm, hp string
 	fn     func() float64
+	panics *atomic.Int64
+}
+
+// value reads the gauge function, turning a panic into NaN so one broken
+// callback cannot take down a scrape or a sampler tick.
+func (g *gaugeFunc) value() (v float64) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if g.panics != nil {
+				g.panics.Add(1)
+			}
+			v = math.NaN()
+		}
+	}()
+	return g.fn()
 }
 
 func (g *gaugeFunc) name() string { return g.nm }
 func (g *gaugeFunc) help() string { return g.hp }
 func (g *gaugeFunc) write(w io.Writer) {
-	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.nm, g.nm, fmtFloat(g.fn()))
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.nm, g.nm, fmtFloat(g.value()))
 }
 func (g *gaugeFunc) samples(dst []Sample) []Sample {
-	return append(dst, Sample{Name: g.nm, Kind: "gauge", Value: g.fn()})
+	return append(dst, Sample{Name: g.nm, Kind: "gauge", Value: g.value()})
+}
+
+// ---- info gauge ----
+
+// infoGauge is a constant value-1 gauge carrying a fixed label set
+// (vectordb_build_info{go_version="go1.22",...} 1).
+type infoGauge struct {
+	nm, hp string
+	labels []Label
+}
+
+func (g *infoGauge) name() string { return g.nm }
+func (g *infoGauge) help() string { return g.hp }
+
+// labelText renders the {k="v",...} block (also reused as the structured
+// Sample label, without braces).
+func (g *infoGauge) labelText() string {
+	var sb strings.Builder
+	for i, l := range g.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", l.Key, EscapeLabel(l.Value))
+	}
+	return sb.String()
+}
+
+func (g *infoGauge) write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n", g.nm, g.nm, g.labelText())
+}
+
+func (g *infoGauge) samples(dst []Sample) []Sample {
+	return append(dst, Sample{Name: g.nm, Kind: "gauge", Label: g.labelText(), Value: 1})
 }
 
 // ---- histogram ----

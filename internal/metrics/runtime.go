@@ -2,15 +2,23 @@ package metrics
 
 import (
 	"runtime"
+	"runtime/debug"
 	rtmetrics "runtime/metrics"
+	"time"
 )
 
 // RegisterRuntime adds process-level gauges from runtime/metrics so a
 // scrape of /metrics covers the Go runtime, not just query traffic:
 // live goroutines, heap bytes in use, cumulative GC cycles, and total GC
-// pause time. All values are read at scrape time; registration itself
-// costs nothing on the query path.
+// pause time — plus build metadata and uptime so scrapes and
+// system.metrics_history can correlate behavior changes with restarts.
+// All values are read at scrape time; registration itself costs nothing
+// on the query path.
 func RegisterRuntime(r *Registry) {
+	r.NewInfo("vectordb_build_info", "Build metadata; constant 1.", buildLabels())
+	start := time.Now()
+	r.NewGaugeFunc("vectordb_uptime_seconds", "Seconds since this registry was created (process start for the daemon).",
+		func() float64 { return time.Since(start).Seconds() })
 	r.NewGaugeFunc("go_goroutines", "Number of live goroutines.",
 		runtimeMetric("/sched/goroutines:goroutines"))
 	r.NewGaugeFunc("go_heap_live_bytes", "Heap memory occupied by live objects and dead objects not yet collected.",
@@ -23,6 +31,26 @@ func RegisterRuntime(r *Registry) {
 			runtime.ReadMemStats(&ms)
 			return float64(ms.PauseTotalNs) / 1e9
 		})
+}
+
+// buildLabels assembles the vectordb_build_info label set: Go toolchain,
+// platform, and (when compiled from a checkout) the VCS revision.
+func buildLabels() []Label {
+	ls := []Label{
+		{Key: "go_version", Value: runtime.Version()},
+		{Key: "goos", Value: runtime.GOOS},
+		{Key: "goarch", Value: runtime.GOARCH},
+	}
+	rev := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				rev = s.Value
+			}
+		}
+	}
+	ls = append(ls, Label{Key: "revision", Value: rev})
+	return ls
 }
 
 // runtimeMetric adapts one runtime/metrics sample to a gauge function.

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramSnapshotUnderConcurrentObserve exercises the invariants the
+// telemetry rate/p99-from-bucket-deltas path depends on while observers
+// race with snapshot readers: bucket adds happen before the count add, so
+// within any single Snapshot the bucket total is >= Count, and every
+// per-bucket value is monotone non-decreasing across snapshots.
+func TestHistogramSnapshotUnderConcurrentObserve(t *testing.T) {
+	h := newHistogram("h", "h", []float64{0.01, 0.1, 1})
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(0.005) // bucket 0
+				h.Observe(0.05)  // bucket 1
+				h.Observe(5)     // +Inf overflow
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	prev := make([]int64, 4)
+	for {
+		s := h.Snapshot()
+		var total int64
+		for i, b := range s.Buckets {
+			if b < prev[i] {
+				t.Fatalf("bucket %d went backwards: %d -> %d", i, prev[i], b)
+			}
+			prev[i] = b
+			total += b
+		}
+		if total < s.Count {
+			t.Fatalf("torn snapshot: sum(buckets)=%d < count=%d", total, s.Count)
+		}
+		select {
+		case <-stop:
+			final := h.Snapshot()
+			wantEach := int64(writers * perWriter)
+			if final.Count != 3*wantEach {
+				t.Fatalf("final count = %d, want %d", final.Count, 3*wantEach)
+			}
+			want := []int64{wantEach, wantEach, 0, wantEach}
+			for i, b := range final.Buckets {
+				if b != want[i] {
+					t.Errorf("final bucket %d = %d, want %d", i, b, want[i])
+				}
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestGaugeFuncPanicRecovered: a panicking gauge callback yields NaN on
+// both the structured and text scrape paths, is counted on the registry,
+// and leaves the other collectors untouched.
+func TestGaugeFuncPanicRecovered(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewGaugeFunc("boom", "panics", func() float64 { panic("no") })
+	reg.NewGauge("fine", "ok").Set(3)
+
+	var boom, fine bool
+	for _, s := range reg.Samples() {
+		switch s.Name {
+		case "boom":
+			boom = true
+			if !math.IsNaN(s.Value) {
+				t.Errorf("boom sample = %v, want NaN", s.Value)
+			}
+		case "fine":
+			fine = true
+			if s.Value != 3 {
+				t.Errorf("fine sample = %v, want 3", s.Value)
+			}
+		}
+	}
+	if !boom || !fine {
+		t.Fatalf("samples missing collectors: boom=%v fine=%v", boom, fine)
+	}
+	if txt := reg.Text(); !strings.Contains(txt, "boom NaN") {
+		t.Errorf("text page missing recovered NaN:\n%s", txt)
+	}
+	if got := reg.GaugePanics(); got < 2 { // one per scrape path above
+		t.Errorf("GaugePanics = %d, want >= 2", got)
+	}
+}
+
+// TestTextFiltered: the prefix filter trims the page to matching names and
+// an empty prefix reproduces the full page.
+func TestTextFiltered(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("vectordb_queries_total", "q").Add(1)
+	reg.NewCounter("go_goroutines_fake", "g").Add(2)
+	page := reg.TextFiltered("vectordb_")
+	if !strings.Contains(page, "vectordb_queries_total 1") {
+		t.Errorf("filtered page missing matching metric:\n%s", page)
+	}
+	if strings.Contains(page, "go_goroutines_fake") {
+		t.Errorf("filtered page leaked non-matching metric:\n%s", page)
+	}
+	if reg.TextFiltered("") != reg.Text() {
+		t.Error("empty prefix must equal the full page")
+	}
+}
+
+// TestRegisterRuntimeBuildInfo: the build-info labels and uptime gauge are
+// present and sane.
+func TestRegisterRuntimeBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	txt := reg.Text()
+	if !strings.Contains(txt, `vectordb_build_info{go_version="go`) {
+		t.Errorf("missing build info:\n%s", txt)
+	}
+	for _, want := range []string{`goos="`, `goarch="`, `revision="`} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("build info missing label %s", want)
+		}
+	}
+	var uptime *Sample
+	for _, s := range reg.Samples() {
+		if s.Name == "vectordb_uptime_seconds" {
+			c := s
+			uptime = &c
+		}
+		if s.Name == "vectordb_build_info" && s.Value != 1 {
+			t.Errorf("build_info value = %v, want 1", s.Value)
+		}
+	}
+	if uptime == nil {
+		t.Fatal("vectordb_uptime_seconds not registered")
+	}
+	if uptime.Value < 0 || uptime.Value > 60 {
+		t.Errorf("uptime = %v, want small positive", uptime.Value)
+	}
+}

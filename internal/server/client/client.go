@@ -133,6 +133,15 @@ func (c *Client) Status() (string, error) { return c.command("STATUS", 0) }
 // can still be observed.
 func (c *Client) Metrics() (string, error) { return c.command("METRICS", 0) }
 
+// MetricsFiltered fetches only the metrics whose name starts with prefix
+// (the full page when prefix is empty).
+func (c *Client) MetricsFiltered(prefix string) (string, error) {
+	if prefix == "" {
+		return c.Metrics()
+	}
+	return c.command("METRICS "+prefix, 0)
+}
+
 // Batcher fetches the inference scheduler's report (per-queue depth,
 // batch-size means, coalesce-wait histogram). Bypasses admission control.
 func (c *Client) Batcher() (string, error) { return c.command("BATCHER", 0) }

@@ -43,6 +43,7 @@ import (
 	"indbml/internal/flight"
 	"indbml/internal/infersched"
 	"indbml/internal/metrics"
+	"indbml/internal/telemetry"
 	"indbml/internal/trace"
 	"indbml/internal/wire"
 )
@@ -76,6 +77,14 @@ type Config struct {
 	// SlowQueryThreshold is the duration above which a successful
 	// statement is logged. 0 logs every traced statement.
 	SlowQueryThreshold time.Duration
+	// TelemetryInterval is the metrics-history sampling tick. 0 means the
+	// default (1s); negative disables the sampler (system.metrics_history
+	// and system.alerts stay registered but empty, and CREATE ALERT
+	// errors).
+	TelemetryInterval time.Duration
+	// AlertLog, when non-nil, receives one JSON line per alert
+	// firing/resolved transition, in the slow-query-log style.
+	AlertLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +103,8 @@ type Server struct {
 	cfg   Config
 	stats *Stats
 	reg   *metrics.Registry
-	slow  *slowLog // nil when the slow-query log is disabled
+	slow  *slowLog           // nil when the slow-query log is disabled
+	tel   *telemetry.Sampler // nil when telemetry is disabled
 
 	slots chan struct{} // buffered semaphore: one token per running query
 
@@ -173,8 +183,27 @@ func New(d *db.Database, cfg Config) *Server {
 	// sessions table does too: system.sessions joins to
 	// system.active_queries on current_query_id.
 	d.RegisterVirtualTable(sessionsTable{s})
+	// Telemetry: sample the registry into the history rings and evaluate
+	// alert rules each tick. The history/alert tables are registered even
+	// when disabled (serving empty) so monitoring SQL degrades instead of
+	// erroring.
+	if cfg.TelemetryInterval >= 0 {
+		s.tel = telemetry.New(reg, telemetry.Config{
+			Interval: cfg.TelemetryInterval,
+			AlertLog: cfg.AlertLog,
+		})
+		d.SetAlertEngine(s.tel.Alerts())
+		s.tel.Start()
+	}
+	d.RegisterVirtualTable(telemetry.HistoryTable(s.tel))
+	d.RegisterVirtualTable(telemetry.LatencyTable(s.tel))
+	d.RegisterVirtualTable(telemetry.AlertsTable(s.tel))
 	return s
 }
+
+// Telemetry exposes the sampler (nil when disabled) for tests and the
+// embedded shell.
+func (s *Server) Telemetry() *telemetry.Sampler { return s.tel }
 
 // Metrics exposes the server's registry so daemons can mount it on an HTTP
 // listener next to pprof.
@@ -268,6 +297,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.baseCancel()
+		s.stopTelemetry()
 		return nil
 	case <-ctx.Done():
 		// Hard stop: cancel running queries and cut the transports.
@@ -278,7 +308,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.stopTelemetry()
 		return ctx.Err()
+	}
+}
+
+// stopTelemetry halts the sampler goroutine (idempotent; no-op when
+// telemetry is disabled).
+func (s *Server) stopTelemetry() {
+	if s.tel != nil {
+		s.tel.Stop()
 	}
 }
 
@@ -303,6 +342,9 @@ func (s *Server) StatusText() string {
 	sn.CacheHits, sn.CacheMisses, sn.CacheEvictions, sn.CacheEntries = mc.Hits, mc.Misses, mc.Evictions, mc.Entries
 	sn.Batcher = s.db.InferSched().StatusLine()
 	sn.Shards = s.db.RouterStatus()
+	if s.tel != nil {
+		sn.Alerts = s.tel.StatusLine()
+	}
 	return sn.String()
 }
 
@@ -447,8 +489,13 @@ func (s *Server) serveStmt(bw *bufio.Writer, sess *session, stmt string, deadlin
 		wire.WriteOK(bw, s.StatusText())
 		return
 	}
-	if upper == "METRICS" {
-		wire.WriteOK(bw, s.reg.Text())
+	if upper == "METRICS" || strings.HasPrefix(upper, "METRICS ") {
+		// METRICS [prefix]: the optional argument filters the exposition
+		// page to metric names with that prefix (metric names are
+		// lower-case, so match on the original text, not the upper-cased
+		// dispatch copy).
+		prefix := strings.TrimSpace(text[len("METRICS"):])
+		wire.WriteOK(bw, s.reg.TextFiltered(prefix))
 		return
 	}
 	if upper == "BATCHER" {

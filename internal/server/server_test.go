@@ -22,7 +22,12 @@ import (
 // exploit.
 func newTestDB(t *testing.T, nRows, hidden int) *db.Database {
 	t.Helper()
-	d := db.Open(db.Options{DefaultPartitions: 4, Parallelism: 4})
+	return newTestDBOpts(t, nRows, hidden, db.Options{DefaultPartitions: 4, Parallelism: 4})
+}
+
+func newTestDBOpts(t *testing.T, nRows, hidden int, opts db.Options) *db.Database {
+	t.Helper()
+	d := db.Open(opts)
 	tbl, _ := workload.IrisTable("iris", nRows, 4)
 	d.RegisterTable(tbl)
 	model := &nn.Model{Name: "iris_model", Layers: []nn.Layer{
@@ -276,7 +281,12 @@ func TestCancellationMidScan(t *testing.T) {
 // query and checks that, with no queue, the next statement is rejected
 // immediately with the overload code.
 func TestOverloadFastReject(t *testing.T) {
-	d := newTestDB(t, 300000, 512)
+	// The batched inference scheduler yields the admission slot while a
+	// MODEL JOIN batch is parked in a coalesce window, so with batching on
+	// the "slot is continuously held" premise races with those windows.
+	// Drive the device directly so the slow query really pins the slot.
+	d := newTestDBOpts(t, 300000, 512,
+		db.Options{DefaultPartitions: 4, Parallelism: 4, DisableInferSched: true})
 	s := startServer(t, d, Config{QuerySlots: 1, QueueDepth: 0})
 
 	slow := dial(t, s)

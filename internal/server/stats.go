@@ -88,6 +88,10 @@ type Snapshot struct {
 	// Shards is the distributed coordinator's fleet summary (shard count,
 	// reachability, cumulative fragment errors); empty on non-coordinators.
 	Shards string
+
+	// Alerts is the telemetry alert-set summary (rule/pending/firing
+	// counts plus firing names); empty when telemetry is disabled.
+	Alerts string
 }
 
 // Snapshot copies the counters.
@@ -121,6 +125,9 @@ func (sn Snapshot) String() string {
 	}
 	if sn.Shards != "" {
 		fmt.Fprintf(&sb, "shards: %s\n", sn.Shards)
+	}
+	if sn.Alerts != "" {
+		fmt.Fprintf(&sb, "alerts: %s\n", sn.Alerts)
 	}
 	fmt.Fprintf(&sb, "rows_served: %d\n", sn.RowsServed)
 	writeHistLine(&sb, "latency", sn.Latency)

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+
+	"indbml/internal/metrics"
+)
+
+// scalarValue finds a metric's plain value in one sample: the Label==""
+// entry for counters and gauges, falling back to the histogram "count"
+// series so rate(some_latency_histogram) means observations per second.
+func scalarValue(data []metrics.Sample, metric string) (float64, bool) {
+	count, haveCount := 0.0, false
+	for _, s := range data {
+		if s.Name != metric {
+			continue
+		}
+		if s.Label == "" {
+			return s.Value, true
+		}
+		if s.Label == "count" {
+			count, haveCount = s.Value, true
+		}
+	}
+	return count, haveCount
+}
+
+// histSeries is one histogram's cumulative state inside a single sample.
+type histSeries struct {
+	bounds []float64 // finite upper bounds, ascending
+	cum    []float64 // cumulative counts, len(bounds)+1 (last = +Inf)
+	count  float64
+	sum    float64
+	ok     bool
+}
+
+// extractHist pulls one histogram's bucket series out of a flat sample
+// slice. Labels are "le=<bound>", "le=+Inf", "sum", "count" in bound order
+// (the order metrics.Histogram.samples emits them).
+func extractHist(data []metrics.Sample, metric string) histSeries {
+	var h histSeries
+	for _, s := range data {
+		if s.Name != metric || s.Kind != "histogram" {
+			continue
+		}
+		switch {
+		case s.Label == "sum":
+			h.sum = s.Value
+		case s.Label == "count":
+			h.count = s.Value
+			h.ok = true
+		case s.Label == "le=+Inf":
+			h.cum = append(h.cum, s.Value)
+		case strings.HasPrefix(s.Label, "le="):
+			b, err := strconv.ParseFloat(s.Label[3:], 64)
+			if err != nil {
+				continue
+			}
+			h.bounds = append(h.bounds, b)
+			h.cum = append(h.cum, s.Value)
+		}
+	}
+	if len(h.cum) != len(h.bounds)+1 {
+		h.ok = false
+	}
+	return h
+}
+
+// bucketDeltas returns the non-cumulative per-bucket observation counts
+// between two snapshots of the same histogram. ok=false when either side
+// is missing or the bucket layouts disagree.
+func bucketDeltas(prev, cur histSeries) ([]float64, bool) {
+	if !prev.ok || !cur.ok || len(prev.cum) != len(cur.cum) {
+		return nil, false
+	}
+	deltas := make([]float64, len(cur.cum))
+	lastPrev, lastCur := 0.0, 0.0
+	for i := range cur.cum {
+		dPrev := prev.cum[i] - lastPrev
+		dCur := cur.cum[i] - lastCur
+		lastPrev, lastCur = prev.cum[i], cur.cum[i]
+		d := dCur - dPrev
+		if d < 0 { // racing reads can tear a bucket slightly; clamp
+			d = 0
+		}
+		deltas[i] = d
+	}
+	return deltas, true
+}
+
+// quantileFromDeltas computes quantile q from interval bucket deltas with
+// linear interpolation inside the winning bucket — the histogram_quantile
+// approach. Mass in the +Inf overflow bucket clamps to the last finite
+// bound. ok=false when the interval saw no observations.
+func quantileFromDeltas(bounds []float64, deltas []float64, q float64) (float64, bool) {
+	if len(bounds) == 0 || len(deltas) != len(bounds)+1 {
+		return 0, false
+	}
+	total := 0.0
+	for _, d := range deltas {
+		total += d
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	cum := 0.0
+	for i, d := range deltas {
+		prev := cum
+		cum += d
+		if cum >= rank && d > 0 {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1], true
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			return lo + (bounds[i]-lo)*((rank-prev)/d), true
+		}
+	}
+	return bounds[len(bounds)-1], true
+}

@@ -1,0 +1,199 @@
+// Package telemetry retains time-series history of the metrics registry
+// and evaluates SQL-declared SLO alert rules against it.
+//
+// A sampler goroutine snapshots every collector (counters, gauges,
+// gauge-funcs, histogram buckets) each tick into a fixed-size lock-free
+// ring of timestamped samples; a second, coarser ring (default one sample
+// per minute) keeps hours of history in bounded memory. The rings feed the
+// system.metrics_history and system.latency_history virtual tables —
+// counter rates and interval p50/p99 are computed from adjacent-sample
+// deltas at scan time — and the alert engine (alerts.go), which runs its
+// pending→firing→resolved state machine on the freshest pair of samples
+// every tick. Everything is point-in-time *derived*: the engine's hot path
+// never writes here, it only keeps updating the registry it already had.
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indbml/internal/metrics"
+)
+
+// Defaults: 1s fine samples for 5 minutes, 60s coarse samples for 12 hours.
+const (
+	DefaultInterval       = time.Second
+	DefaultFineCapacity   = 300
+	DefaultCoarseEvery    = time.Minute
+	DefaultCoarseCapacity = 720
+)
+
+// Config sizes the sampler. Zero values mean the defaults above.
+type Config struct {
+	Interval       time.Duration // sampling tick
+	FineCapacity   int           // fine-ring slots
+	CoarseEvery    time.Duration // coarse rollup resolution
+	CoarseCapacity int           // coarse-ring slots
+	AlertLog       io.Writer     // JSON alert-transition lines (nil = discard)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.FineCapacity <= 0 {
+		c.FineCapacity = DefaultFineCapacity
+	}
+	if c.CoarseEvery <= 0 {
+		c.CoarseEvery = DefaultCoarseEvery
+	}
+	if c.CoarseCapacity <= 0 {
+		c.CoarseCapacity = DefaultCoarseCapacity
+	}
+	return c
+}
+
+// sample is one immutable registry snapshot. Published via atomic pointers;
+// never mutated after publication.
+type sample struct {
+	ts   time.Time
+	data []metrics.Sample
+}
+
+// ring is a fixed-size lock-free history: a single writer (the sampler
+// goroutine) claims slots round-robin while readers load whatever is
+// published — the same idiom as the flight recorder's summary ring.
+type ring struct {
+	slots []atomic.Pointer[sample]
+	next  atomic.Uint64 // total samples ever published; next slot = next % len
+}
+
+func newRing(n int) *ring { return &ring{slots: make([]atomic.Pointer[sample], n)} }
+
+func (r *ring) push(s *sample) {
+	n := r.next.Load()
+	r.slots[n%uint64(len(r.slots))].Store(s)
+	r.next.Store(n + 1)
+}
+
+func (r *ring) latest() *sample {
+	n := r.next.Load()
+	if n == 0 {
+		return nil
+	}
+	return r.slots[(n-1)%uint64(len(r.slots))].Load()
+}
+
+// snapshot returns the retained samples oldest-first. Reads race with the
+// writer — a slot can be overwritten mid-scan — so the result is sorted by
+// timestamp rather than trusting slot order.
+func (r *ring) snapshot() []*sample {
+	n := r.next.Load()
+	span := uint64(len(r.slots))
+	start := uint64(0)
+	if n > span {
+		start = n - span
+	}
+	out := make([]*sample, 0, n-start)
+	for i := start; i < n; i++ {
+		if s := r.slots[i%span].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ts.Before(out[j].ts) })
+	return out
+}
+
+// Sampler owns the two history rings and the alert set for one registry.
+type Sampler struct {
+	reg    *metrics.Registry
+	cfg    Config
+	fine   *ring
+	coarse *ring
+	alerts *AlertSet
+
+	lastCoarse time.Time // sampler-goroutine only
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a sampler over reg and registers the vectordb_alerts_firing
+// and vectordb_gauge_panics_total gauges on it. Call Start to begin
+// ticking; tests can drive Tick directly with a scripted clock instead.
+func New(reg *metrics.Registry, cfg Config) *Sampler {
+	cfg = cfg.withDefaults()
+	s := &Sampler{
+		reg:    reg,
+		cfg:    cfg,
+		fine:   newRing(cfg.FineCapacity),
+		coarse: newRing(cfg.CoarseCapacity),
+		alerts: newAlertSet(cfg.AlertLog),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	reg.NewGaugeFunc("vectordb_alerts_firing", "Alert rules currently in the firing state.",
+		func() float64 { return float64(s.alerts.FiringCount()) })
+	reg.NewGaugeFunc("vectordb_gauge_panics_total", "Gauge-func panics recovered during scrapes and sampler ticks.",
+		func() float64 { return float64(reg.GaugePanics()) })
+	return s
+}
+
+// Alerts exposes the alert set (rule DDL lands here via db.SetAlertEngine).
+func (s *Sampler) Alerts() *AlertSet { return s.alerts }
+
+// Interval reports the effective tick interval.
+func (s *Sampler) Interval() time.Duration { return s.cfg.Interval }
+
+// Start launches the sampler goroutine. Safe to call once; Stop ends it.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		go s.run()
+	})
+}
+
+// Stop halts the sampler goroutine and waits for it to exit. Idempotent,
+// and safe even if Start was never called.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: unblock the wait
+	<-s.done
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	s.Tick(time.Now()) // immediate first sample so history exists right away
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			s.Tick(now)
+		}
+	}
+}
+
+// Tick takes one sample at the given time and evaluates the alert rules
+// against the freshest pair. The daemon calls it from the sampler
+// goroutine; tests call it directly with an injected clock.
+func (s *Sampler) Tick(now time.Time) {
+	sm := &sample{ts: now, data: s.reg.Samples()}
+	prev := s.fine.latest()
+	s.fine.push(sm)
+	if s.lastCoarse.IsZero() || now.Sub(s.lastCoarse) >= s.cfg.CoarseEvery {
+		s.coarse.push(sm)
+		s.lastCoarse = now
+	}
+	s.alerts.evaluate(now, prev, sm)
+}
+
+// StatusLine summarizes the alert set for the STATUS page, e.g.
+// "rules=2 pending=0 firing=1 [hot_p99]".
+func (s *Sampler) StatusLine() string { return s.alerts.statusLine() }

@@ -51,6 +51,14 @@ type modelJoinBenchReport struct {
 	// SpeedupBatchedVsDirect8C is batched QPS divided by direct QPS at the
 	// 8-client cell.
 	SpeedupBatchedVsDirect8C float64 `json:"speedup_batched_vs_direct_8c,omitempty"`
+	// Telemetry holds the paired telemetry-overhead cells (8-client serving
+	// with the sampler + alert engine on vs telemetry disabled), written by
+	// BenchmarkTelemetryOverhead.
+	Telemetry []servingCell `json:"telemetry,omitempty"`
+	// TelemetryOverheadPct is the sampler + alert engine's cost on 8-client
+	// MODEL JOIN serving throughput: (elapsed_on − elapsed_off) /
+	// elapsed_off, in percent, measured paired. The budget is ≤1%.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
 }
 
 // cacheBenchTuples is deliberately small: the cache matters for the serving

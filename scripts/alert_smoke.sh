@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Alert-engine smoke test: boot vectordbd with a fast telemetry tick and a
+# low-threshold rate alert declared via -alert, drive traffic over the wire
+# with the real shell until the alert fires (visible in \alerts, STATUS and
+# the JSON transition log), then quiesce and assert it resolves.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ALERT_SMOKE_ADDR:-127.0.0.1:54331}
+BIN=$(mktemp -d)
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/vectordbd" ./cmd/vectordbd
+go build -o "$BIN/vectordb" ./cmd/vectordb
+
+# Threshold of 2 completed statements/second: trivially exceeded by the
+# traffic loop, but above the resolve-phase polling rate (~1 poll/s).
+"$BIN/vectordbd" -addr "$ADDR" -demo \
+    -telemetry-interval 100ms \
+    -alert-log "$BIN/alerts.jsonl" \
+    -alert 'busy ON rate(vectordb_queries_completed_total) > 2 FOR 200ms' &
+DPID=$!
+
+up=
+for _ in $(seq 1 50); do
+    if "$BIN/vectordb" -connect "$ADDR" </dev/null >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || { echo "alert-smoke: daemon never came up on $ADDR" >&2; exit 1; }
+
+# Phase 1: hammer the daemon until the alert fires.
+fired=
+for _ in $(seq 1 50); do
+    OUT=$("$BIN/vectordb" -connect "$ADDR" <<'EOF'
+SELECT COUNT(*) AS n FROM iris;
+SELECT COUNT(*) AS n FROM iris;
+SELECT COUNT(*) AS n FROM iris;
+SELECT COUNT(*) AS n FROM iris;
+\alerts
+\q
+EOF
+)
+    if echo "$OUT" | grep -q 'firing'; then
+        fired=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$fired" ] || { echo "alert-smoke: alert never fired under traffic" >&2; echo "$OUT" >&2; exit 1; }
+echo "alert-smoke: alert fired"
+
+# While firing, STATUS must carry the alerts summary line.
+"$BIN/vectordb" -connect "$ADDR" <<'EOF' | grep -q 'alerts:.*firing' \
+    || { echo "alert-smoke: STATUS missing firing alerts line" >&2; exit 1; }
+\status
+\q
+EOF
+
+# Phase 2: quiesce; ~1 slow poll/sec stays under the 2/s threshold, so the
+# alert must resolve.
+resolved=
+for _ in $(seq 1 60); do
+    sleep 1
+    OUT=$("$BIN/vectordb" -connect "$ADDR" <<'EOF'
+\alerts
+\q
+EOF
+)
+    if echo "$OUT" | grep -q 'inactive'; then
+        resolved=1
+        break
+    fi
+done
+[ -n "$resolved" ] || { echo "alert-smoke: alert never resolved after traffic stopped" >&2; echo "$OUT" >&2; exit 1; }
+echo "alert-smoke: alert resolved"
+
+# The transition log must carry both edges as JSON lines.
+grep -q '"state":"firing"' "$BIN/alerts.jsonl" \
+    || { echo "alert-smoke: no firing transition in alert log" >&2; cat "$BIN/alerts.jsonl" >&2; exit 1; }
+grep -q '"state":"resolved"' "$BIN/alerts.jsonl" \
+    || { echo "alert-smoke: no resolved transition in alert log" >&2; cat "$BIN/alerts.jsonl" >&2; exit 1; }
+echo "alert-smoke OK: fired and resolved with $(wc -l < "$BIN/alerts.jsonl") transitions logged"

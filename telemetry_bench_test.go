@@ -1,0 +1,162 @@
+package indbml
+
+// Paired overhead benchmark for the telemetry subsystem: 8 wire clients
+// serve the same MODEL JOIN against two identical servers inside one timed
+// loop — one with the sampler ticking and alert rules evaluating, one with
+// telemetry disabled — so machine-load drift cancels out and only the
+// telemetry delta remains. The budget is ≤1% on serving throughput.
+//
+// This file sorts after serving_bench_test.go, so it extends the report
+// that earlier benchmarks in a `make bench` run already wrote.
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indbml/internal/engine/db"
+	"indbml/internal/server"
+	"indbml/internal/server/client"
+	"indbml/internal/workload"
+)
+
+const telemetryBenchClients = 8
+
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	fact, _ := workload.IrisTable("iris_cache_fact", cacheBenchTuples, benchPartitions)
+	query := "SELECT COUNT(*) AS n, AVG(prediction) AS avg_pred FROM iris_cache_fact MODEL JOIN bench_model PREDICT (" +
+		strings.Join(workload.IrisFeatureNames, ", ") + ")"
+
+	type bench struct {
+		srv   *server.Server
+		conns []*client.Client
+	}
+	boot := func(cfg server.Config, alerts []string) *bench {
+		model := workload.DenseModel(256, 4)
+		model.Name = "bench_model"
+		d := newDB(b, fact, model, db.Options{})
+		s := server.New(d, cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go s.Serve(ln)
+		b.Cleanup(func() { s.Close() })
+		for i := 0; s.Addr() == nil && i < 100; i++ {
+			time.Sleep(time.Millisecond)
+		}
+		for _, rule := range alerts {
+			if err := d.Exec("CREATE ALERT " + rule); err != nil {
+				b.Fatal(err)
+			}
+		}
+		conns := make([]*client.Client, telemetryBenchClients)
+		for i := range conns {
+			c, err := client.Dial(s.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			conns[i] = c
+		}
+		return &bench{srv: s, conns: conns}
+	}
+
+	// The "on" server runs a production-shaped telemetry load: a fast-ish
+	// tick plus rules exercising all three signal forms (bare gauge, counter
+	// rate, histogram quantile) every tick.
+	on := boot(server.Config{
+		QueueDepth: 64, QueueWait: 30 * time.Second,
+		TelemetryInterval: 250 * time.Millisecond,
+	}, []string{
+		"overload ON vectordb_queries_queued > 1000 FOR 10s",
+		"qps_floor ON rate(vectordb_queries_completed_total) < -1 FOR 10s",
+		"slow_p99 ON p99(vectordb_statement_seconds) > 100 FOR 10s",
+	})
+	off := boot(server.Config{
+		QueueDepth: 64, QueueWait: 30 * time.Second,
+		TelemetryInterval: -1,
+	}, nil)
+
+	burst := func(bn *bench) time.Duration {
+		var wg sync.WaitGroup
+		errc := make(chan error, telemetryBenchClients)
+		start := time.Now()
+		for _, c := range bn.conns {
+			wg.Add(1)
+			go func(c *client.Client) {
+				defer wg.Done()
+				for q := 0; q < servingQueriesPerClient; q++ {
+					rows, err := c.Query(query)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if err := rows.Drain(); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errc)
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+
+	// Warm both model caches so every measured query is a cache hit.
+	burst(on)
+	burst(off)
+
+	b.ResetTimer()
+	var tOn, tOff time.Duration
+	for i := 0; i < b.N; i++ {
+		tOn += burst(on)
+		tOff += burst(off)
+	}
+	b.StopTimer()
+	if tOff == 0 {
+		return
+	}
+	pct := (float64(tOn)/float64(tOff) - 1) * 100
+	b.ReportMetric(pct, "telemetry-overhead-%")
+
+	queries := b.N * telemetryBenchClients * servingQueriesPerClient
+	cells := []servingCell{
+		{
+			Name: "telemetry_on_8c", Clients: telemetryBenchClients, Mode: "telemetry_on",
+			Iterations: queries, QPS: float64(queries) / tOn.Seconds(),
+		},
+		{
+			Name: "telemetry_off_8c", Clients: telemetryBenchClients, Mode: "telemetry_off",
+			Iterations: queries, QPS: float64(queries) / tOff.Seconds(),
+		},
+	}
+
+	var report modelJoinBenchReport
+	if raw, err := os.ReadFile("BENCH_modeljoin.json"); err == nil {
+		_ = json.Unmarshal(raw, &report)
+	}
+	if report.Benchmark == "" {
+		report.Benchmark = "modeljoin_cold_vs_cached"
+	}
+	report.Telemetry = cells
+	report.TelemetryOverheadPct = pct
+	report.GitSHA, report.GeneratedAtUTC = benchProvenance()
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_modeljoin.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_modeljoin.json telemetry cells (8-client overhead: %.2f%%)", pct)
+}
